@@ -1,0 +1,317 @@
+// Package agilewatts is the public API of this reproduction of
+// "AgileWatts: An Energy-Efficient CPU Core Idle-State Architecture for
+// Latency-Sensitive Server Applications" (MICRO 2022).
+//
+// The package exposes three layers:
+//
+//   - The hardware model: C-state catalog (Table 1/2), the AgileWatts
+//     microarchitecture (UFPG, CCSM, PMA flows, PPA — Table 3/4,
+//     Sec. 5.2 latencies) via Architecture().
+//   - The platform simulator: RunService simulates a 20-CPU Skylake
+//     server running Memcached/Kafka/MySQL under any of the paper's
+//     named C-state configurations and returns residencies, power and
+//     latency distributions.
+//   - The evaluation harness: RunExperiment regenerates any table or
+//     figure of the paper by name.
+//
+// Everything is deterministic for a fixed seed and uses only the
+// standard library.
+package agilewatts
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/cstate"
+	"repro/internal/experiments"
+	"repro/internal/governor"
+	"repro/internal/report"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Re-exported model types for API users.
+type (
+	// Catalog is the C-state parameter catalog (paper Table 1).
+	Catalog = cstate.Catalog
+	// StateID identifies a core C-state.
+	StateID = cstate.ID
+	// Architecture is the AgileWatts hardware model (Sec. 4-5).
+	Architecture = core.Architecture
+	// PlatformConfig is a named C-state/Turbo configuration (Sec. 7.2).
+	PlatformConfig = governor.Config
+	// ServiceProfile characterizes a latency-critical service.
+	ServiceProfile = workload.Profile
+	// Result is a simulation outcome.
+	Result = server.Result
+	// Options controls experiment fidelity.
+	Options = experiments.Options
+	// Duration is a simulated duration in nanoseconds.
+	Duration = sim.Time
+)
+
+// C-state identifiers.
+const (
+	C0   = cstate.C0
+	C1   = cstate.C1
+	C1E  = cstate.C1E
+	C6   = cstate.C6
+	C6A  = cstate.C6A
+	C6AE = cstate.C6AE
+)
+
+// Skylake returns the calibrated Skylake-server C-state catalog extended
+// with AgileWatts' C6A and C6AE states.
+func Skylake() *Catalog { return cstate.Skylake() }
+
+// NewArchitecture returns the paper-calibrated AgileWatts core design.
+func NewArchitecture() *Architecture { return core.NewArchitecture() }
+
+// Named platform configurations from the paper.
+var (
+	Baseline       = governor.Baseline
+	AW             = governor.AW
+	NTBaseline     = governor.NTBaseline
+	NTNoC6         = governor.NTNoC6
+	NTNoC6NoC1E    = governor.NTNoC6NoC1E
+	TNoC6          = governor.TNoC6
+	TNoC6NoC1E     = governor.TNoC6NoC1E
+	TC6ANoC6NoC1E  = governor.TC6ANoC6NoC1E
+	NTC6ANoC6NoC1E = governor.NTC6ANoC6NoC1E
+)
+
+// Configs lists every named platform configuration.
+func Configs() []PlatformConfig { return governor.AllConfigs() }
+
+// ConfigByName looks up a platform configuration.
+func ConfigByName(name string) (PlatformConfig, error) { return governor.ConfigByName(name) }
+
+// Service profiles.
+func Memcached() ServiceProfile { return workload.Memcached() }
+
+// Kafka returns the event-streaming service profile.
+func Kafka() ServiceProfile { return workload.Kafka() }
+
+// MySQL returns the OLTP service profile.
+func MySQL() ServiceProfile { return workload.MySQL() }
+
+// ServiceByName resolves "memcached", "kafka" or "mysql".
+func ServiceByName(name string) (ServiceProfile, error) { return workload.ByName(name) }
+
+// MemcachedETC returns the high-fidelity Memcached profile whose service
+// times come from a live Zipf/LRU key-value store model (see
+// internal/kvstore). The seed drives cache warming.
+func MemcachedETC(seed uint64) (ServiceProfile, error) { return workload.MemcachedETC(seed) }
+
+// ServiceRun describes one simulation.
+type ServiceRun struct {
+	// Platform is the C-state/Turbo configuration (default Baseline).
+	Platform PlatformConfig
+	// Service is the workload profile (default Memcached).
+	Service ServiceProfile
+	// RateQPS is the aggregate offered load.
+	RateQPS float64
+	// DurationNS / WarmupNS bound the run (defaults: 500ms / 50ms).
+	DurationNS Duration
+	WarmupNS   Duration
+	// Seed fixes all randomness (default 1).
+	Seed uint64
+	// SnoopRatePerSec adds per-core coherence traffic (Sec. 7.5).
+	SnoopRatePerSec float64
+}
+
+// RunService simulates the paper's 20-CPU server under the given run
+// description.
+func RunService(r ServiceRun) (Result, error) {
+	if r.Platform.Name == "" {
+		r.Platform = Baseline
+	}
+	if r.Service.Name == "" {
+		r.Service = Memcached()
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	return server.RunConfig(server.Config{
+		Platform:        r.Platform,
+		Profile:         r.Service,
+		RatePerSec:      r.RateQPS,
+		Duration:        r.DurationNS,
+		Warmup:          r.WarmupNS,
+		Seed:            r.Seed,
+		SnoopRatePerSec: r.SnoopRatePerSec,
+	})
+}
+
+// Experiment names accepted by RunExperiment.
+const (
+	ExpTable1     = "table1"
+	ExpTable2     = "table2"
+	ExpTable3     = "table3"
+	ExpTable4     = "table4"
+	ExpTable5     = "table5"
+	ExpMotivation = "motivation"
+	ExpLatency    = "latency"
+	ExpFigure8    = "figure8"
+	ExpFigure9    = "figure9"
+	ExpFigure10   = "figure10"
+	ExpFigure11   = "figure11"
+	ExpFigure12   = "figure12"
+	ExpFigure13   = "figure13"
+	ExpValidation = "validation"
+	ExpSnoop      = "snoop"
+	// Extensions beyond the paper's figures:
+	ExpAMD            = "amd"             // Sec. 5.5 EPYC analysis
+	ExpAblateGovernor = "ablate-governor" // idle-policy ablation
+	ExpAblateZones    = "ablate-zones"    // UFPG zone-count ablation
+	ExpAblatePower    = "ablate-power"    // C6A power-budget sensitivity
+	ExpAblateNoise    = "ablate-noise"    // OS-noise sensitivity
+	ExpRaceToHalt     = "racetohalt"      // Sec. 8: race-to-halt vs DVFS pacing
+	ExpPkgIdle        = "pkgidle"         // AgilePkgC-direction package state
+	ExpBreakdown      = "breakdown"       // wake/queue/service latency decomposition
+	ExpProportion     = "proportionality" // Sec. 7.1 energy-proportionality framing
+)
+
+// Experiments returns all experiment names in stable order.
+func Experiments() []string {
+	names := []string{
+		ExpTable1, ExpTable2, ExpTable3, ExpTable4, ExpTable5,
+		ExpMotivation, ExpLatency,
+		ExpFigure8, ExpFigure9, ExpFigure10, ExpFigure11, ExpFigure12, ExpFigure13,
+		ExpValidation, ExpSnoop,
+		ExpAMD, ExpAblateGovernor, ExpAblateZones, ExpAblatePower, ExpAblateNoise,
+		ExpRaceToHalt, ExpPkgIdle, ExpBreakdown, ExpProportion,
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DefaultOptions returns full-fidelity experiment settings.
+func DefaultOptions() Options { return experiments.DefaultOptions() }
+
+// QuickOptions returns fast low-fidelity settings.
+func QuickOptions() Options { return experiments.QuickOptions() }
+
+// RunExperiment regenerates the named table/figure and writes its
+// report(s) to w.
+func RunExperiment(name string, o Options, w io.Writer) error {
+	render := func(tables ...*report.Table) error {
+		for _, t := range tables {
+			if err := t.Render(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch name {
+	case ExpTable1:
+		return render(experiments.Table1().Table())
+	case ExpTable2:
+		return render(experiments.Table2())
+	case ExpTable3:
+		return render(experiments.Table3().Table())
+	case ExpTable4:
+		return render(experiments.Table4())
+	case ExpTable5:
+		r, err := experiments.Table5(o)
+		if err != nil {
+			return err
+		}
+		return render(r.Table())
+	case ExpMotivation:
+		return render(experiments.Motivation().Table())
+	case ExpLatency:
+		return render(experiments.TransitionLatency().Table())
+	case ExpFigure8:
+		r, err := experiments.Figure8(o)
+		if err != nil {
+			return err
+		}
+		return render(r.ResidencyTable(), r.SavingsTable(), r.DegradationTable(), r.ScalabilityTable())
+	case ExpFigure9:
+		r, err := experiments.Figure9(o)
+		if err != nil {
+			return err
+		}
+		return render(r.LatencyTable(), r.PowerTable(), r.ResidencyTable())
+	case ExpFigure10:
+		r, err := experiments.Figure10(o)
+		if err != nil {
+			return err
+		}
+		return render(r.Table())
+	case ExpFigure11:
+		r, err := experiments.Figure11(o)
+		if err != nil {
+			return err
+		}
+		return render(r.Table(), r.TurboFractionTable())
+	case ExpFigure12:
+		r, err := experiments.Figure12(o)
+		if err != nil {
+			return err
+		}
+		return render(r.Table())
+	case ExpFigure13:
+		r, err := experiments.Figure13(o)
+		if err != nil {
+			return err
+		}
+		return render(r.Table())
+	case ExpValidation:
+		return render(experiments.Validation(o).Table())
+	case ExpSnoop:
+		return render(experiments.SnoopImpact().Table())
+	case ExpAMD:
+		r, err := experiments.AMD(o)
+		if err != nil {
+			return err
+		}
+		return render(r.Table())
+	case ExpAblateGovernor:
+		r, err := experiments.GovernorAblation(o)
+		if err != nil {
+			return err
+		}
+		return render(r.Table())
+	case ExpAblateZones:
+		return render(experiments.ZoneAblation().Table())
+	case ExpAblatePower:
+		return render(experiments.PowerBudgetAblation().Table())
+	case ExpAblateNoise:
+		r, err := experiments.NoiseAblation(o)
+		if err != nil {
+			return err
+		}
+		return render(r.Table())
+	case ExpRaceToHalt:
+		r, err := experiments.RaceToHalt(o)
+		if err != nil {
+			return err
+		}
+		return render(r.Table())
+	case ExpPkgIdle:
+		r, err := experiments.PkgIdle(o)
+		if err != nil {
+			return err
+		}
+		return render(r.Table())
+	case ExpBreakdown:
+		r, err := experiments.Breakdown(o)
+		if err != nil {
+			return err
+		}
+		return render(r.Table())
+	case ExpProportion:
+		r, err := experiments.Proportionality(o)
+		if err != nil {
+			return err
+		}
+		return render(r.Table())
+	default:
+		return fmt.Errorf("agilewatts: unknown experiment %q (known: %v)", name, Experiments())
+	}
+}

@@ -1,0 +1,108 @@
+package agilewatts
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunServiceDefaults(t *testing.T) {
+	res, err := RunService(ServiceRun{RateQPS: 50_000, DurationNS: 100_000_000, WarmupNS: 10_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletedPerSec < 40_000 {
+		t.Fatalf("throughput %v too low", res.CompletedPerSec)
+	}
+	if res.AvgCorePowerW <= 0 {
+		t.Fatal("no power measured")
+	}
+}
+
+func TestHeadlineClaim(t *testing.T) {
+	// The abstract: AW reduces Memcached energy by up to 71% (35% on
+	// average) with <1% end-to-end performance degradation. Check the
+	// direction and the <1% bound at one representative point.
+	base, err := RunService(ServiceRun{
+		Platform: Baseline, RateQPS: 100_000,
+		DurationNS: 150_000_000, WarmupNS: 15_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw, err := RunService(ServiceRun{
+		Platform: AW, RateQPS: 100_000,
+		DurationNS: 150_000_000, WarmupNS: 15_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	saving := (base.AvgCorePowerW - aw.AvgCorePowerW) / base.AvgCorePowerW
+	if saving < 0.2 {
+		t.Errorf("power saving %.1f%% below 20%%", saving*100)
+	}
+	deg := (aw.EndToEnd.AvgUS - base.EndToEnd.AvgUS) / base.EndToEnd.AvgUS
+	if deg > 0.01 {
+		t.Errorf("end-to-end degradation %.2f%% above 1%%", deg*100)
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	opts := QuickOptions()
+	for _, name := range Experiments() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := RunExperiment(name, opts, &buf); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() == 0 {
+				t.Fatal("experiment produced no output")
+			}
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("nope", QuickOptions(), &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestConfigLookups(t *testing.T) {
+	if len(Configs()) < 10 {
+		t.Fatal("missing named configs")
+	}
+	c, err := ConfigByName("AW")
+	if err != nil || !c.AgileWatts {
+		t.Fatalf("AW lookup: %+v %v", c, err)
+	}
+	if _, err := ServiceByName("mysql"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArchitectureExposed(t *testing.T) {
+	arch := NewArchitecture()
+	lo, hi := arch.C6APowerRange()
+	if lo <= 0 || hi <= lo {
+		t.Fatal("bad C6A power range")
+	}
+	if Skylake().Params(C6A).PowerWatts != 0.30 {
+		t.Fatal("catalog C6A power wrong")
+	}
+}
+
+func TestExperimentOutputsMentionPaperArtifacts(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment(ExpTable3, QuickOptions(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"UFPG", "CCSM", "ADPLL", "FIVR", "Overall"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table3 output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Command awsim reproduces the paper's evaluation: it runs any (or all)
+// of the simulation-backed experiments and prints the corresponding
+// tables/series.
+//
+// Usage:
+//
+//	awsim [-quick] [-seed N] [experiment ...]
+//
+// With no experiment arguments it runs the full evaluation section
+// (figures 8-13, table 5, validation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	agilewatts "repro"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced-fidelity runs (shorter windows, fewer load points)")
+	seed := flag.Uint64("seed", 0, "override experiment seed")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range agilewatts.Experiments() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	opts := agilewatts.DefaultOptions()
+	if *quick {
+		opts = agilewatts.QuickOptions()
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = []string{
+			agilewatts.ExpFigure8, agilewatts.ExpFigure9, agilewatts.ExpFigure10,
+			agilewatts.ExpFigure11, agilewatts.ExpFigure12, agilewatts.ExpFigure13,
+			agilewatts.ExpTable5, agilewatts.ExpValidation,
+		}
+	}
+	for _, n := range names {
+		if err := agilewatts.RunExperiment(n, opts, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "awsim:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Command awsweep runs a single service/configuration sweep and emits a
+// CSV series — the raw data behind the paper's figures, for custom
+// plotting or what-if exploration.
+//
+// Usage:
+//
+//	awsweep -service memcached -config AW -rates 10000,100000,500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	agilewatts "repro"
+)
+
+func main() {
+	service := flag.String("service", "memcached", "service profile: memcached|kafka|mysql")
+	config := flag.String("config", "Baseline", "platform configuration name (see -configs)")
+	rates := flag.String("rates", "10000,50000,100000,200000,300000,400000,500000", "comma-separated QPS points")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	durMS := flag.Int("duration-ms", 400, "measured window per point (ms)")
+	snoop := flag.Float64("snoop-rate", 0, "per-core snoop rate (1/s)")
+	configs := flag.Bool("configs", false, "list configuration names and exit")
+	flag.Parse()
+
+	if *configs {
+		for _, c := range agilewatts.Configs() {
+			fmt.Printf("%-22s turbo=%v menu=%v\n", c.Name, c.Turbo, c.Menu)
+		}
+		return
+	}
+
+	prof, err := agilewatts.ServiceByName(*service)
+	if err != nil {
+		fatal(err)
+	}
+	cfg, err := agilewatts.ConfigByName(*config)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("rate_qps,avg_core_w,package_w,server_avg_us,server_p99_us,e2e_avg_us,e2e_p99_us,c0,c1,c6a,c1e,c6ae,c6,turbo_fraction")
+	for _, part := range strings.Split(*rates, ",") {
+		rate, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad rate %q: %w", part, err))
+		}
+		res, err := agilewatts.RunService(agilewatts.ServiceRun{
+			Platform:        cfg,
+			Service:         prof,
+			RateQPS:         rate,
+			Seed:            *seed,
+			DurationNS:      agilewatts.Duration(*durMS) * 1_000_000,
+			SnoopRatePerSec: *snoop,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%.0f,%.4f,%.2f,%.2f,%.2f,%.2f,%.2f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+			rate, res.AvgCorePowerW, res.PackagePowerW,
+			res.Server.AvgUS, res.Server.P99US,
+			res.EndToEnd.AvgUS, res.EndToEnd.P99US,
+			res.Residency[agilewatts.C0], res.Residency[agilewatts.C1],
+			res.Residency[agilewatts.C6A], res.Residency[agilewatts.C1E],
+			res.Residency[agilewatts.C6AE], res.Residency[agilewatts.C6],
+			res.TurboFraction)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "awsweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,29 @@
+// Command awtables prints the paper's static/model-derived tables
+// (Tables 1-4, the Sec. 2 motivation analysis, the Sec. 5.2 transition
+// latencies, and the Sec. 7.5 snoop analysis) without running any
+// simulation.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	agilewatts "repro"
+)
+
+func main() {
+	names := []string{
+		agilewatts.ExpTable1, agilewatts.ExpTable2, agilewatts.ExpTable3,
+		agilewatts.ExpTable4, agilewatts.ExpMotivation, agilewatts.ExpLatency,
+		agilewatts.ExpSnoop,
+	}
+	if len(os.Args) > 1 {
+		names = os.Args[1:]
+	}
+	for _, n := range names {
+		if err := agilewatts.RunExperiment(n, agilewatts.DefaultOptions(), os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "awtables:", err)
+			os.Exit(1)
+		}
+	}
+}

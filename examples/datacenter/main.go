@@ -1,0 +1,42 @@
+// Datacenter economics: regenerate Table 5 — AgileWatts' yearly
+// operating-cost savings per 100K servers across the Memcached load
+// range — and explore PUE sensitivity (Sec. 7.6).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	agilewatts "repro"
+)
+
+func main() {
+	opts := agilewatts.DefaultOptions()
+	if err := agilewatts.RunExperiment(agilewatts.ExpTable5, opts, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// PUE sensitivity: the paper notes savings grow proportionally to the
+	// datacenter PUE. Show the per-server yearly savings for one load
+	// point at several PUEs using the public simulation API.
+	base, err := agilewatts.RunService(agilewatts.ServiceRun{
+		Platform: agilewatts.Baseline, Service: agilewatts.Memcached(), RateQPS: 100_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	aw, err := agilewatts.RunService(agilewatts.ServiceRun{
+		Platform: agilewatts.AW, Service: agilewatts.Memcached(), RateQPS: 100_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	deltaPerServer := (base.AvgCorePowerW - aw.AvgCorePowerW) * 20 // both sockets
+	const dollarsPerWattYear = 0.125 / 3.6e6 * 365.25 * 24 * 3600
+	fmt.Println("PUE sensitivity @ 100K QPS (whole 20-core server):")
+	for _, pue := range []float64{1.0, 1.2, 1.5, 2.0} {
+		fmt.Printf("  PUE %.1f: $%.2f saved per server-year\n",
+			pue, deltaPerServer*dollarsPerWattYear*pue)
+	}
+}

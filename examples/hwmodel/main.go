@@ -1,0 +1,49 @@
+// Hardware-model tour: walk the AgileWatts microarchitecture — the PMA
+// entry/exit flows of Fig. 6, the staggered UFPG wake-up of Sec. 5.3,
+// and the Table 3 PPA breakdown — using the structural model directly.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	agilewatts "repro"
+)
+
+func main() {
+	arch := agilewatts.NewArchitecture()
+
+	fmt.Println("== C6A entry flow (Fig. 6, steps 1-3) ==")
+	fmt.Println(arch.PMA.EntryFlow(false))
+	fmt.Printf("blocking latency: %v (< 10 PMA cycles)\n\n", arch.PMA.EntryLatency(false))
+
+	fmt.Println("== C6AE entry flow (adds non-blocking DVFS to Pn) ==")
+	fmt.Println(arch.PMA.EntryFlow(true))
+	fmt.Println()
+
+	fmt.Println("== C6A exit flow (Fig. 6, steps 4-6) ==")
+	fmt.Println(arch.PMA.ExitFlow())
+	fmt.Printf("blocking latency: %v\n\n", arch.PMA.ExitLatency())
+
+	fmt.Println("== Staggered UFPG wake-up (Sec. 5.3) ==")
+	fmt.Printf("%-12s %8s %8s %10s\n", "zone", "start", "ready", "in-rush")
+	for _, s := range arch.UFPG.WakeSchedule() {
+		fmt.Printf("%-12s %8v %8v %9.2fx\n", s.Zone, s.Start, s.Ready, s.PeakInrush)
+	}
+	fmt.Printf("total: %v; simultaneous wake would draw %.1fx the AVX envelope\n\n",
+		arch.UFPG.WakeLatency(), arch.UFPG.SimultaneousWakeInrush())
+
+	fmt.Println("== Legacy C6 for comparison (Sec. 3) ==")
+	for _, d := range []float64{0.25, 0.5, 1.0} {
+		fmt.Printf("C6 entry @ %.0f%% dirty, 800MHz: %v\n", d*100, arch.C6.EntryLatency(d, 800e6))
+	}
+	lat := arch.Latencies(0.5, 800e6)
+	fmt.Printf("C6A round trip %v vs C6 %v: %.0fx faster\n\n",
+		lat.C6ARoundTrip, lat.C6RoundTrip, lat.SpeedupVsC6)
+
+	fmt.Println("== Table 3: PPA breakdown ==")
+	if err := agilewatts.RunExperiment(agilewatts.ExpTable3, agilewatts.DefaultOptions(), os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

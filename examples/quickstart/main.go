@@ -1,0 +1,59 @@
+// Quickstart: simulate a Memcached server under the legacy C-state
+// baseline and under AgileWatts, and compare power and latency — the
+// paper's headline result in ~40 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	agilewatts "repro"
+)
+
+func main() {
+	const rate = 100_000 // QPS
+
+	base, err := agilewatts.RunService(agilewatts.ServiceRun{
+		Platform: agilewatts.Baseline, // Turbo + C1/C1E/C6
+		Service:  agilewatts.Memcached(),
+		RateQPS:  rate,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	aw, err := agilewatts.RunService(agilewatts.ServiceRun{
+		Platform: agilewatts.AW, // C1/C1E replaced by C6A/C6AE
+		Service:  agilewatts.Memcached(),
+		RateQPS:  rate,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	saving := (base.AvgCorePowerW - aw.AvgCorePowerW) / base.AvgCorePowerW * 100
+	latDelta := (aw.EndToEnd.AvgUS - base.EndToEnd.AvgUS) / base.EndToEnd.AvgUS * 100
+
+	fmt.Printf("Memcached @ %d QPS on a 20-CPU Skylake server\n\n", rate)
+	fmt.Printf("%-10s %14s %16s %16s\n", "config", "core power", "avg e2e latency", "p99 e2e latency")
+	fmt.Printf("%-10s %13.2fW %14.1fus %14.1fus\n", "baseline",
+		base.AvgCorePowerW, base.EndToEnd.AvgUS, base.EndToEnd.P99US)
+	fmt.Printf("%-10s %13.2fW %14.1fus %14.1fus\n", "AgileWatts",
+		aw.AvgCorePowerW, aw.EndToEnd.AvgUS, aw.EndToEnd.P99US)
+	fmt.Printf("\npower saving: %.1f%%   latency impact: %+.2f%%\n", saving, latDelta)
+	fmt.Println("\nbaseline residency:", fmtResidency(base))
+	fmt.Println("AW residency:      ", fmtResidency(aw))
+}
+
+func fmtResidency(r agilewatts.Result) string {
+	out := ""
+	for _, id := range []agilewatts.StateID{
+		agilewatts.C0, agilewatts.C1, agilewatts.C6A,
+		agilewatts.C1E, agilewatts.C6AE, agilewatts.C6,
+	} {
+		if r.Residency[id] > 0.001 {
+			out += fmt.Sprintf("%s=%.1f%% ", id, r.Residency[id]*100)
+		}
+	}
+	return out
+}

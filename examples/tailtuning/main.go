@@ -1,0 +1,44 @@
+// Tail-latency tuning: reproduce the operator's dilemma from Sec. 7.2 —
+// disabling deep C-states buys tail latency but costs power — and show
+// how AgileWatts' C6A dissolves the trade-off.
+//
+// This walks the same configurations as Fig. 9/10 at a single load point
+// and prints the power/tail-latency frontier.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	agilewatts "repro"
+)
+
+func main() {
+	const rate = 300_000 // QPS
+
+	configs := []agilewatts.PlatformConfig{
+		agilewatts.NTBaseline,    // everything enabled, Turbo off
+		agilewatts.NTNoC6,        // C6 disabled (vendor tuning guide)
+		agilewatts.NTNoC6NoC1E,   // C6+C1E disabled (max performance)
+		agilewatts.TNoC6NoC1E,    // + Turbo
+		agilewatts.TC6ANoC6NoC1E, // AgileWatts: C6A + Turbo
+	}
+
+	fmt.Printf("Memcached @ %d QPS - the C-state tuning frontier\n\n", rate)
+	fmt.Printf("%-22s %12s %12s %12s %8s\n", "config", "pkg power", "avg e2e", "p99 e2e", "turbo")
+	for _, cfg := range configs {
+		res, err := agilewatts.RunService(agilewatts.ServiceRun{
+			Platform: cfg,
+			Service:  agilewatts.Memcached(),
+			RateQPS:  rate,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %11.1fW %10.1fus %10.1fus %7.0f%%\n",
+			cfg.Name, res.PackagePowerW, res.EndToEnd.AvgUS, res.EndToEnd.P99US,
+			res.TurboFraction*100)
+	}
+	fmt.Println("\nAgileWatts' C6A row should match the latency of the C1-only")
+	fmt.Println("configurations while drawing close to deep-idle power (Sec. 7.2/7.3).")
+}

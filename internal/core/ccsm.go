@@ -1,0 +1,119 @@
+package core
+
+import "repro/internal/sim"
+
+// CCSM models the Cache Coherence and Sleep Mode subsystem (Sec. 4.2,
+// 5.1.2): the private L1/L2 caches stay power-ungated with their data
+// arrays on sleep transistors, and a small always-on detector wakes the
+// cache domain to serve snoops.
+type CCSM struct {
+	// L1IBytes, L1DBytes, L2Bytes are the private cache capacities
+	// (paper: cumulative ~1.1 MB on Skylake server).
+	L1IBytes, L1DBytes, L2Bytes int
+
+	// ReferenceLeakageW is the sleep-mode leakage of the reference
+	// design: Intel's 2.5 MB 22 nm L3 slice with sleep transistors
+	// ([72, 98]).
+	ReferenceLeakageW float64
+	// ReferenceBytes is the capacity of that reference slice.
+	ReferenceBytes int
+	// NodeScale is the leakage scaling factor from 22 nm to the 14 nm
+	// Skylake node per [99]: alpha*beta with alpha ~0.7, beta = 1.
+	NodeScale float64
+
+	// RestLeakageP1W / RestLeakagePnW is the leakage of the rest of the
+	// power-ungated memory subsystem (tags, state, controllers) at the
+	// P1 and Pn voltage levels (Table 3: 55 mW / 33 mW).
+	RestLeakageP1W, RestLeakagePnW float64
+
+	// SleepEfficiencyPnScale scales the data-array sleep-mode leakage at
+	// the Pn voltage: the sleep transistor acts as a linear regulator, so
+	// a lower input voltage improves its efficiency (Table 3: 55 -> 40 mW).
+	SleepEfficiencyPnScale float64
+
+	// SleepAreaOverheadLo/Hi is the sleep-transistor area overhead on the
+	// data array (2-6 %, like power gates).
+	SleepAreaOverheadLo, SleepAreaOverheadHi float64
+
+	// DataArrayFraction is the share of cache area that is data array and
+	// therefore in sleep-mode (>90 %; tags/state stay at nominal voltage,
+	// which hides the wake-up latency — zero performance cost).
+	DataArrayFraction float64
+
+	// SnoopWakeCycles / SnoopSleepCycles are the PMA-clock cycles to
+	// bring L1/L2 out of / back into sleep-mode around snoop service
+	// (Sec. 5.2.3: 2 cycles out, 1-3 cycles back).
+	SnoopWakeCycles, SnoopSleepCycles int
+}
+
+// NewCCSM returns the paper's calibrated CCSM configuration.
+func NewCCSM() *CCSM {
+	return &CCSM{
+		L1IBytes:               32 * 1024,
+		L1DBytes:               32 * 1024,
+		L2Bytes:                1024 * 1024,
+		ReferenceLeakageW:      0.185, // 2.5 MB 22nm L3 slice in sleep mode
+		ReferenceBytes:         2560 * 1024,
+		NodeScale:              0.7,
+		RestLeakageP1W:         0.055,
+		RestLeakagePnW:         0.033,
+		SleepEfficiencyPnScale: 40.0 / 55.0,
+		SleepAreaOverheadLo:    0.02,
+		SleepAreaOverheadHi:    0.06,
+		DataArrayFraction:      0.90,
+		SnoopWakeCycles:        2,
+		SnoopSleepCycles:       3,
+	}
+}
+
+// PrivateCacheBytes returns the cumulative L1I+L1D+L2 capacity.
+func (c *CCSM) PrivateCacheBytes() int {
+	return c.L1IBytes + c.L1DBytes + c.L2Bytes
+}
+
+// DataArraySleepLeakageP1 returns the sleep-mode leakage (watts) of the
+// L1/L2 data arrays at the P1 voltage, scaled from the 22 nm reference by
+// capacity and technology node (Table 3: ~55 mW).
+func (c *CCSM) DataArraySleepLeakageP1() float64 {
+	capScale := float64(c.PrivateCacheBytes()) / float64(c.ReferenceBytes)
+	return c.ReferenceLeakageW * capScale * c.NodeScale
+}
+
+// DataArraySleepLeakagePn returns the same at the Pn voltage
+// (Table 3: ~40 mW, thanks to higher sleep-transistor efficiency).
+func (c *CCSM) DataArraySleepLeakagePn() float64 {
+	return c.DataArraySleepLeakageP1() * c.SleepEfficiencyPnScale
+}
+
+// TotalSleepPowerP1 returns data-array + rest-of-subsystem leakage at P1
+// (Table 3: ~110 mW).
+func (c *CCSM) TotalSleepPowerP1() float64 {
+	return c.DataArraySleepLeakageP1() + c.RestLeakageP1W
+}
+
+// TotalSleepPowerPn returns the same at Pn (Table 3: ~73 mW).
+func (c *CCSM) TotalSleepPowerPn() float64 {
+	return c.DataArraySleepLeakagePn() + c.RestLeakagePnW
+}
+
+// AreaOverheadOfCore returns the [lo, hi] sleep-transistor area overhead
+// as a fraction of total core area, given the cache-domain share of core
+// area (~30 % per the die photo, ~90 % of which is data array).
+func (c *CCSM) AreaOverheadOfCore(cacheAreaFraction float64) (lo, hi float64) {
+	array := cacheAreaFraction * c.DataArrayFraction
+	return array * c.SleepAreaOverheadLo, array * c.SleepAreaOverheadHi
+}
+
+// SnoopServiceOverhead returns the extra latency a snoop experiences when
+// it finds the core in C6A/C6AE rather than C1: the cycles to exit and
+// re-enter sleep mode at the PMA clock. The tag access itself proceeds at
+// nominal voltage in parallel with the data-array wake (Sec. 5.1.2), so
+// only the clock-ungate handshake is exposed.
+func (c *CCSM) SnoopServiceOverhead(pmaClockHz float64) sim.Time {
+	cycles := c.SnoopWakeCycles
+	return cyclesToTime(cycles, pmaClockHz)
+}
+
+func cyclesToTime(cycles int, clockHz float64) sim.Time {
+	return sim.Time(float64(cycles) / clockHz * 1e9)
+}

@@ -1,0 +1,28 @@
+package core
+
+import "testing"
+
+// BenchmarkPMALatency measures the cost of deriving the C6A entry/exit
+// latencies from the flow model.
+func BenchmarkPMALatency(b *testing.B) {
+	a := NewArchitecture()
+	for i := 0; i < b.N; i++ {
+		_ = a.PMA.RoundTripLatency(false)
+	}
+}
+
+// BenchmarkTable3Derivation measures the full PPA table build.
+func BenchmarkTable3Derivation(b *testing.B) {
+	a := NewArchitecture()
+	for i := 0; i < b.N; i++ {
+		_ = a.Table3()
+	}
+}
+
+// BenchmarkFlushModel measures the C6 flush-latency computation.
+func BenchmarkFlushModel(b *testing.B) {
+	m := NewC6Model()
+	for i := 0; i < b.N; i++ {
+		_ = m.EntryLatency(0.5, 800e6)
+	}
+}

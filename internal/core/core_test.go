@@ -1,0 +1,463 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestDomainTreeValid(t *testing.T) {
+	d := SkylakeCore()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatedFractionsMatchPaper(t *testing.T) {
+	d := SkylakeCore()
+	area, leak := d.FractionGated()
+	// Paper: UFPG+AVX gates cover ~70% of core area and ~70% of leakage.
+	if area < 0.65 || area > 0.75 {
+		t.Errorf("gated area = %.2f, want ~0.70", area)
+	}
+	if leak < 0.65 || leak > 0.75 {
+		t.Errorf("gated leakage = %.2f, want ~0.70", leak)
+	}
+	uArea, uLeak := d.FractionUngated()
+	if math.Abs(uArea+area-1) > 1e-9 || math.Abs(uLeak+leak-1) > 1e-9 {
+		t.Error("gated + ungated fractions != 1")
+	}
+}
+
+func TestDomainWalkVisitsAll(t *testing.T) {
+	d := SkylakeCore()
+	count := 0
+	d.Walk(func(*Domain) { count++ })
+	if count != 1+len(d.Children) {
+		t.Errorf("walk visited %d nodes", count)
+	}
+}
+
+func TestInvalidDomainDetected(t *testing.T) {
+	d := &Domain{Name: "broken", Children: []*Domain{
+		{Name: "half", AreaFraction: 0.5, LeakageFraction: 0.5},
+	}}
+	if err := d.Validate(); err == nil {
+		t.Fatal("fractions summing to 0.5 passed validation")
+	}
+}
+
+func TestGatingClassStrings(t *testing.T) {
+	for _, g := range []GatingClass{GateUFPG, GateAVX, UngatedSleep, UngatedClockGated, AlwaysOn} {
+		if g.String() == "" {
+			t.Errorf("empty string for class %d", g)
+		}
+	}
+}
+
+func TestUFPGWakeLatencyUnder70ns(t *testing.T) {
+	u := NewUFPG()
+	lat := u.WakeLatency()
+	// Paper Sec. 5.3: ~4.5x AVX capacitance over 15ns chunks => ~67.5ns.
+	if lat > 70*sim.Nanosecond {
+		t.Errorf("UFPG wake latency = %v, want < 70ns", lat)
+	}
+	if lat < 50*sim.Nanosecond {
+		t.Errorf("UFPG wake latency = %v suspiciously low", lat)
+	}
+}
+
+func TestUFPGCapacitanceMatches(t *testing.T) {
+	u := NewUFPG()
+	if c := u.TotalRelativeCapacitance(); math.Abs(c-4.5) > 0.01 {
+		t.Errorf("total relative capacitance = %v, want ~4.5", c)
+	}
+	if len(u.Zones) != 5 {
+		t.Errorf("zones = %d, want 5", len(u.Zones))
+	}
+}
+
+func TestUFPGStaggeringBoundsInrush(t *testing.T) {
+	u := NewUFPG()
+	if err := u.CheckInrush(); err != nil {
+		t.Fatal(err)
+	}
+	// Without staggering, in-rush would be ~4.5x the AVX envelope.
+	if s := u.SimultaneousWakeInrush(); s < 4 {
+		t.Errorf("simultaneous in-rush = %v, want ~4.5", s)
+	}
+	if u.PeakInrush() >= u.SimultaneousWakeInrush() {
+		t.Error("staggering did not reduce peak in-rush")
+	}
+}
+
+func TestUFPGScheduleSequential(t *testing.T) {
+	u := NewUFPG()
+	sched := u.WakeSchedule()
+	for i := 1; i < len(sched); i++ {
+		if sched[i].Start != sched[i-1].Ready {
+			t.Fatalf("zone %d starts at %v, previous ready %v", i, sched[i].Start, sched[i-1].Ready)
+		}
+	}
+}
+
+func TestUFPGOversizedZoneViolatesInrush(t *testing.T) {
+	u := NewUFPG()
+	// Waking the whole 4.5x-AVX region in a single AVX-sized window
+	// (i.e. no staggering) must trip the in-rush check.
+	u.Zones = []Zone{{Name: "all", RelativeCapacitance: 4.5, WindowOverride: u.PerZoneStagger}}
+	if err := u.CheckInrush(); err == nil {
+		t.Fatal("non-staggered 4.5x wake passed in-rush check")
+	}
+	if u.WakeLatency() != u.PerZoneStagger {
+		t.Fatal("window override not honored")
+	}
+}
+
+func TestUFPGResidualLeakage(t *testing.T) {
+	u := NewUFPG()
+	lo, hi := u.ResidualLeakage(1.44, 0.70)
+	// Paper: ~30-50 mW at P1.
+	if lo < 0.025 || lo > 0.035 {
+		t.Errorf("residual leakage lo = %v W, want ~0.030", lo)
+	}
+	if hi < 0.045 || hi > 0.055 {
+		t.Errorf("residual leakage hi = %v W, want ~0.050", hi)
+	}
+	lo, hi = u.ResidualLeakage(0.88, 0.70)
+	if lo < 0.015 || hi > 0.035 {
+		t.Errorf("Pn residual leakage = [%v, %v], want ~[0.018, 0.031]", lo, hi)
+	}
+}
+
+func TestRetentionMatchesPaper(t *testing.T) {
+	r := NewRetention()
+	if r.TotalBytes() != 8*1024 {
+		t.Errorf("context = %d bytes, want 8KB", r.TotalBytes())
+	}
+	if p := r.PowerP1(); math.Abs(p-0.002) > 1e-9 {
+		t.Errorf("P1 retention power = %v, want 2mW", p)
+	}
+	if p := r.PowerPn(); math.Abs(p-0.001) > 1e-9 {
+		t.Errorf("Pn retention power = %v, want 1mW", p)
+	}
+	for _, tech := range []RetentionTechnique{UngatedRegisters, SRPG, UngatedSRAM} {
+		if tech.String() == "" {
+			t.Error("empty technique string")
+		}
+	}
+	// The microcode patch SRAM (~2KB) must use the ungated-SRAM technique.
+	found := false
+	for _, s := range r.Slices {
+		if s.Technique == UngatedSRAM && s.Bytes == 2*1024 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no 2KB ungated microcode SRAM slice")
+	}
+}
+
+func TestCCSMLeakageMatchesTable3(t *testing.T) {
+	c := NewCCSM()
+	if b := c.PrivateCacheBytes(); b != 1088*1024 {
+		t.Errorf("cache bytes = %d", b)
+	}
+	p1 := c.DataArraySleepLeakageP1()
+	if math.Abs(p1-0.055) > 0.003 {
+		t.Errorf("data array sleep leakage P1 = %v, want ~55mW", p1)
+	}
+	pn := c.DataArraySleepLeakagePn()
+	if math.Abs(pn-0.040) > 0.003 {
+		t.Errorf("data array sleep leakage Pn = %v, want ~40mW", pn)
+	}
+	if tot := c.TotalSleepPowerP1(); math.Abs(tot-0.110) > 0.005 {
+		t.Errorf("total sleep power P1 = %v, want ~110mW", tot)
+	}
+	if tot := c.TotalSleepPowerPn(); math.Abs(tot-0.073) > 0.005 {
+		t.Errorf("total sleep power Pn = %v, want ~73mW", tot)
+	}
+}
+
+func TestCCSMSnoopOverheadSmall(t *testing.T) {
+	c := NewCCSM()
+	oh := c.SnoopServiceOverhead(500e6)
+	// 2 cycles at 500 MHz = 4ns: negligible vs C1 snoop handling.
+	if oh != 4*sim.Nanosecond {
+		t.Errorf("snoop overhead = %v, want 4ns", oh)
+	}
+}
+
+func TestCCSMAreaOverhead(t *testing.T) {
+	c := NewCCSM()
+	lo, hi := c.AreaOverheadOfCore(0.30)
+	if lo < 0.004 || hi > 0.02 {
+		t.Errorf("sleep-transistor area overhead = [%v, %v]", lo, hi)
+	}
+}
+
+func TestPMAEntryLatencyUnder20ns(t *testing.T) {
+	a := NewArchitecture()
+	if lat := a.PMA.EntryLatency(false); lat >= 20*sim.Nanosecond {
+		t.Errorf("C6A entry = %v, want < 20ns", lat)
+	}
+	if cy := a.PMA.EntryFlow(false).BlockingCycles(); cy >= 10 {
+		t.Errorf("entry cycles = %d, want < 10", cy)
+	}
+}
+
+func TestPMAExitLatencyUnder80ns(t *testing.T) {
+	a := NewArchitecture()
+	if lat := a.PMA.ExitLatency(); lat >= 80*sim.Nanosecond {
+		t.Errorf("C6A exit = %v, want < 80ns", lat)
+	}
+}
+
+func TestPMARoundTripUnder100ns(t *testing.T) {
+	a := NewArchitecture()
+	for _, enhanced := range []bool{false, true} {
+		if rt := a.PMA.RoundTripLatency(enhanced); rt >= 100*sim.Nanosecond {
+			t.Errorf("round trip (enhanced=%v) = %v, want < 100ns", enhanced, rt)
+		}
+	}
+}
+
+func TestC6AEEntryDVFSNonBlocking(t *testing.T) {
+	a := NewArchitecture()
+	// The DVFS transition to Pn is non-blocking: C6AE entry latency must
+	// equal C6A's despite the extra step.
+	if a.PMA.EntryLatency(true) != a.PMA.EntryLatency(false) {
+		t.Error("C6AE entry latency differs from C6A (DVFS must not block)")
+	}
+	flow := a.PMA.EntryFlow(true)
+	hasDVFS := false
+	for _, s := range flow.Steps {
+		if s.NonBlocking {
+			hasDVFS = true
+		}
+	}
+	if !hasDVFS {
+		t.Error("C6AE entry flow missing non-blocking DVFS step")
+	}
+	if !strings.Contains(flow.String(), "non-blocking") {
+		t.Error("flow String does not render non-blocking step")
+	}
+}
+
+func TestSnoopFlows(t *testing.T) {
+	a := NewArchitecture()
+	enter := a.PMA.SnoopEnterFlow().Latency(a.PMA.ClockHz)
+	exit := a.PMA.SnoopExitFlow().Latency(a.PMA.ClockHz)
+	if enter != 4*sim.Nanosecond {
+		t.Errorf("snoop enter = %v, want 4ns (2 cycles)", enter)
+	}
+	if exit != 6*sim.Nanosecond {
+		t.Errorf("snoop exit = %v, want 6ns (3 cycles)", exit)
+	}
+}
+
+func TestC6FlushCalibration(t *testing.T) {
+	m := NewC6Model()
+	// Paper: flushing a 50% dirty cache at 800 MHz takes ~75us.
+	ft := m.FlushTime(0.5, 800e6)
+	if ft < 70*sim.Microsecond || ft > 80*sim.Microsecond {
+		t.Errorf("flush(0.5, 800MHz) = %v, want ~75us", ft)
+	}
+	// Save to S/R SRAM at 800 MHz ~9us.
+	st := m.SaveTime(800e6)
+	if st < 8*sim.Microsecond || st > 10*sim.Microsecond {
+		t.Errorf("save = %v, want ~9us", st)
+	}
+	// Total entry ~87us.
+	et := m.EntryLatency(0.5, 800e6)
+	if et < 82*sim.Microsecond || et > 92*sim.Microsecond {
+		t.Errorf("entry = %v, want ~87us", et)
+	}
+	// Exit ~30us.
+	if xt := m.ExitLatency(); xt != 30*sim.Microsecond {
+		t.Errorf("exit = %v, want 30us", xt)
+	}
+}
+
+func TestC6FlushScalesWithDirtiness(t *testing.T) {
+	m := NewC6Model()
+	clean := m.FlushTime(0, 800e6)
+	dirty := m.FlushTime(1, 800e6)
+	if clean >= dirty {
+		t.Error("flush time not increasing with dirty fraction")
+	}
+	// Clamping.
+	if m.FlushTime(-1, 800e6) != clean || m.FlushTime(2, 800e6) != dirty {
+		t.Error("dirty fraction not clamped")
+	}
+	// Faster clock flushes faster.
+	if m.FlushTime(0.5, 2.2e9) >= m.FlushTime(0.5, 800e6) {
+		t.Error("flush time not decreasing with frequency")
+	}
+}
+
+func TestFIVRModel(t *testing.T) {
+	f := NewFIVR()
+	if f.ConversionLoss(0) != 0 || f.ConversionLoss(-1) != 0 {
+		t.Error("no-load conversion loss must be 0")
+	}
+	// 80% efficiency: delivering 0.16W loses 0.04W.
+	if loss := f.ConversionLoss(0.16); math.Abs(loss-0.04) > 1e-9 {
+		t.Errorf("conversion loss = %v, want 0.04", loss)
+	}
+	oh := f.IdleOverhead(0.16)
+	if math.Abs(oh-(0.04+0.100+0.007)) > 1e-9 {
+		t.Errorf("idle overhead = %v", oh)
+	}
+}
+
+func TestC6APowerRangeMatchesTable3(t *testing.T) {
+	a := NewArchitecture()
+	lo, hi := a.C6APowerRange()
+	// Paper Table 3 overall: 290-315 mW.
+	if lo < 0.280 || lo > 0.300 {
+		t.Errorf("C6A power lo = %.3f W, want ~0.290", lo)
+	}
+	if hi < 0.305 || hi > 0.325 {
+		t.Errorf("C6A power hi = %.3f W, want ~0.315", hi)
+	}
+	mid := a.C6APower()
+	if math.Abs(mid-0.30) > 0.015 {
+		t.Errorf("C6A midpoint = %.3f, want ~0.30 (Table 1)", mid)
+	}
+}
+
+func TestC6AEPowerRangeMatchesTable3(t *testing.T) {
+	a := NewArchitecture()
+	lo, hi := a.C6AEPowerRange()
+	// Paper Table 3 overall: 227-243 mW.
+	if lo < 0.217 || lo > 0.237 {
+		t.Errorf("C6AE power lo = %.3f W, want ~0.227", lo)
+	}
+	if hi < 0.233 || hi > 0.253 {
+		t.Errorf("C6AE power hi = %.3f W, want ~0.243", hi)
+	}
+}
+
+func TestC6AEAlwaysBelowC6A(t *testing.T) {
+	a := NewArchitecture()
+	loA, hiA := a.C6APowerRange()
+	loE, hiE := a.C6AEPowerRange()
+	if loE >= loA || hiE >= hiA {
+		t.Error("C6AE power not strictly below C6A")
+	}
+}
+
+func TestAreaOverheadRange(t *testing.T) {
+	a := NewArchitecture()
+	lo, hi := a.AreaOverheadRange()
+	// Paper Table 3 overall: 3-7% of core area.
+	if lo < 0.015 || lo > 0.035 {
+		t.Errorf("area overhead lo = %.3f, want ~0.02-0.03", lo)
+	}
+	if hi < 0.05 || hi > 0.08 {
+		t.Errorf("area overhead hi = %.3f, want ~0.06-0.07", hi)
+	}
+}
+
+func TestLatencies900x(t *testing.T) {
+	a := NewArchitecture()
+	// Paper evaluates the speedup at the C6 worst case: 50% dirty cache
+	// flushed at the 800 MHz minimum frequency.
+	lat := a.Latencies(0.5, 800e6)
+	if lat.SpeedupVsC6 < 800 || lat.SpeedupVsC6 > 1400 {
+		t.Errorf("speedup vs C6 = %.0f, want ~900-1300x", lat.SpeedupVsC6)
+	}
+	if lat.C6ARoundTrip >= 100*sim.Nanosecond {
+		t.Errorf("C6A round trip = %v, want < 100ns", lat.C6ARoundTrip)
+	}
+	if lat.C6RoundTrip < 100*sim.Microsecond {
+		t.Errorf("C6 round trip = %v, want > 100us", lat.C6RoundTrip)
+	}
+}
+
+func TestTable3RowsCoverAllComponents(t *testing.T) {
+	a := NewArchitecture()
+	rows := a.Table3()
+	if len(rows) != 9 {
+		t.Fatalf("Table 3 has %d rows, want 9", len(rows))
+	}
+	var sumLoA, sumHiA, sumLoE, sumHiE float64
+	for _, r := range rows[:len(rows)-1] {
+		sumLoA += r.C6APowerW[0]
+		sumHiA += r.C6APowerW[1]
+		sumLoE += r.C6AEPowerW[0]
+		sumHiE += r.C6AEPowerW[1]
+		if r.C6APowerW[0] > r.C6APowerW[1] || r.C6AEPowerW[0] > r.C6AEPowerW[1] {
+			t.Errorf("row %q has lo > hi", r.SubComponent)
+		}
+	}
+	overall := rows[len(rows)-1]
+	if overall.Component != "Overall" {
+		t.Fatal("last row is not the overall row")
+	}
+	if math.Abs(sumLoA-overall.C6APowerW[0]) > 1e-9 || math.Abs(sumHiA-overall.C6APowerW[1]) > 1e-9 {
+		t.Error("C6A component rows do not sum to overall")
+	}
+	if math.Abs(sumLoE-overall.C6AEPowerW[0]) > 1e-9 || math.Abs(sumHiE-overall.C6AEPowerW[1]) > 1e-9 {
+		t.Error("C6AE component rows do not sum to overall")
+	}
+}
+
+func TestTable4AWRowDerived(t *testing.T) {
+	rows := Table4(NewUFPG())
+	last := rows[len(rows)-1]
+	if last.Technique != "AW (This work)" {
+		t.Fatal("AW row missing")
+	}
+	if !strings.Contains(last.WakeupOverhead, "68ns") && !strings.Contains(last.WakeupOverhead, "75ns") &&
+		!strings.Contains(last.WakeupOverhead, "70ns") {
+		t.Errorf("AW wake-up overhead %q not derived near 70ns", last.WakeupOverhead)
+	}
+	if len(rows) != 7 {
+		t.Errorf("table 4 rows = %d, want 7", len(rows))
+	}
+}
+
+func TestSnoopPowerDeltas(t *testing.T) {
+	a := NewArchitecture()
+	if a.SnoopPowerDeltaC1W != 0.050 || a.SnoopPowerDeltaC6AW != 0.120 {
+		t.Error("snoop power deltas do not match Sec. 7.5")
+	}
+}
+
+// Property: flush time is monotone non-decreasing in dirty fraction for
+// any frequency.
+func TestPropertyFlushMonotone(t *testing.T) {
+	m := NewC6Model()
+	f := func(d1, d2 float64, fMHz uint16) bool {
+		freq := float64(fMHz%3000+200) * 1e6
+		a := math.Mod(math.Abs(d1), 1)
+		b := math.Mod(math.Abs(d2), 1)
+		if a > b {
+			a, b = b, a
+		}
+		return m.FlushTime(a, freq) <= m.FlushTime(b, freq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total power ranges scale monotonically with residual leakage
+// bounds.
+func TestPropertyPowerMonotoneInLeakage(t *testing.T) {
+	f := func(bump uint8) bool {
+		a := NewArchitecture()
+		base, _ := a.C6APowerRange()
+		a.UFPG.ResidualLeakageLo += float64(bump%50) / 1000
+		lo, _ := a.C6APowerRange()
+		return lo >= base-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,40 @@
+package core
+
+// FIVR models the fully-integrated voltage regulator and the ADPLL clock
+// generator that AgileWatts keeps powered in C6A/C6AE (Sec. 5.1.4).
+type FIVR struct {
+	// LightLoadEfficiency is the FIVR power-conversion efficiency at
+	// light load, excluding static losses (paper: ~80 %).
+	LightLoadEfficiency float64
+	// StaticLossW is the control/feedback power that applies even at 0 V
+	// output (paper: ~100 mW per core).
+	StaticLossW float64
+	// ADPLLPowerW is the all-digital PLL power, fixed across V/F levels
+	// (paper: 7 mW).
+	ADPLLPowerW float64
+}
+
+// NewFIVR returns the paper's Skylake FIVR/ADPLL parameters.
+func NewFIVR() *FIVR {
+	return &FIVR{
+		LightLoadEfficiency: 0.80,
+		StaticLossW:         0.100,
+		ADPLLPowerW:         0.007,
+	}
+}
+
+// ConversionLoss returns the dynamic conversion loss (watts) for
+// delivering loadW through the regulator at light load:
+// input = load/efficiency, so loss = load*(1/eff - 1).
+func (f *FIVR) ConversionLoss(loadW float64) float64 {
+	if loadW <= 0 {
+		return 0
+	}
+	return loadW * (1/f.LightLoadEfficiency - 1)
+}
+
+// IdleOverhead returns the total always-on power AW pays in C6A/C6AE for
+// the given regulated load: conversion loss + static loss + ADPLL.
+func (f *FIVR) IdleOverhead(loadW float64) float64 {
+	return f.ConversionLoss(loadW) + f.StaticLossW + f.ADPLLPowerW
+}

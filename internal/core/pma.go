@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// PMA models the power management agent's C6A controller: the finite
+// state machine in the uncore that sequences the entry, exit and snoop
+// flows of Fig. 6 at nanosecond granularity.
+type PMA struct {
+	// ClockHz is the power-management controller clock (Sec. 5.2
+	// footnote: several hundred MHz; 500 MHz in the paper's estimate).
+	ClockHz float64
+
+	// UFPG supplies the staggered wake-up latency for step 5 of the exit
+	// flow.
+	UFPG *UFPG
+
+	// CCSM supplies the snoop-path cycle counts.
+	CCSM *CCSM
+
+	// ControllerPowerW is the power the C6A FSM adds to the PMA
+	// (Table 3: ~5 mW).
+	ControllerPowerW float64
+
+	// ControllerAreaOfPMA is the area the FSM adds relative to the PMA
+	// (Table 3: up to 5 %).
+	ControllerAreaOfPMA float64
+}
+
+// NewPMA returns the paper's PMA configuration wired to the given UFPG
+// and CCSM models.
+func NewPMA(u *UFPG, c *CCSM) *PMA {
+	return &PMA{
+		ClockHz:             500e6,
+		UFPG:                u,
+		CCSM:                c,
+		ControllerPowerW:    0.005,
+		ControllerAreaOfPMA: 0.05,
+	}
+}
+
+// FlowStep is one step of a PMA control flow. A step costs an integer
+// number of PMA clock cycles plus an optional fixed duration (used for
+// the staggered power-ungate, which is bounded by analog settling rather
+// than FSM cycles).
+type FlowStep struct {
+	Name   string
+	Cycles int
+	Fixed  sim.Time
+	// NonBlocking steps (the parallel DVFS transition to Pn on C6AE
+	// entry) proceed in the background and do not add to the flow
+	// latency.
+	NonBlocking bool
+}
+
+// Flow is an ordered sequence of steps.
+type Flow struct {
+	Name  string
+	Steps []FlowStep
+}
+
+// Latency returns the blocking latency of the flow at the given clock.
+func (f Flow) Latency(clockHz float64) sim.Time {
+	var t sim.Time
+	for _, s := range f.Steps {
+		if s.NonBlocking {
+			continue
+		}
+		t += cyclesToTime(s.Cycles, clockHz) + s.Fixed
+	}
+	return t
+}
+
+// BlockingCycles returns the total FSM cycles of blocking steps.
+func (f Flow) BlockingCycles() int {
+	n := 0
+	for _, s := range f.Steps {
+		if !s.NonBlocking {
+			n += s.Cycles
+		}
+	}
+	return n
+}
+
+// String renders the flow as "name: step(cycles) -> ...".
+func (f Flow) String() string {
+	out := f.Name + ":"
+	for i, s := range f.Steps {
+		if i > 0 {
+			out += " ->"
+		}
+		out += fmt.Sprintf(" %s(%dcy", s.Name, s.Cycles)
+		if s.Fixed > 0 {
+			out += fmt.Sprintf("+%v", s.Fixed)
+		}
+		if s.NonBlocking {
+			out += ", non-blocking"
+		}
+		out += ")"
+	}
+	return out
+}
+
+// EntryFlow returns the C6A (enhanced=false) or C6AE (enhanced=true)
+// entry flow of Fig. 6, steps 1-3.
+func (p *PMA) EntryFlow(enhanced bool) Flow {
+	steps := []FlowStep{
+		{Name: "clock-gate UFPG domains, keep PLL on", Cycles: 2},
+	}
+	if enhanced {
+		steps = append(steps, FlowStep{
+			Name: "initiate DVFS transition to Pn", Cycles: 0,
+			Fixed: 30 * sim.Microsecond, NonBlocking: true,
+		})
+	}
+	steps = append(steps,
+		FlowStep{Name: "assert Ret, deassert Pwr (save context in place)", Cycles: 4},
+		FlowStep{Name: "L1/L2 enter sleep-mode and clock-gate", Cycles: 3},
+	)
+	name := "C6A entry"
+	if enhanced {
+		name = "C6AE entry"
+	}
+	return Flow{Name: name, Steps: steps}
+}
+
+// ExitFlow returns the C6A/C6AE exit flow of Fig. 6, steps 4-6. The
+// dominant term is the staggered power-ungate of the five UFPG zones.
+func (p *PMA) ExitFlow() Flow {
+	return Flow{Name: "C6A exit", Steps: []FlowStep{
+		{Name: "clock-ungate L1/L2, exit sleep-mode", Cycles: 2},
+		{Name: "power-ungate UFPG zones (staggered)", Cycles: 0, Fixed: p.UFPG.WakeLatency()},
+		{Name: "deassert Ret (restore context)", Cycles: 1},
+		{Name: "clock-ungate all domains", Cycles: 2},
+	}}
+}
+
+// SnoopEnterFlow returns the flow that wakes the cache domain to serve
+// snoops while resident in C6A (Fig. 6, step a).
+func (p *PMA) SnoopEnterFlow() Flow {
+	return Flow{Name: "C6A snoop wake", Steps: []FlowStep{
+		{Name: "clock-ungate L1/L2, raise array voltage", Cycles: p.CCSM.SnoopWakeCycles},
+	}}
+}
+
+// SnoopExitFlow returns the flow that returns the cache domain to sleep
+// after snoop service (Fig. 6, step c).
+func (p *PMA) SnoopExitFlow() Flow {
+	return Flow{Name: "C6A snoop sleep", Steps: []FlowStep{
+		{Name: "L1/L2 re-enter sleep-mode and clock-gate", Cycles: p.CCSM.SnoopSleepCycles},
+	}}
+}
+
+// EntryLatency returns the blocking C6A/C6AE entry latency
+// (paper Sec. 5.2.1: < 10 cycles, i.e. < 20 ns at 500 MHz).
+func (p *PMA) EntryLatency(enhanced bool) sim.Time {
+	return p.EntryFlow(enhanced).Latency(p.ClockHz)
+}
+
+// ExitLatency returns the C6A/C6AE exit latency
+// (paper Sec. 5.2.2: ~5 cycles + < 70 ns staggered ungate, < 80 ns).
+func (p *PMA) ExitLatency() sim.Time {
+	return p.ExitFlow().Latency(p.ClockHz)
+}
+
+// RoundTripLatency returns entry followed by immediate exit
+// (paper Sec. 5.2: < 100 ns total).
+func (p *PMA) RoundTripLatency(enhanced bool) sim.Time {
+	return p.EntryLatency(enhanced) + p.ExitLatency()
+}

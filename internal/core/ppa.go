@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Architecture aggregates every AgileWatts hardware model into the
+// complete per-core design, from which the Table 3 PPA breakdown, the
+// C6A/C6AE power levels of Table 1, and the transition latencies of
+// Sec. 5.2 are all derived.
+type Architecture struct {
+	Domains   *Domain
+	UFPG      *UFPG
+	Retention *Retention
+	CCSM      *CCSM
+	PMA       *PMA
+	FIVR      *FIVR
+	C6        *C6Model
+
+	// CoreLeakageP1W / CoreLeakagePnW approximate total core leakage at
+	// the P1 and Pn voltage points. The paper equates core leakage with
+	// the C1 (resp. C1E) power, since C1 removes only dynamic power.
+	CoreLeakageP1W, CoreLeakagePnW float64
+
+	// SnoopPowerDeltaC1W / SnoopPowerDeltaC6AW are the extra per-core
+	// power while servicing snoops in C1 (~50 mW: clock-ungated L1/L2)
+	// and in C6A (~120 mW: sleep-mode exit on top of that) (Sec. 7.5).
+	SnoopPowerDeltaC1W, SnoopPowerDeltaC6AW float64
+}
+
+// NewArchitecture assembles the paper's calibrated AW design.
+func NewArchitecture() *Architecture {
+	u := NewUFPG()
+	c := NewCCSM()
+	return &Architecture{
+		Domains:             SkylakeCore(),
+		UFPG:                u,
+		Retention:           NewRetention(),
+		CCSM:                c,
+		PMA:                 NewPMA(u, c),
+		FIVR:                NewFIVR(),
+		C6:                  NewC6Model(),
+		CoreLeakageP1W:      1.44,
+		CoreLeakagePnW:      0.88,
+		SnoopPowerDeltaC1W:  0.050,
+		SnoopPowerDeltaC6AW: 0.120,
+	}
+}
+
+// gatedLoadRange returns the [lo, hi] power (watts) drawn by everything
+// behind the FIVR while resident in C6A (enhanced=false) or C6AE.
+func (a *Architecture) gatedLoadRange(enhanced bool) (lo, hi float64) {
+	_, gatedLeak := a.Domains.FractionGated()
+	var leakLo, leakHi, ctx, ccsm float64
+	if enhanced {
+		leakLo, leakHi = a.UFPG.ResidualLeakage(a.CoreLeakagePnW, gatedLeak)
+		ctx = a.Retention.PowerPn()
+		ccsm = a.CCSM.TotalSleepPowerPn()
+	} else {
+		leakLo, leakHi = a.UFPG.ResidualLeakage(a.CoreLeakageP1W, gatedLeak)
+		ctx = a.Retention.PowerP1()
+		ccsm = a.CCSM.TotalSleepPowerP1()
+	}
+	base := ctx + ccsm + a.PMA.ControllerPowerW
+	return leakLo + base, leakHi + base
+}
+
+// C6APowerRange returns the [lo, hi] total per-core power in the C6A
+// state (Table 3 overall row: 290–315 mW).
+func (a *Architecture) C6APowerRange() (lo, hi float64) {
+	return a.statePowerRange(false)
+}
+
+// C6AEPowerRange returns the [lo, hi] total per-core power in the C6AE
+// state (Table 3 overall row: 227–243 mW).
+func (a *Architecture) C6AEPowerRange() (lo, hi float64) {
+	return a.statePowerRange(true)
+}
+
+func (a *Architecture) statePowerRange(enhanced bool) (lo, hi float64) {
+	loadLo, loadHi := a.gatedLoadRange(enhanced)
+	lo = loadLo + a.FIVR.ConversionLoss(loadLo) + a.FIVR.StaticLossW + a.FIVR.ADPLLPowerW
+	hi = loadHi + a.FIVR.ConversionLoss(loadHi) + a.FIVR.StaticLossW + a.FIVR.ADPLLPowerW
+	return lo, hi
+}
+
+// C6APower returns the midpoint C6A power used as the Table 1 entry
+// (~0.30 W).
+func (a *Architecture) C6APower() float64 {
+	lo, hi := a.C6APowerRange()
+	return (lo + hi) / 2
+}
+
+// C6AEPower returns the midpoint C6AE power (~0.23 W).
+func (a *Architecture) C6AEPower() float64 {
+	lo, hi := a.C6AEPowerRange()
+	return (lo + hi) / 2
+}
+
+// AreaOverheadRange returns the [lo, hi] total AW area overhead as a
+// fraction of core area (Table 3 overall row: 3–7 %).
+func (a *Architecture) AreaOverheadRange() (lo, hi float64) {
+	gatedArea, _ := a.Domains.FractionGated()
+	gLo, gHi := a.UFPG.GateAreaOverhead(gatedArea)
+	// Cache domain share of core area: sleep transistors on data arrays.
+	ungatedArea, _ := a.Domains.FractionUngated()
+	sLo, sHi := a.CCSM.AreaOverheadOfCore(ungatedArea)
+	// Context retention: each technique <1 % of what it protects; bound
+	// with ~0.5–1 % of gated area as the paper's "<1 %" rows.
+	ctxLo, ctxHi := 0.005*gatedArea, 0.01*gatedArea
+	// PMA controller: up to 5 % of the (small, uncore) PMA — negligible
+	// at core scale; include a token 0.1 %.
+	pma := 0.001
+	return gLo + sLo + ctxLo + pma, gHi + sHi + ctxHi + pma
+}
+
+// TransitionLatencies summarises the Sec. 5.2 latency analysis.
+type TransitionLatencies struct {
+	C6AEntry, C6AExit, C6ARoundTrip    sim.Time
+	C6AEEntry, C6AEExit, C6AERoundTrip sim.Time
+	C6Entry, C6Exit, C6RoundTrip       sim.Time
+	// SpeedupVsC6 is C6 round-trip / C6A round-trip (paper: up to ~900x).
+	SpeedupVsC6 float64
+}
+
+// Latencies computes the AW vs C6 transition latencies at the given C6
+// flush conditions (dirty fraction, core frequency in Hz).
+func (a *Architecture) Latencies(dirtyFraction, freqHz float64) TransitionLatencies {
+	t := TransitionLatencies{
+		C6AEntry:  a.PMA.EntryLatency(false),
+		C6AExit:   a.PMA.ExitLatency(),
+		C6AEEntry: a.PMA.EntryLatency(true),
+		C6AEExit:  a.PMA.ExitLatency(),
+		C6Entry:   a.C6.EntryLatency(dirtyFraction, freqHz),
+		C6Exit:    a.C6.ExitLatency(),
+	}
+	t.C6ARoundTrip = t.C6AEntry + t.C6AExit
+	t.C6AERoundTrip = t.C6AEEntry + t.C6AEExit
+	t.C6RoundTrip = t.C6Entry + t.C6Exit
+	if t.C6ARoundTrip > 0 {
+		t.SpeedupVsC6 = float64(t.C6RoundTrip) / float64(t.C6ARoundTrip)
+	}
+	return t
+}
+
+// Table3Row is one row of the paper's Table 3.
+type Table3Row struct {
+	Component    string
+	SubComponent string
+	Area         string
+	C6APowerW    [2]float64 // [lo, hi]; lo==hi for point values
+	C6AEPowerW   [2]float64
+}
+
+// Table3 derives the full PPA breakdown of Table 3 from the component
+// models.
+func (a *Architecture) Table3() []Table3Row {
+	_, gatedLeak := a.Domains.FractionGated()
+	gLoP1, gHiP1 := a.UFPG.ResidualLeakage(a.CoreLeakageP1W, gatedLeak)
+	gLoPn, gHiPn := a.UFPG.ResidualLeakage(a.CoreLeakagePnW, gatedLeak)
+	convLoA, convHiA := a.convRange(false)
+	convLoE, convHiE := a.convRange(true)
+	rows := []Table3Row{
+		{
+			Component: "Units' Fast Power-Gating (UFPG)", SubComponent: "Unit power-gates (~70% of the core)",
+			Area:      "2-6% of power-gated area",
+			C6APowerW: [2]float64{gLoP1, gHiP1}, C6AEPowerW: [2]float64{gLoPn, gHiPn},
+		},
+		{
+			Component: "Units' Fast Power-Gating (UFPG)", SubComponent: "Context retention (ungated regs + SRPG + SRAM)",
+			Area:      "<1% of protected area",
+			C6APowerW: point(a.Retention.PowerP1()), C6AEPowerW: point(a.Retention.PowerPn()),
+		},
+		{
+			Component: "Cache Coherence & Sleep Mode (CCSM)", SubComponent: "L1/L2 caches in sleep-mode",
+			Area:      "2-6% of private cache area",
+			C6APowerW: point(a.CCSM.DataArraySleepLeakageP1()), C6AEPowerW: point(a.CCSM.DataArraySleepLeakagePn()),
+		},
+		{
+			Component: "Cache Coherence & Sleep Mode (CCSM)", SubComponent: "Rest of the memory subsystem",
+			Area:      "<1% of the ungated units",
+			C6APowerW: point(a.CCSM.RestLeakageP1W), C6AEPowerW: point(a.CCSM.RestLeakagePnW),
+		},
+		{
+			Component: "PMA Flow", SubComponent: "C6A controller FSM (uncore)",
+			Area:      "<5% of core PMA",
+			C6APowerW: point(a.PMA.ControllerPowerW), C6AEPowerW: point(a.PMA.ControllerPowerW),
+		},
+		{
+			Component: "Core ADPLL & FIVR", SubComponent: "ADPLL",
+			Area:      "0%",
+			C6APowerW: point(a.FIVR.ADPLLPowerW), C6AEPowerW: point(a.FIVR.ADPLLPowerW),
+		},
+		{
+			Component: "Core ADPLL & FIVR", SubComponent: "Core FIVR inefficiency",
+			Area:      "0%",
+			C6APowerW: [2]float64{convLoA, convHiA}, C6AEPowerW: [2]float64{convLoE, convHiE},
+		},
+		{
+			Component: "Core ADPLL & FIVR", SubComponent: "FIVR static losses",
+			Area:      "0%",
+			C6APowerW: point(a.FIVR.StaticLossW), C6AEPowerW: point(a.FIVR.StaticLossW),
+		},
+	}
+	loA, hiA := a.C6APowerRange()
+	loE, hiE := a.C6AEPowerRange()
+	aLo, aHi := a.AreaOverheadRange()
+	rows = append(rows, Table3Row{
+		Component: "Overall", SubComponent: "",
+		Area:      fmt.Sprintf("%.0f-%.0f%% of the core area", aLo*100, aHi*100),
+		C6APowerW: [2]float64{loA, hiA}, C6AEPowerW: [2]float64{loE, hiE},
+	})
+	return rows
+}
+
+func (a *Architecture) convRange(enhanced bool) (lo, hi float64) {
+	loadLo, loadHi := a.gatedLoadRange(enhanced)
+	return a.FIVR.ConversionLoss(loadLo), a.FIVR.ConversionLoss(loadHi)
+}
+
+func point(v float64) [2]float64 { return [2]float64{v, v} }

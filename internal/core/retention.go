@@ -1,0 +1,92 @@
+package core
+
+// Context retention (Sec. 4.1.1–4.1.3): the ~8 KB of core context is
+// retained in place through three techniques instead of being serialized
+// to the uncore save/restore SRAM.
+
+// RetentionTechnique identifies how a piece of context is retained.
+type RetentionTechnique int
+
+// Retention techniques.
+const (
+	// UngatedRegisters: unit registers relocated into the core's
+	// power-ungated domain (execution units, ports, OoO engine).
+	UngatedRegisters RetentionTechnique = iota
+	// SRPG: state-retention power gates (shadow flip-flops on a
+	// retention supply) for distributed context.
+	SRPG
+	// UngatedSRAM: the ~2 KB microcode-patch SRAM moved onto an ungated
+	// supply.
+	UngatedSRAM
+)
+
+func (t RetentionTechnique) String() string {
+	switch t {
+	case UngatedRegisters:
+		return "ungated registers"
+	case SRPG:
+		return "SRPG flops"
+	default:
+		return "ungated SRAM"
+	}
+}
+
+// ContextSlice is one portion of the retained core context.
+type ContextSlice struct {
+	Name      string
+	Bytes     int
+	Technique RetentionTechnique
+	// AreaOverheadFrac is the extra area relative to the context/unit it
+	// protects (<1 % for each technique per Sec. 5.1.1).
+	AreaOverheadFrac float64
+}
+
+// Retention models the full in-place context-retention subsystem.
+type Retention struct {
+	Slices []ContextSlice
+
+	// RetentionVoltagePowerW is the power of the full context at
+	// retention voltage (paper: ~0.2 mW).
+	RetentionVoltagePowerW float64
+
+	// P1Multiplier / PnMultiplier conservatively scale retention power at
+	// the base and minimum operating voltages (paper: x10 and x5).
+	P1Multiplier, PnMultiplier float64
+}
+
+// NewRetention returns the paper's configuration: ~8 KB total context
+// (estimated from the C6 save/restore footprint), of which ~2 KB is the
+// microcode patch SRAM.
+func NewRetention() *Retention {
+	return &Retention{
+		Slices: []ContextSlice{
+			{Name: "exec+ports+ooo CSRs", Bytes: 3 * 1024, Technique: UngatedRegisters, AreaOverheadFrac: 0.01},
+			{Name: "distributed unit state", Bytes: 3 * 1024, Technique: SRPG, AreaOverheadFrac: 0.01},
+			{Name: "microcode patch SRAM", Bytes: 2 * 1024, Technique: UngatedSRAM, AreaOverheadFrac: 0.01},
+		},
+		RetentionVoltagePowerW: 0.0002,
+		P1Multiplier:           10,
+		PnMultiplier:           5,
+	}
+}
+
+// TotalBytes returns the total retained context size (~8 KB).
+func (r *Retention) TotalBytes() int {
+	n := 0
+	for _, s := range r.Slices {
+		n += s.Bytes
+	}
+	return n
+}
+
+// PowerP1 returns the context-retention power at the P1 voltage
+// (paper: ~2 mW).
+func (r *Retention) PowerP1() float64 {
+	return r.RetentionVoltagePowerW * r.P1Multiplier
+}
+
+// PowerPn returns the context-retention power at the Pn voltage
+// (paper: ~1 mW).
+func (r *Retention) PowerPn() float64 {
+	return r.RetentionVoltagePowerW * r.PnMultiplier
+}

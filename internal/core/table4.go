@@ -1,0 +1,34 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Table4Row is one entry of the paper's Table 4: a comparison of core
+// power-gating schemes from the literature against AgileWatts.
+type Table4Row struct {
+	Technique       string
+	CoreType        string
+	Trigger         string
+	PowerGatedBlock string
+	WakeupOverhead  string
+}
+
+// Table4 returns the comparison table. The AW row's wake-up overhead is
+// derived from the live UFPG model rather than hard-coded, so edits to
+// the staggering configuration propagate here.
+func Table4(u *UFPG) []Table4Row {
+	wake := u.WakeLatency()
+	return []Table4Row{
+		{"[109] register-file retention", "In-order CPU", "Cache miss", "Register file", "5 cycles"},
+		{"[102] MAPG", "In-order CPU", "Cache miss", "Core", "10ns"},
+		{"[47] execution-unit gating", "OoO CPU", "Execution unit idle", "Execution units", "9 cycles"},
+		{"[110] register bank gating", "OoO CPU", "Register file bank idle", "Register file bank", "17 cycles"},
+		{"[111] GPU register gating", "GPU", "Register subarray unused", "Register subarray", "10 cycles"},
+		{"[35] AVX gating", "OoO CPU", "AVX execution unit idle", "Intel AVX execution unit", "~10-15ns"},
+		{"AW (This work)", "OoO CPU", "Core idle", "Most of core units",
+			fmt.Sprintf("~%.0fns", float64(wake)/float64(sim.Nanosecond))},
+	}
+}

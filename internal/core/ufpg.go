@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math"
+
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// UFPG models Units' Fast Power-Gating (Sec. 4.1, 5.1.1, 5.3): the
+// medium-grain power gates covering ~70 % of core area, split into five
+// zones whose wake-up is staggered to bound in-rush current.
+type UFPG struct {
+	// Zones are the independently sequenced power-gate regions.
+	Zones []Zone
+
+	// ResidualLeakageLo/Hi is the fraction of gated leakage that the
+	// power gates fail to eliminate (paper: 3–5 %).
+	ResidualLeakageLo, ResidualLeakageHi float64
+
+	// GateAreaOverheadLo/Hi is the extra area the gates add relative to
+	// the gated logic (paper: 2–6 %).
+	GateAreaOverheadLo, GateAreaOverheadHi float64
+
+	// PerZoneStagger is the daisy-chained switch-cell wake time budget
+	// per zone (paper: ≤15 ns, matching the AVX gates).
+	PerZoneStagger sim.Time
+
+	// InrushLimit is the maximum tolerable normalized in-rush current,
+	// expressed in units of "one AVX power-gate waking over 15 ns" — the
+	// envelope Skylake silicon already tolerates.
+	InrushLimit float64
+}
+
+// Zone is one staggered power-gate region.
+type Zone struct {
+	Name string
+	// RelativeCapacitance is the zone's area+capacitance relative to the
+	// AVX units (the paper's UFPG region totals ~4.5x AVX).
+	RelativeCapacitance float64
+	// WindowOverride forces the zone's wake window instead of the
+	// capacitance-proportional default. Used to model mis-configured
+	// (too aggressive) staggering in what-if analyses; 0 means auto.
+	WindowOverride sim.Time
+}
+
+// NewUFPG returns the paper's five-zone configuration: the UFPG region
+// has ~4.5x the area/capacitance of the AVX units, divided into five
+// zones each smaller than one AVX gate.
+func NewUFPG() *UFPG {
+	return &UFPG{
+		Zones: []Zone{
+			{Name: "front-end", RelativeCapacitance: 0.9},
+			{Name: "ooo-engine", RelativeCapacitance: 0.9},
+			{Name: "int-exec", RelativeCapacitance: 0.9},
+			{Name: "load-store", RelativeCapacitance: 0.9},
+			{Name: "misc-units", RelativeCapacitance: 0.9},
+		},
+		ResidualLeakageLo:  0.03,
+		ResidualLeakageHi:  0.05,
+		GateAreaOverheadLo: 0.02,
+		GateAreaOverheadHi: 0.06,
+		PerZoneStagger:     15 * sim.Nanosecond,
+		InrushLimit:        1.0,
+	}
+}
+
+// TotalRelativeCapacitance returns the summed zone capacitance in AVX
+// units (~4.5 in the paper's configuration).
+func (u *UFPG) TotalRelativeCapacitance() float64 {
+	s := 0.0
+	for _, z := range u.Zones {
+		s += z.RelativeCapacitance
+	}
+	return s
+}
+
+// WakeSchedule returns, for each zone in order, the time offset at which
+// its sleep signal (SlpZone_i) is deasserted and the time at which its
+// chain reports ready. Zones wake strictly sequentially (Sec. 5.3).
+type WakeStep struct {
+	Zone  string
+	Start sim.Time
+	Ready sim.Time
+	// PeakInrush is the normalized in-rush current while this zone's
+	// switch chain conducts: capacitance charged over the stagger window.
+	PeakInrush float64
+}
+
+// WakeSchedule computes the staggered wake-up plan. Each zone's
+// switch-cell daisy chain is sized so its wake window scales with its
+// capacitance relative to one AVX gate (Sec. 5.3: the full 4.5x-AVX UFPG
+// region staggers over 4.5 x 15 ns ≈ 67.5 ns), which keeps the charge
+// rate — and hence in-rush current — within the AVX envelope.
+func (u *UFPG) WakeSchedule() []WakeStep {
+	steps := make([]WakeStep, 0, len(u.Zones))
+	cum := 0.0
+	prevReady := sim.Time(0)
+	for _, z := range u.Zones {
+		var durNS float64
+		if z.WindowOverride != 0 {
+			durNS = float64(z.WindowOverride)
+		} else {
+			durNS = float64(u.PerZoneStagger) * z.RelativeCapacitance
+		}
+		// Normalized in-rush: capacitance charged per AVX-equivalent
+		// window. 1.0 means "same peak current as one AVX gate wake".
+		inrush := z.RelativeCapacitance * float64(u.PerZoneStagger) / durNS
+		cum += durNS
+		ready := sim.Time(math.Round(cum))
+		steps = append(steps, WakeStep{
+			Zone:       z.Name,
+			Start:      prevReady,
+			Ready:      ready,
+			PeakInrush: inrush,
+		})
+		prevReady = ready
+	}
+	return steps
+}
+
+// WakeLatency returns the total staggered wake-up time for all zones
+// (paper: ~4.5 x 15 ns ≈ 67.5 ns, i.e. < 70 ns).
+func (u *UFPG) WakeLatency() sim.Time {
+	var t sim.Time
+	for _, s := range u.WakeSchedule() {
+		if s.Ready > t {
+			t = s.Ready
+		}
+	}
+	return t
+}
+
+// PeakInrush returns the maximum normalized in-rush current over the
+// schedule. A correct configuration keeps it at or below InrushLimit.
+func (u *UFPG) PeakInrush() float64 {
+	peak := 0.0
+	for _, s := range u.WakeSchedule() {
+		if s.PeakInrush > peak {
+			peak = s.PeakInrush
+		}
+	}
+	return peak
+}
+
+// CheckInrush verifies that the staggered schedule keeps in-rush within
+// the AVX-equivalent envelope.
+func (u *UFPG) CheckInrush() error {
+	if p := u.PeakInrush(); p > u.InrushLimit+1e-9 {
+		return fmt.Errorf("core: peak in-rush %.2f exceeds limit %.2f", p, u.InrushLimit)
+	}
+	return nil
+}
+
+// SimultaneousWakeInrush returns the in-rush current if all zones woke at
+// once (the design hazard staggering avoids): the full ~4.5x AVX
+// capacitance in one window.
+func (u *UFPG) SimultaneousWakeInrush() float64 {
+	return u.TotalRelativeCapacitance()
+}
+
+// ResidualLeakage returns the [lo, hi] residual leakage power (watts) of
+// the gated domain given the total core leakage (watts) and the fraction
+// of core leakage behind gates (paper: ~70 %, giving 30–50 mW at P1).
+func (u *UFPG) ResidualLeakage(coreLeakageW, gatedLeakageFraction float64) (lo, hi float64) {
+	gated := coreLeakageW * gatedLeakageFraction
+	return gated * u.ResidualLeakageLo, gated * u.ResidualLeakageHi
+}
+
+// GateAreaOverhead returns the [lo, hi] area overhead as a fraction of
+// total core area, given the gated area fraction (~70 %).
+func (u *UFPG) GateAreaOverhead(gatedAreaFraction float64) (lo, hi float64) {
+	return gatedAreaFraction * u.GateAreaOverheadLo, gatedAreaFraction * u.GateAreaOverheadHi
+}

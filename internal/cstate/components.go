@@ -1,0 +1,147 @@
+package cstate
+
+// This file encodes Table 2 of the paper: the state of each core
+// component in every core C-state, including AgileWatts' C6A and C6AE.
+
+// ClockState describes the core clock distribution in a C-state.
+type ClockState int
+
+// Clock distribution states.
+const (
+	ClocksRunning ClockState = iota
+	ClocksStopped
+)
+
+func (s ClockState) String() string {
+	if s == ClocksRunning {
+		return "Running"
+	}
+	return "Stopped"
+}
+
+// PLLState describes the ADPLL clock generator.
+type PLLState int
+
+// ADPLL states.
+const (
+	PLLOn PLLState = iota
+	PLLOff
+)
+
+func (s PLLState) String() string {
+	if s == PLLOn {
+		return "On"
+	}
+	return "Off"
+}
+
+// CacheState describes the private L1/L2 caches.
+type CacheState int
+
+// Private cache states.
+const (
+	// CacheCoherent means content is retained and snoops are served.
+	CacheCoherent CacheState = iota
+	// CacheFlushed means content was written back and invalidated.
+	CacheFlushed
+)
+
+func (s CacheState) String() string {
+	if s == CacheCoherent {
+		return "Coherent"
+	}
+	return "Flushed"
+}
+
+// VoltageState describes the core supply voltage configuration.
+type VoltageState int
+
+// Core voltage states.
+const (
+	// VoltageActive is the nominal operating voltage for the P-state.
+	VoltageActive VoltageState = iota
+	// VoltageMinVF is the minimum operational voltage/frequency point.
+	VoltageMinVF
+	// VoltagePGRetActive is AgileWatts' mixed domain: UFPG units
+	// power-gated, retention supplies on, cache domain active-capable.
+	VoltagePGRetActive
+	// VoltagePGRetMinVF is the same at the minimum V/F point (C6AE).
+	VoltagePGRetMinVF
+	// VoltageShutOff is the fully gated core supply (legacy C6).
+	VoltageShutOff
+)
+
+func (s VoltageState) String() string {
+	switch s {
+	case VoltageActive:
+		return "Active"
+	case VoltageMinVF:
+		return "Min V/F"
+	case VoltagePGRetActive:
+		return "PG/Ret/Active"
+	case VoltagePGRetMinVF:
+		return "PG/Ret/Min V/F"
+	default:
+		return "Shut-off"
+	}
+}
+
+// ContextState describes where the ~8 KB core context lives.
+type ContextState int
+
+// Context retention strategies.
+const (
+	// ContextMaintained means the context stays powered in place with no
+	// save/restore (C0/C1/C1E).
+	ContextMaintained ContextState = iota
+	// ContextInPlaceSR is AgileWatts' in-place save/restore: SRPG flops,
+	// ungated register islands, and ungated microcode-patch SRAM.
+	ContextInPlaceSR
+	// ContextSRSRAM is the legacy C6 flow: serialized to the
+	// save/restore SRAM in the uncore.
+	ContextSRSRAM
+)
+
+func (s ContextState) String() string {
+	switch s {
+	case ContextMaintained:
+		return "Maintained"
+	case ContextInPlaceSR:
+		return "In-place S/R"
+	default:
+		return "S/R SRAM"
+	}
+}
+
+// Components is one row of Table 2.
+type Components struct {
+	State   ID
+	Clocks  ClockState
+	ADPLL   PLLState
+	Caches  CacheState
+	Voltage VoltageState
+	Context ContextState
+}
+
+// ComponentTable returns Table 2 in the paper's row order
+// (C0, C1, C6A, C1E, C6AE, C6).
+func ComponentTable() []Components {
+	return []Components{
+		{C0, ClocksRunning, PLLOn, CacheCoherent, VoltageActive, ContextMaintained},
+		{C1, ClocksStopped, PLLOn, CacheCoherent, VoltageActive, ContextMaintained},
+		{C6A, ClocksStopped, PLLOn, CacheCoherent, VoltagePGRetActive, ContextInPlaceSR},
+		{C1E, ClocksStopped, PLLOn, CacheCoherent, VoltageMinVF, ContextMaintained},
+		{C6AE, ClocksStopped, PLLOn, CacheCoherent, VoltagePGRetMinVF, ContextInPlaceSR},
+		{C6, ClocksStopped, PLLOff, CacheFlushed, VoltageShutOff, ContextSRSRAM},
+	}
+}
+
+// ComponentsOf returns the Table 2 row for one state.
+func ComponentsOf(id ID) Components {
+	for _, row := range ComponentTable() {
+		if row.State == id {
+			return row
+		}
+	}
+	panic("cstate: no component row for state " + id.String())
+}

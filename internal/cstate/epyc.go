@@ -1,0 +1,71 @@
+package cstate
+
+import "repro/internal/sim"
+
+// EPYC returns a catalog modeling an AMD EPYC Rome/Milan-like core
+// (paper Sec. 5.5): a shallow C1, an IO-based C2, and the deep CC6 state
+// whose tens-of-microseconds transition latency leads server vendors to
+// recommend disabling it ("Global C-State Control") for latency-critical
+// deployments. AgileWatts' C6A/C6AE slots are populated with the same
+// AW design retargeted to this core, showing the technique generalizes
+// beyond Intel parts.
+//
+// Calibration notes: EPYC cores are smaller and lower-power than SKX
+// (no AVX-512, smaller L2); power levels follow published Zen 2/3
+// characterization [197, 198] scaled to a per-core basis, and CC6
+// latency follows [197] (tens of microseconds, plus software overhead).
+func EPYC() *Catalog {
+	c := &Catalog{C0PowerP1: 3.0, C0PowerPn: 0.8}
+	c.params[C0] = Params{
+		ID: C0, Name: "C0", PowerWatts: 3.0, SnoopPowerWatts: 3.0,
+		PStateOnEntry: P1,
+	}
+	c.params[C1] = Params{
+		ID: C1, Name: "C1", PowerWatts: 1.10, SnoopPowerWatts: 1.15,
+		TransitionTime:  sim.Microsecond,
+		TargetResidency: 2 * sim.Microsecond,
+		HWEntryLatency:  20 * sim.Nanosecond,
+		HWExitLatency:   20 * sim.Nanosecond,
+		PStateOnEntry:   P1,
+	}
+	c.params[C6A] = Params{
+		ID: C6A, Name: "C6A", PowerWatts: 0.24, SnoopPowerWatts: 0.38,
+		TransitionTime:  sim.Microsecond,
+		TargetResidency: 2 * sim.Microsecond,
+		HWEntryLatency:  20 * sim.Nanosecond,
+		HWExitLatency:   80 * sim.Nanosecond,
+		PStateOnEntry:   P1,
+		AgileWatts:      true,
+	}
+	// EPYC exposes C2 as its intermediate IO state; it plays C1E's role
+	// in the hierarchy (lower power, longer latency), so it occupies the
+	// C1E slot.
+	c.params[C1E] = Params{
+		ID: C1E, Name: "C2", PowerWatts: 0.70, SnoopPowerWatts: 0.75,
+		TransitionTime:  18 * sim.Microsecond,
+		TargetResidency: 40 * sim.Microsecond,
+		HWEntryLatency:  20 * sim.Nanosecond,
+		HWExitLatency:   20 * sim.Nanosecond,
+		PStateOnEntry:   Pn,
+	}
+	c.params[C6AE] = Params{
+		ID: C6AE, Name: "C6AE", PowerWatts: 0.19, SnoopPowerWatts: 0.30,
+		TransitionTime:  18 * sim.Microsecond,
+		TargetResidency: 40 * sim.Microsecond,
+		HWEntryLatency:  20 * sim.Nanosecond,
+		HWExitLatency:   80 * sim.Nanosecond,
+		PStateOnEntry:   Pn,
+		AgileWatts:      true,
+	}
+	// CC6: per-core deep state; the CCX-level C6 is even deeper/slower,
+	// but CC6 alone already exceeds latency budgets.
+	c.params[C6] = Params{
+		ID: C6, Name: "CC6", PowerWatts: 0.08, SnoopPowerWatts: 0.08,
+		TransitionTime:  90 * sim.Microsecond,
+		TargetResidency: 450 * sim.Microsecond,
+		HWEntryLatency:  60 * sim.Microsecond,
+		HWExitLatency:   25 * sim.Microsecond,
+		PStateOnEntry:   P1,
+	}
+	return c
+}

@@ -1,0 +1,68 @@
+package cstate
+
+import "fmt"
+
+// MWAIT hint modeling (Sec. 4.3: "the operating system triggers C6A
+// entry by executing the MWAIT instruction"). On x86, MWAIT's EAX hint
+// encodes the target C-state in bits [7:4] (value = C-state index - 1,
+// with 0xF meaning C0/no-state) and a sub-state in bits [3:0].
+//
+// AgileWatts keeps the OS interface unchanged: the hints that today
+// select C1/C1E select C6A/C6AE on an AW part — which is how the paper's
+// states "replace" the legacy ones without software changes.
+
+// MWAITHint is the EAX hint value passed to MWAIT.
+type MWAITHint uint8
+
+// Legacy Intel hint encodings (as used by intel_idle for SKX).
+const (
+	HintC1  MWAITHint = 0x00
+	HintC1E MWAITHint = 0x01
+	HintC6  MWAITHint = 0x20
+)
+
+// MainState returns the architectural C-state index field (bits 7:4).
+func (h MWAITHint) MainState() int { return int(h >> 4) }
+
+// SubState returns the sub-state field (bits 3:0).
+func (h MWAITHint) SubState() int { return int(h & 0xF) }
+
+// String renders the raw hint.
+func (h MWAITHint) String() string { return fmt.Sprintf("0x%02X", uint8(h)) }
+
+// EncodeHint returns the MWAIT hint the OS issues to request state id.
+// The encoding is identical for legacy and AW parts: C6A/C6AE reuse the
+// C1/C1E hints they replace.
+func EncodeHint(id ID) (MWAITHint, error) {
+	switch id {
+	case C1, C6A:
+		return HintC1, nil
+	case C1E, C6AE:
+		return HintC1E, nil
+	case C6:
+		return HintC6, nil
+	default:
+		return 0, fmt.Errorf("cstate: no MWAIT hint for %v", id)
+	}
+}
+
+// DecodeHint returns the state a core enters for a hint. On an AW part
+// (agileWatts = true) the shallow hints resolve to the agile states.
+func DecodeHint(h MWAITHint, agileWatts bool) (ID, error) {
+	switch h {
+	case HintC1:
+		if agileWatts {
+			return C6A, nil
+		}
+		return C1, nil
+	case HintC1E:
+		if agileWatts {
+			return C6AE, nil
+		}
+		return C1E, nil
+	case HintC6:
+		return C6, nil
+	default:
+		return 0, fmt.Errorf("cstate: unknown MWAIT hint %v", h)
+	}
+}

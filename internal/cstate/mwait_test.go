@@ -1,0 +1,59 @@
+package cstate
+
+import "testing"
+
+func TestHintFields(t *testing.T) {
+	if HintC6.MainState() != 2 || HintC6.SubState() != 0 {
+		t.Fatalf("C6 hint fields: %d/%d", HintC6.MainState(), HintC6.SubState())
+	}
+	if HintC1E.MainState() != 0 || HintC1E.SubState() != 1 {
+		t.Fatalf("C1E hint fields: %d/%d", HintC1E.MainState(), HintC1E.SubState())
+	}
+	if HintC6.String() != "0x20" {
+		t.Fatalf("hint string = %s", HintC6.String())
+	}
+}
+
+func TestEncodeDecodeRoundTripLegacy(t *testing.T) {
+	for _, id := range []ID{C1, C1E, C6} {
+		h, err := EncodeHint(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeHint(h, false)
+		if err != nil || got != id {
+			t.Fatalf("legacy round trip %v -> %v -> %v (%v)", id, h, got, err)
+		}
+	}
+}
+
+func TestAWPartRemapsShallowHints(t *testing.T) {
+	// The same OS binary (same hints) gets the agile states on AW parts.
+	cases := []struct {
+		legacy, aw ID
+	}{{C1, C6A}, {C1E, C6AE}, {C6, C6}}
+	for _, tc := range cases {
+		h, err := EncodeHint(tc.legacy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeHint(h, true)
+		if err != nil || got != tc.aw {
+			t.Fatalf("AW decode of %v hint = %v, want %v", tc.legacy, got, tc.aw)
+		}
+		// Encoding the AW state yields the same hint: software-invisible.
+		h2, err := EncodeHint(tc.aw)
+		if err != nil || h2 != h {
+			t.Fatalf("AW state %v hint %v != legacy hint %v", tc.aw, h2, h)
+		}
+	}
+}
+
+func TestHintErrors(t *testing.T) {
+	if _, err := EncodeHint(C0); err == nil {
+		t.Fatal("C0 hint accepted")
+	}
+	if _, err := DecodeHint(0x77, false); err == nil {
+		t.Fatal("unknown hint accepted")
+	}
+}

@@ -1,0 +1,75 @@
+// Package datacenter converts AgileWatts' per-CPU power savings into
+// yearly datacenter operating-cost savings (paper Sec. 7.6, Table 5).
+package datacenter
+
+import "fmt"
+
+// CostModel holds the Sec. 7.6 economic parameters.
+type CostModel struct {
+	// DollarsPerKWh is the electricity price (paper: $0.125/kWh [196]).
+	DollarsPerKWh float64
+	// PUE is the datacenter power usage effectiveness; savings grow
+	// proportionally with it (Sec. 7.6). 1.0 reproduces Table 5.
+	PUE float64
+	// Servers is the fleet size the table normalizes to (100K).
+	Servers int
+}
+
+// NewCostModel returns the paper's parameters.
+func NewCostModel() CostModel {
+	return CostModel{DollarsPerKWh: 0.125, PUE: 1.0, Servers: 100_000}
+}
+
+// SecondsPerYear is the paper's year length for Table 5.
+const SecondsPerYear = 365.25 * 24 * 3600
+
+// DollarsPerWattYear returns the yearly cost of one watt drawn
+// continuously.
+func (m CostModel) DollarsPerWattYear() float64 {
+	return m.DollarsPerKWh / 3.6e6 * SecondsPerYear * m.PUE
+}
+
+// YearlySavingsPerServer returns the $ saved per server per year for a
+// given average power delta (watts).
+func (m CostModel) YearlySavingsPerServer(deltaW float64) float64 {
+	if deltaW < 0 {
+		deltaW = 0
+	}
+	return deltaW * m.DollarsPerWattYear()
+}
+
+// YearlySavingsFleetM returns the Table 5 metric: $M per year per fleet
+// (100K servers by default).
+func (m CostModel) YearlySavingsFleetM(deltaW float64) float64 {
+	return m.YearlySavingsPerServer(deltaW) * float64(m.Servers) / 1e6
+}
+
+// Table5Row is one column of Table 5.
+type Table5Row struct {
+	QPS             float64
+	BaselineW       float64
+	AWW             float64
+	DeltaW          float64
+	SavingsPerYearM float64
+}
+
+// Table5 computes the cost table from per-CPU baseline and AW average
+// power at each load point.
+func (m CostModel) Table5(qps, baselineW, awW []float64) ([]Table5Row, error) {
+	if len(qps) != len(baselineW) || len(qps) != len(awW) {
+		return nil, fmt.Errorf("datacenter: mismatched series lengths %d/%d/%d",
+			len(qps), len(baselineW), len(awW))
+	}
+	rows := make([]Table5Row, 0, len(qps))
+	for i := range qps {
+		delta := baselineW[i] - awW[i]
+		rows = append(rows, Table5Row{
+			QPS:             qps[i],
+			BaselineW:       baselineW[i],
+			AWW:             awW[i],
+			DeltaW:          delta,
+			SavingsPerYearM: m.YearlySavingsFleetM(delta),
+		})
+	}
+	return rows, nil
+}

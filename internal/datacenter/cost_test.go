@@ -1,0 +1,60 @@
+package datacenter
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDollarsPerWattYear(t *testing.T) {
+	m := NewCostModel()
+	// $0.125/kWh => ~$1.10 per watt-year.
+	got := m.DollarsPerWattYear()
+	if math.Abs(got-1.096) > 0.01 {
+		t.Fatalf("$/W-year = %v, want ~1.10", got)
+	}
+}
+
+func TestPUEScalesSavings(t *testing.T) {
+	m := NewCostModel()
+	m.PUE = 1.5
+	base := NewCostModel()
+	if math.Abs(m.YearlySavingsPerServer(2)-1.5*base.YearlySavingsPerServer(2)) > 1e-9 {
+		t.Fatal("PUE does not scale savings proportionally")
+	}
+}
+
+func TestYearlySavingsFleet(t *testing.T) {
+	m := NewCostModel()
+	// Table 5 scale check: a ~0.5 W per-server delta is ~$0.05M/year per
+	// 100K servers... i.e. a 3 W delta gives ~$0.33M (the 10 KQPS row).
+	got := m.YearlySavingsFleetM(3.0)
+	if got < 0.30 || got > 0.36 {
+		t.Fatalf("3W fleet savings = %.2fM, want ~0.33M", got)
+	}
+	if m.YearlySavingsPerServer(-5) != 0 {
+		t.Fatal("negative delta must clamp to 0")
+	}
+}
+
+func TestTable5(t *testing.T) {
+	m := NewCostModel()
+	qps := []float64{10e3, 50e3}
+	base := []float64{10, 20}
+	aw := []float64{7, 14}
+	rows, err := m.Table5(qps, base, aw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].DeltaW != 3 || rows[1].DeltaW != 6 {
+		t.Fatal("deltas wrong")
+	}
+	if rows[1].SavingsPerYearM <= rows[0].SavingsPerYearM {
+		t.Fatal("larger delta must save more")
+	}
+	if _, err := m.Table5(qps, base, aw[:1]); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cstate"
+	"repro/internal/governor"
+	"repro/internal/sim"
+)
+
+func TestAMDQuick(t *testing.T) {
+	o := QuickOptions()
+	o.Rates = []float64{10e3, 200e3}
+	r, err := AMD(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2 {
+		t.Fatal("want 2 points")
+	}
+	low := r.Points[0]
+	// CC6 in use at low load in the all-states config.
+	if low.AllStates.Residency[cstate.C6] < 0.1 {
+		t.Errorf("low-load CC6 residency %.2f too small", low.AllStates.Residency[cstate.C6])
+	}
+	// Disabling CC6 improves tail latency but costs power.
+	if low.TailReductionPct <= 0 {
+		t.Error("no tail gain from disabling CC6")
+	}
+	if low.PowerPenaltyPct <= 0 {
+		t.Error("no power penalty from disabling CC6")
+	}
+	// AW recovers a large share.
+	if low.AWReductionPct < 20 {
+		t.Errorf("AW recovery %.1f%% too small", low.AWReductionPct)
+	}
+	var buf bytes.Buffer
+	if err := r.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEPYCCatalogShape(t *testing.T) {
+	c := cstate.EPYC()
+	if c.Params(cstate.C6).Name != "CC6" {
+		t.Error("deep state should be CC6")
+	}
+	if c.Params(cstate.C1E).Name != "C2" {
+		t.Error("intermediate state should be C2")
+	}
+	// Power ordering preserved.
+	if !(c.Params(cstate.C6).PowerWatts < c.Params(cstate.C6AE).PowerWatts &&
+		c.Params(cstate.C6AE).PowerWatts < c.Params(cstate.C6A).PowerWatts &&
+		c.Params(cstate.C6A).PowerWatts < c.Params(cstate.C1E).PowerWatts &&
+		c.Params(cstate.C1E).PowerWatts < c.Params(cstate.C1).PowerWatts) {
+		t.Error("EPYC power ordering violated")
+	}
+	// CC6 latency in the tens of microseconds (Sec. 5.5).
+	if c.Params(cstate.C6).TransitionTime < 50*sim.Microsecond {
+		t.Error("CC6 transition not tens of microseconds")
+	}
+}
+
+func TestGovernorAblationQuick(t *testing.T) {
+	o := QuickOptions()
+	o.Rates = []float64{100e3}
+	r, err := GovernorAblation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 4 {
+		t.Fatalf("points = %d, want 4 policies", len(r.Points))
+	}
+	byPolicy := map[string]GovernorAblationPoint{}
+	for _, p := range r.Points {
+		byPolicy[p.Policy] = p
+	}
+	// Static-deepest always picks C6. At mid load this thrashes the
+	// 87us+46us C6 transition flows: latency is much worse than menu,
+	// and the transition overhead (burned at active power) can even
+	// exceed the residency savings — the reason predictive governors
+	// exist.
+	static := byPolicy[governor.PolicyStatic]
+	menu := byPolicy[governor.PolicyMenu]
+	if static.AvgUS <= menu.AvgUS {
+		t.Errorf("static latency %.1f not above menu %.1f", static.AvgUS, menu.AvgUS)
+	}
+	if static.P99US <= menu.P99US {
+		t.Errorf("static tail %.1f not above menu %.1f", static.P99US, menu.P99US)
+	}
+	var buf bytes.Buffer
+	if err := r.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZoneAblation(t *testing.T) {
+	r := ZoneAblation()
+	if len(r.Rows) != 10 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// One zone: fast but violates in-rush.
+	if r.Rows[0].MeetsInrush {
+		t.Error("single-zone wake should violate in-rush")
+	}
+	// Five zones at 0.9x each meet the envelope.
+	if !r.Rows[4].MeetsInrush {
+		t.Error("five-zone wake should meet in-rush")
+	}
+	// Wake latency grows with zone count (fixed window per zone).
+	if r.Rows[9].WakeLatency <= r.Rows[4].WakeLatency {
+		t.Error("wake latency not growing with zones")
+	}
+	// Ten 15ns zones = 150ns wake: round trip blows the 100ns budget.
+	if r.Rows[9].RoundTripOK {
+		t.Error("10-zone round trip should exceed 100ns")
+	}
+	var buf bytes.Buffer
+	if err := r.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerBudgetAblation(t *testing.T) {
+	r := PowerBudgetAblation()
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	base := r.Rows[0]
+	for _, row := range r.Rows[1:] {
+		// Every what-if removes a cost: all must be at or below the paper
+		// design.
+		if row.C6AWattsHi > base.C6AWattsHi+1e-9 {
+			t.Errorf("%s: %.3f above paper design %.3f", row.Variant, row.C6AWattsHi, base.C6AWattsHi)
+		}
+	}
+	// FIVR static loss is the largest lever (~100mW + its conversion).
+	var noFivr PowerBudgetRow
+	for _, row := range r.Rows {
+		if row.Variant == "no FIVR static loss" {
+			noFivr = row
+		}
+	}
+	if base.C6AWattsLo-noFivr.C6AWattsLo < 0.09 {
+		t.Errorf("FIVR static loss lever too small: %.3f", base.C6AWattsLo-noFivr.C6AWattsLo)
+	}
+	var buf bytes.Buffer
+	if err := r.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoiseAblationQuick(t *testing.T) {
+	r, err := NoiseAblation(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 4 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// No noise (period -1, first point) allows the most C6 residency;
+	// the noisiest setting (last point) allows the least.
+	if r.Points[0].C6Residency <= r.Points[len(r.Points)-1].C6Residency {
+		t.Errorf("C6 residency not declining with noise: %.2f vs %.2f",
+			r.Points[0].C6Residency, r.Points[len(r.Points)-1].C6Residency)
+	}
+	var buf bytes.Buffer
+	if err := r.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/governor"
+	"repro/internal/report"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// BreakdownResult decomposes server-side latency into wake / queue /
+// service components per configuration — the mechanism view behind
+// Figs. 9-11: where exactly each configuration's latency goes.
+type BreakdownResult struct {
+	Points []BreakdownPoint
+}
+
+// BreakdownPoint is one (rate, config) decomposition.
+type BreakdownPoint struct {
+	RateQPS float64
+	Config  string
+	B       server.BreakdownSummary
+	Total   float64 // avg server latency (us)
+}
+
+// Breakdown runs the decomposition for the key configurations.
+func Breakdown(o Options) (BreakdownResult, error) {
+	o = o.normalize()
+	var out BreakdownResult
+	profile := workload.Memcached()
+	configs := []governor.Config{
+		governor.NTBaseline, governor.NTNoC6NoC1E, governor.AW, governor.TC6ANoC6NoC1E,
+	}
+	rates := []float64{o.Rates[0], o.Rates[len(o.Rates)-1]}
+	for _, rate := range rates {
+		for _, cfg := range configs {
+			res, err := o.runService(cfg, profile, rate, 0)
+			if err != nil {
+				return out, err
+			}
+			out.Points = append(out.Points, BreakdownPoint{
+				RateQPS: rate, Config: cfg.Name,
+				B: res.Breakdown, Total: res.Server.AvgUS,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Table renders the decomposition.
+func (r BreakdownResult) Table() *report.Table {
+	t := &report.Table{
+		Title: "Latency decomposition: wake / queue / service (avg us, server-side)",
+		Headers: []string{"Rate (KQPS)", "Config", "Wake", "Queue", "Service",
+			"Total", "Wake p99"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprintf("%.0f", p.RateQPS/1000), p.Config,
+			fmt.Sprintf("%.2f", p.B.Wake.AvgUS),
+			fmt.Sprintf("%.2f", p.B.Queue.AvgUS),
+			fmt.Sprintf("%.2f", p.B.Service.AvgUS),
+			fmt.Sprintf("%.2f", p.Total),
+			fmt.Sprintf("%.1f", p.B.Wake.P99US))
+	}
+	t.Notes = append(t.Notes,
+		"legacy deep states show up as wake latency at low load;",
+		"AW's C6A caps wake at the ~2us software path")
+	return t
+}

@@ -1,0 +1,150 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment is a pure function of an Options value and
+// returns structured results plus a rendered report.Table, so the same
+// code backs the CLI tools, the examples, and the benchmark harness.
+//
+// Index (see DESIGN.md for the full mapping):
+//
+//	Table1, Table2, Table3, Table4, Table5
+//	Motivation (Sec. 2), TransitionLatency (Sec. 5.2)
+//	Figure8, Figure9, Figure10, Figure11, Figure12, Figure13
+//	Validation (Sec. 6.3), SnoopImpact (Sec. 7.5)
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/governor"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Options controls simulation fidelity for every experiment.
+type Options struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Duration is the measured window per run; Warmup precedes it.
+	Duration sim.Time
+	Warmup   sim.Time
+	// Rates is the Memcached load sweep (QPS); defaults to the paper's
+	// 10K-500K points.
+	Rates []float64
+}
+
+// DefaultOptions returns full-fidelity settings.
+func DefaultOptions() Options {
+	return Options{
+		Seed:     2022,
+		Duration: 400 * sim.Millisecond,
+		Warmup:   40 * sim.Millisecond,
+		Rates:    []float64{10e3, 50e3, 100e3, 200e3, 300e3, 400e3, 500e3},
+	}
+}
+
+// QuickOptions returns reduced-duration settings for tests.
+func QuickOptions() Options {
+	o := DefaultOptions()
+	o.Duration = 80 * sim.Millisecond
+	o.Warmup = 10 * sim.Millisecond
+	o.Rates = []float64{10e3, 100e3, 500e3}
+	return o
+}
+
+func (o Options) normalize() Options {
+	d := DefaultOptions()
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	if o.Duration == 0 {
+		o.Duration = d.Duration
+	}
+	if o.Warmup == 0 {
+		o.Warmup = d.Warmup
+	}
+	if len(o.Rates) == 0 {
+		o.Rates = d.Rates
+	}
+	return o
+}
+
+// parallelMap runs fn(0..n-1) concurrently (bounded by GOMAXPROCS) and
+// returns the first error. Each simulation is an isolated Sim with its
+// own RNG streams, so sweep points parallelize safely.
+func parallelMap(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// serverResult aliases the simulator result for the ablation helpers.
+type serverResult = server.Result
+
+// serverConfig bundles the extra knobs the ablation studies vary.
+type serverConfig struct {
+	Platform    governor.Config
+	Policy      string
+	Profile     workload.Profile
+	Rate        float64
+	NoisePeriod sim.Time
+	Options     Options
+}
+
+// runServerConfig executes one simulation with ablation overrides.
+func runServerConfig(sc serverConfig) (server.Result, error) {
+	o := sc.Options.normalize()
+	cfg := server.Config{
+		Platform:       sc.Platform,
+		GovernorPolicy: sc.Policy,
+		Profile:        sc.Profile,
+		RatePerSec:     sc.Rate,
+		Duration:       o.Duration,
+		Warmup:         o.Warmup,
+		Seed:           o.Seed,
+		OSNoisePeriod:  sc.NoisePeriod,
+	}
+	res, err := server.RunConfig(cfg)
+	if err != nil {
+		return server.Result{}, fmt.Errorf("experiments: %s: %w", sc.Platform.Name, err)
+	}
+	return res, nil
+}
+
+// runService executes one simulation with the experiment options.
+func (o Options) runService(platform governor.Config, profile workload.Profile, rate, fixedFreqHz float64) (server.Result, error) {
+	cfg := server.Config{
+		Platform:    platform,
+		Profile:     profile,
+		RatePerSec:  rate,
+		Duration:    o.Duration,
+		Warmup:      o.Warmup,
+		Seed:        o.Seed,
+		FixedFreqHz: fixedFreqHz,
+	}
+	res, err := server.RunConfig(cfg)
+	if err != nil {
+		return server.Result{}, fmt.Errorf("experiments: %s @ %.0f QPS: %w", platform.Name, rate, err)
+	}
+	return res, nil
+}

@@ -1,0 +1,339 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cstate"
+)
+
+func TestTable1(t *testing.T) {
+	r := Table1()
+	if len(r.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(r.Rows))
+	}
+	// The C6A model power must land near the Table 1 constant (~0.30 W).
+	if math.Abs(r.ModelC6APowerW-0.30) > 0.02 {
+		t.Errorf("model C6A power = %v", r.ModelC6APowerW)
+	}
+	if math.Abs(r.ModelC6AEPowerW-0.235) > 0.02 {
+		t.Errorf("model C6AE power = %v", r.ModelC6AEPowerW)
+	}
+	var buf bytes.Buffer
+	if err := r.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"C6A (P1)", "C6AE (Pn)", "133", "600"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Table 1 output missing %q", want)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table2().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"In-place S/R", "Coherent", "Flushed", "PG/Ret/Active"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Table 2 missing %q", want)
+		}
+	}
+}
+
+func TestTable3(t *testing.T) {
+	r := Table3()
+	if r.C6ARange[0] < 0.28 || r.C6ARange[1] > 0.33 {
+		t.Errorf("C6A range = %v", r.C6ARange)
+	}
+	if r.C6AERange[0] < 0.21 || r.C6AERange[1] > 0.26 {
+		t.Errorf("C6AE range = %v", r.C6AERange)
+	}
+	var buf bytes.Buffer
+	if err := r.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Overall") {
+		t.Error("Table 3 missing overall row")
+	}
+}
+
+func TestTable4(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table4().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "AW (This work)") {
+		t.Error("Table 4 missing AW row")
+	}
+}
+
+func TestMotivationMatchesPaper(t *testing.T) {
+	r := Motivation()
+	if len(r.Cases) != 3 {
+		t.Fatal("want 3 motivation cases")
+	}
+	for _, c := range r.Cases {
+		if math.Abs(c.SavingsPct-c.PaperPct) > 2 {
+			t.Errorf("%s: model %.1f%% vs paper %.0f%%", c.Name, c.SavingsPct, c.PaperPct)
+		}
+	}
+}
+
+func TestTransitionLatency(t *testing.T) {
+	r := TransitionLatency()
+	if r.Latencies.SpeedupVsC6 < 800 {
+		t.Errorf("speedup = %.0f, want ~900+", r.Latencies.SpeedupVsC6)
+	}
+	if len(r.FlushSweep) != 10 {
+		t.Errorf("flush sweep points = %d", len(r.FlushSweep))
+	}
+	var buf bytes.Buffer
+	if err := r.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	r := Validation(QuickOptions())
+	if len(r.Results) != 4 {
+		t.Fatal("want 4 validation workloads")
+	}
+	for _, res := range r.Results {
+		if res.AccuracyPercent < 90 {
+			t.Errorf("%s accuracy %.1f%% below 90%%", res.Workload, res.AccuracyPercent)
+		}
+	}
+}
+
+func TestSnoopImpact(t *testing.T) {
+	r := SnoopImpact()
+	if math.Abs(r.Analysis.SavingsNoSnoops()-79.2) > 1 {
+		t.Errorf("quiet savings = %v", r.Analysis.SavingsNoSnoops())
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("no sweep rows")
+	}
+}
+
+func TestFigure8Quick(t *testing.T) {
+	r, err := Figure8(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for _, p := range r.Points {
+		// Power reduction positive everywhere (paper: 10-38%).
+		if p.AvgPReductionPct <= 0 {
+			t.Errorf("rate %.0f: nonpositive power reduction %.1f%%", p.RateQPS, p.AvgPReductionPct)
+		}
+		// <~1.5% latency degradation.
+		if p.AvgLatDegradationPct > 1.5 {
+			t.Errorf("rate %.0f: avg latency degradation %.2f%%", p.RateQPS, p.AvgLatDegradationPct)
+		}
+		// Worst-case transition impact is tiny (100ns vs 117us network).
+		if p.WorstE2EPct > 0.2 {
+			t.Errorf("rate %.0f: worst e2e %.3f%%", p.RateQPS, p.WorstE2EPct)
+		}
+		if p.ExpectedE2EPct > p.WorstE2EPct+1e-9 {
+			t.Errorf("rate %.0f: expected %.4f%% exceeds worst %.4f%%", p.RateQPS, p.ExpectedE2EPct, p.WorstE2EPct)
+		}
+		// Scalability should be positive and below 100%.
+		if p.ScalabilityPct <= 0 || p.ScalabilityPct >= 100 {
+			t.Errorf("rate %.0f: scalability %.0f%%", p.RateQPS, p.ScalabilityPct)
+		}
+	}
+	// Savings decline from mid to high load.
+	if r.Points[1].AvgPReductionPct <= r.Points[2].AvgPReductionPct {
+		t.Errorf("savings not declining with load: %v", r.Points)
+	}
+	// Baseline C6 residency only at low load (Fig. 8(a)).
+	if r.Points[0].Baseline.Residency[cstate.C6] < 0.05 {
+		t.Error("no C6 residency at 10KQPS")
+	}
+	if r.Points[2].Baseline.Residency[cstate.C6] > 0.02 {
+		t.Error("C6 residency at 500KQPS")
+	}
+	for _, tbl := range []interface{ Render(*bytes.Buffer) error }{} {
+		_ = tbl
+	}
+	var buf bytes.Buffer
+	for _, err := range []error{
+		r.ResidencyTable().Render(&buf), r.SavingsTable().Render(&buf),
+		r.DegradationTable().Render(&buf), r.ScalabilityTable().Render(&buf),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFigure9Quick(t *testing.T) {
+	r, err := Figure9(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 3 || len(r.Points[0].Results) != 3 {
+		t.Fatal("unexpected result shape")
+	}
+	// At every rate: NT_No_C6,No_C1E has the highest power (Fig. 9(c)).
+	for _, p := range r.Points {
+		ntBase, noC6, noC1E := p.Results[0], p.Results[1], p.Results[2]
+		if !(noC1E.PackagePowerW >= noC6.PackagePowerW && noC6.PackagePowerW >= ntBase.PackagePowerW-0.5) {
+			t.Errorf("rate %.0f: power ordering violated: %.1f / %.1f / %.1f",
+				p.RateQPS, ntBase.PackagePowerW, noC6.PackagePowerW, noC1E.PackagePowerW)
+		}
+	}
+	// At low load, disabling C6 improves average latency.
+	low := r.Points[0]
+	if low.Results[1].EndToEnd.AvgUS >= low.Results[0].EndToEnd.AvgUS {
+		t.Error("NT_No_C6 did not improve latency at low load")
+	}
+	var buf bytes.Buffer
+	for _, err := range []error{
+		r.LatencyTable().Render(&buf), r.PowerTable().Render(&buf), r.ResidencyTable().Render(&buf),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFigure10Quick(t *testing.T) {
+	r, err := Figure10(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.AvgReductionPct) != 3 {
+		t.Fatal("want 3 config averages")
+	}
+	// Paper ordering: savings vs NT_Baseline < NT_No_C6 < NT_No_C6,No_C1E
+	// (23.5% / 28.6% / 35.3%).
+	if !(r.AvgReductionPct[0] < r.AvgReductionPct[2]) {
+		t.Errorf("savings ordering violated: %v", r.AvgReductionPct)
+	}
+	for i, v := range r.AvgReductionPct {
+		// Paper averages: 23.5% / 28.6% / 35.3%, with per-rate values up
+		// to ~71%; allow a generous band around those magnitudes.
+		if v < 10 || v > 70 {
+			t.Errorf("config %d avg reduction %.1f%% outside plausible band", i, v)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure11Quick(t *testing.T) {
+	r, err := Figure11(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := r.Points[len(r.Points)-1]
+	// Sec. 7.3: the AW Turbo config sustains more boost than the C1-parked
+	// config at high load.
+	awTurbo := r.result(high, "T_C6A,No_C6,No_C1E").TurboFraction
+	c1Turbo := r.result(high, "T_No_C6,No_C1E").TurboFraction
+	if awTurbo <= c1Turbo {
+		t.Errorf("AW turbo %.2f not above C1-parked %.2f", awTurbo, c1Turbo)
+	}
+	// And the AW config's average latency at high load is at least as good
+	// as the C1-parked Turbo config.
+	awLat := r.result(high, "T_C6A,No_C6,No_C1E").EndToEnd.AvgUS
+	c1Lat := r.result(high, "T_No_C6,No_C1E").EndToEnd.AvgUS
+	if awLat > c1Lat*1.02 {
+		t.Errorf("AW latency %.1f worse than C1-parked %.1f", awLat, c1Lat)
+	}
+	var buf bytes.Buffer
+	for _, err := range []error{r.Table().Render(&buf), r.TurboFractionTable().Render(&buf)} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFigure12Quick(t *testing.T) {
+	r, err := Figure12(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 3 {
+		t.Fatal("want low/mid/high")
+	}
+	for _, p := range r.Points {
+		// Paper Fig. 12(a): significant C6 residency in the baseline.
+		if p.Baseline.Residency[cstate.C6] < 0.2 {
+			t.Errorf("%s: baseline C6 residency %.2f too low", p.Label, p.Baseline.Residency[cstate.C6])
+		}
+		// Disabling C6 improves latency.
+		if p.AvgLatReductionPct <= 0 {
+			t.Errorf("%s: no latency gain from disabling C6", p.Label)
+		}
+		// AW recovers large power savings vs the C6-disabled config.
+		if p.AvgPReductionPct < 15 {
+			t.Errorf("%s: AW power reduction %.1f%% too small", p.Label, p.AvgPReductionPct)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure13Quick(t *testing.T) {
+	r, err := Figure13(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2 {
+		t.Fatal("want low/high")
+	}
+	low := r.Points[0]
+	if low.Baseline.Residency[cstate.C6] < 0.3 {
+		t.Errorf("low-rate Kafka C6 residency %.2f too small", low.Baseline.Residency[cstate.C6])
+	}
+	if low.AvgPReductionPct < 30 {
+		t.Errorf("low-rate AW power reduction %.1f%% (paper: >56%%)", low.AvgPReductionPct)
+	}
+	var buf bytes.Buffer
+	if err := r.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable5Quick(t *testing.T) {
+	r, err := Table5(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.DeltaW <= 0 {
+			t.Errorf("QPS %.0f: nonpositive delta", row.QPS)
+		}
+		// Paper magnitudes: $0.3-0.6M per 100K servers per year.
+		if row.SavingsPerYearM < 0.05 || row.SavingsPerYearM > 2 {
+			t.Errorf("QPS %.0f: savings %.2fM implausible", row.QPS, row.SavingsPerYearM)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	var o Options
+	n := o.normalize()
+	if n.Seed == 0 || n.Duration == 0 || len(n.Rates) == 0 {
+		t.Fatal("normalize did not fill defaults")
+	}
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/governor"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestRaceToHaltQuick(t *testing.T) {
+	o := QuickOptions()
+	o.Rates = []float64{50e3, 300e3}
+	r, err := RaceToHalt(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2 {
+		t.Fatal("want 2 points")
+	}
+	for _, p := range r.Points {
+		// Race+C6A must beat Race+C1 on energy (same latency class).
+		if p.RaceAWMJ >= p.RaceC1MJ {
+			t.Errorf("rate %.0f: race+C6A %.3f mJ not below race+C1 %.3f", p.RateQPS, p.RaceAWMJ, p.RaceC1MJ)
+		}
+		// And pacing at Pn has much worse latency than either race mode.
+		if p.Pace.EndToEnd.P99US <= p.RaceAW.EndToEnd.P99US {
+			t.Errorf("rate %.0f: pacing tail %.1f not above race tail %.1f",
+				p.RateQPS, p.Pace.EndToEnd.P99US, p.RaceAW.EndToEnd.P99US)
+		}
+		// The headline: C6A makes race-to-halt at least as efficient as
+		// pacing.
+		if p.RaceAWMJ > p.PaceMJ*1.05 {
+			t.Errorf("rate %.0f: race+C6A %.3f mJ not competitive with pacing %.3f",
+				p.RateQPS, p.RaceAWMJ, p.PaceMJ)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPkgIdleQuick(t *testing.T) {
+	o := QuickOptions()
+	o.Rates = []float64{10e3}
+	r, err := PkgIdle(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Residency grows as hysteresis shrinks (points ordered 600/100/10us).
+	if !(r.Points[2].PkgIdleFraction >= r.Points[1].PkgIdleFraction &&
+		r.Points[1].PkgIdleFraction >= r.Points[0].PkgIdleFraction) {
+		t.Errorf("pkg-idle residency not monotone in hysteresis: %+v", r.Points)
+	}
+	// The agile hysteresis must actually engage at 10KQPS.
+	if r.Points[2].PkgIdleFraction < 0.02 {
+		t.Errorf("10us hysteresis residency %.3f too small", r.Points[2].PkgIdleFraction)
+	}
+	// Uncore power drops accordingly.
+	if r.Points[2].UncoreAvgW >= 30 {
+		t.Errorf("uncore power %.1f did not drop", r.Points[2].UncoreAvgW)
+	}
+	var buf bytes.Buffer
+	if err := r.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPkgIdleDisabledByDefault(t *testing.T) {
+	res, err := server.RunConfig(server.Config{
+		Platform: governor.AW, Profile: workload.Memcached(),
+		RatePerSec: 10e3, Duration: 60 * sim.Millisecond,
+		Warmup: 10 * sim.Millisecond, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PkgIdleFraction != 0 {
+		t.Fatal("package idle engaged while disabled")
+	}
+	if diff := res.UncoreAvgW - 30; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("uncore power = %v, want constant 30", res.UncoreAvgW)
+	}
+}
+
+func TestPkgIdleAccounting(t *testing.T) {
+	res, err := server.RunConfig(server.Config{
+		Platform: governor.AW, Profile: workload.Memcached(),
+		RatePerSec: 5e3, Duration: 100 * sim.Millisecond,
+		Warmup: 10 * sim.Millisecond, Seed: 4,
+		PkgIdleEnabled: true, PkgEntryDelay: 10 * sim.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PkgIdleFraction <= 0 || res.PkgIdleFraction >= 1 {
+		t.Fatalf("pkg idle fraction = %v", res.PkgIdleFraction)
+	}
+	// Uncore average must interpolate between low (12) and high (30).
+	want := 12*res.PkgIdleFraction + 30*(1-res.PkgIdleFraction)
+	if diff := res.UncoreAvgW - want; diff > 0.5 || diff < -0.5 {
+		t.Fatalf("uncore avg %.2f vs expected %.2f", res.UncoreAvgW, want)
+	}
+	// Package power must use the measured uncore average.
+	wantPkg := res.AvgCorePowerW*20 + res.UncoreAvgW
+	if diff := res.PackagePowerW - wantPkg; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("package power %.3f vs %.3f", res.PackagePowerW, wantPkg)
+	}
+}
+
+func TestProportionalityQuick(t *testing.T) {
+	r, err := Proportionality(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// AW must be at least as proportional as the baseline.
+	if r.EPAW < r.EPBaseline {
+		t.Fatalf("AW EP %.3f below baseline %.3f", r.EPAW, r.EPBaseline)
+	}
+	// Both scores in (0, 1]; servers are not perfectly proportional.
+	for _, ep := range []float64{r.EPBaseline, r.EPAW} {
+		if ep <= 0 || ep > 1 {
+			t.Fatalf("EP score %v out of range", ep)
+		}
+	}
+	// Power grows with load for both platforms.
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].BaselinePkgW <= r.Points[i-1].BaselinePkgW {
+			t.Fatal("baseline power not increasing with load")
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakdownQuick(t *testing.T) {
+	r, err := Breakdown(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 8 {
+		t.Fatalf("points = %d, want 2 rates x 4 configs", len(r.Points))
+	}
+	// Find NT_Baseline and the AW C6A config at the low rate.
+	var ntWake, awWake float64
+	for _, p := range r.Points[:4] {
+		switch p.Config {
+		case "NT_Baseline":
+			ntWake = p.B.Wake.AvgUS
+		case "T_C6A,No_C6,No_C1E":
+			awWake = p.B.Wake.AvgUS
+		}
+	}
+	if awWake >= ntWake {
+		t.Fatalf("AW wake %.2f not below NT baseline %.2f at low load", awWake, ntWake)
+	}
+	var buf bytes.Buffer
+	if err := r.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/governor"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// ProportionalityResult quantifies the Sec. 7.1 framing ("modern servers
+// are not energy proportional: ... much lower efficiencies at lower
+// utilizations"): server power vs utilization with legacy C-states and
+// with AW, plus an energy-proportionality score.
+type ProportionalityResult struct {
+	Points []ProportionalityPoint
+	// EPBaseline / EPAW score proportionality in [0,1]: 1 means power
+	// scales perfectly linearly from 0 at idle to peak at full measured
+	// load; computed as 1 - mean over points of
+	// (P(u)/Ppeak - u/upeak) (positive excess only).
+	EPBaseline, EPAW float64
+}
+
+// ProportionalityPoint is one utilization level.
+type ProportionalityPoint struct {
+	RateQPS      float64
+	Utilization  float64
+	BaselinePkgW float64
+	AWPkgW       float64
+	BaselineOfPk float64 // P/Ppeak for the baseline
+	AWOfPk       float64 // P/Ppeak for AW
+}
+
+// Proportionality sweeps load for both platforms and scores energy
+// proportionality.
+func Proportionality(o Options) (ProportionalityResult, error) {
+	o = o.normalize()
+	profile := workload.Memcached()
+	var out ProportionalityResult
+	points := make([]ProportionalityPoint, len(o.Rates))
+	err := parallelMap(len(o.Rates), func(i int) error {
+		rate := o.Rates[i]
+		base, err := o.runService(governor.Baseline, profile, rate, 0)
+		if err != nil {
+			return err
+		}
+		aw, err := o.runService(governor.AW, profile, rate, 0)
+		if err != nil {
+			return err
+		}
+		points[i] = ProportionalityPoint{
+			RateQPS:      rate,
+			Utilization:  profile.UtilizationAt(rate, 20),
+			BaselinePkgW: base.PackagePowerW,
+			AWPkgW:       aw.PackagePowerW,
+		}
+		return nil
+	})
+	if err != nil {
+		return out, err
+	}
+	out.Points = points
+	peakB := points[len(points)-1].BaselinePkgW
+	peakA := points[len(points)-1].AWPkgW
+	peakU := points[len(points)-1].Utilization
+	var excessB, excessA float64
+	for i := range points {
+		p := &points[i]
+		p.BaselineOfPk = p.BaselinePkgW / peakB
+		p.AWOfPk = p.AWPkgW / peakA
+		ideal := p.Utilization / peakU
+		if d := p.BaselineOfPk - ideal; d > 0 {
+			excessB += d
+		}
+		if d := p.AWOfPk - ideal; d > 0 {
+			excessA += d
+		}
+	}
+	n := float64(len(points))
+	out.EPBaseline = 1 - excessB/n
+	out.EPAW = 1 - excessA/n
+	return out, nil
+}
+
+// Table renders the proportionality analysis.
+func (r ProportionalityResult) Table() *report.Table {
+	t := &report.Table{
+		Title:   "Sec. 7.1 framing: energy proportionality with and without AW (Memcached)",
+		Headers: []string{"Rate (KQPS)", "Utilization", "Baseline pkg", "AW pkg", "Base P/Ppeak", "AW P/Ppeak"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprintf("%.0f", p.RateQPS/1000), report.Pct(p.Utilization),
+			report.W(p.BaselinePkgW), report.W(p.AWPkgW),
+			report.Pct(p.BaselineOfPk), report.Pct(p.AWOfPk))
+	}
+	t.AddRow("EP score", "", "", "",
+		fmt.Sprintf("%.3f", r.EPBaseline), fmt.Sprintf("%.3f", r.EPAW))
+	t.Notes = append(t.Notes,
+		"EP = 1 is perfectly proportional; AW moves the low-utilization tail",
+		"of the power curve toward proportionality (the paper's motivation)")
+	return t
+}

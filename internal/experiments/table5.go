@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cstate"
+	"repro/internal/datacenter"
+	"repro/internal/governor"
+	"repro/internal/power"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// Table5Result is the datacenter cost-savings analysis (paper Table 5).
+type Table5Result struct {
+	Rows []datacenter.Table5Row
+	// CoresPerCPU converts per-core deltas to the per-CPU basis Table 5
+	// uses (the Xeon 4114 has 10 physical cores per socket).
+	CoresPerCPU int
+}
+
+// Table5 runs the Memcached sweep and converts AW's power savings into
+// yearly $ savings per 100K servers.
+func Table5(o Options) (Table5Result, error) {
+	o = o.normalize()
+	profile := workload.Memcached()
+	vec := power.VectorFromCatalog(cstate.Skylake())
+	model := datacenter.NewCostModel()
+	const coresPerCPU = 10
+	var qps, baseW, awW []float64
+	for _, rate := range o.Rates {
+		base, err := o.runService(governor.Baseline, profile, rate, 0)
+		if err != nil {
+			return Table5Result{}, err
+		}
+		// AW per-core power from the Sec. 6.2 transform.
+		reduction := power.TurboSavings(
+			base.Residency[cstate.C1], base.Residency[cstate.C1E],
+			base.AvgCorePowerW, vec) / 100
+		baseCPU := base.AvgCorePowerW * coresPerCPU
+		qps = append(qps, rate)
+		baseW = append(baseW, baseCPU)
+		awW = append(awW, baseCPU*(1-reduction))
+	}
+	rows, err := model.Table5(qps, baseW, awW)
+	if err != nil {
+		return Table5Result{}, err
+	}
+	return Table5Result{Rows: rows, CoresPerCPU: coresPerCPU}, nil
+}
+
+// Table renders Table 5.
+func (r Table5Result) Table() *report.Table {
+	t := &report.Table{
+		Title:   "Table 5: AW yearly cost savings ($M per 100K servers, per CPU)",
+		Headers: []string{"QPS", "Baseline W/CPU", "AW W/CPU", "Delta W", "Savings ($M/yr)"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(fmt.Sprintf("%.0fK", row.QPS/1000),
+			report.W(row.BaselineW), report.W(row.AWW),
+			report.W(row.DeltaW), fmt.Sprintf("%.2f", row.SavingsPerYearM))
+	}
+	t.Notes = append(t.Notes, "paper: 0.33 / 0.59 / 0.58 / 0.53 / 0.47 / 0.41 / 0.34 $M at 10K-500K QPS")
+	return t
+}

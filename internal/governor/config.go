@@ -1,0 +1,120 @@
+package governor
+
+import (
+	"fmt"
+
+	"repro/internal/cstate"
+)
+
+// Config is a named platform configuration: which idle states the BIOS/OS
+// exposes and whether Turbo Boost is enabled. P-states are disabled in
+// every evaluated configuration (Sec. 6.2).
+type Config struct {
+	Name string
+	// Menu lists the enabled idle states.
+	Menu []cstate.ID
+	// Turbo reports whether Turbo Boost is enabled.
+	Turbo bool
+	// AgileWatts reports whether the config uses the new C6A/C6AE states.
+	AgileWatts bool
+}
+
+// Enabled reports whether state id is in the menu.
+func (c Config) Enabled(id cstate.ID) bool {
+	for _, m := range c.Menu {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate rejects menus mixing legacy C1/C1E with their AW replacements
+// (the paper's C6A/C6AE replace C1/C1E, Sec. 4).
+func (c Config) Validate() error {
+	if (c.Enabled(cstate.C1) && c.Enabled(cstate.C6A)) ||
+		(c.Enabled(cstate.C1E) && c.Enabled(cstate.C6AE)) {
+		return fmt.Errorf("governor: config %q mixes legacy and AW replacement states", c.Name)
+	}
+	for _, id := range c.Menu {
+		if id == cstate.C0 {
+			return fmt.Errorf("governor: config %q lists C0 as an idle state", c.Name)
+		}
+	}
+	return nil
+}
+
+// The paper's named configurations.
+var (
+	// Baseline: P-states disabled, Turbo and all legacy C-states enabled
+	// (Sec. 7.1).
+	Baseline = Config{Name: "Baseline", Turbo: true,
+		Menu: []cstate.ID{cstate.C1, cstate.C1E, cstate.C6}}
+
+	// AW: the baseline with C1/C1E replaced by C6A/C6AE (Sec. 7.1).
+	AW = Config{Name: "AW", Turbo: true, AgileWatts: true,
+		Menu: []cstate.ID{cstate.C6A, cstate.C6AE, cstate.C6}}
+
+	// NTBaseline disables Turbo (Sec. 7.2).
+	NTBaseline = Config{Name: "NT_Baseline",
+		Menu: []cstate.ID{cstate.C1, cstate.C1E, cstate.C6}}
+
+	// NTNoC6 disables Turbo and C6.
+	NTNoC6 = Config{Name: "NT_No_C6",
+		Menu: []cstate.ID{cstate.C1, cstate.C1E}}
+
+	// NTNoC6NoC1E disables Turbo, C6 and C1E.
+	NTNoC6NoC1E = Config{Name: "NT_No_C6,No_C1E",
+		Menu: []cstate.ID{cstate.C1}}
+
+	// TNoC6 enables Turbo with C6 disabled (Sec. 7.3).
+	TNoC6 = Config{Name: "T_No_C6", Turbo: true,
+		Menu: []cstate.ID{cstate.C1, cstate.C1E}}
+
+	// TNoC6NoC1E enables Turbo with C6 and C1E disabled.
+	TNoC6NoC1E = Config{Name: "T_No_C6,No_C1E", Turbo: true,
+		Menu: []cstate.ID{cstate.C1}}
+
+	// TC6ANoC6NoC1E is AW's recommended Turbo configuration: C6A replaces
+	// C1, with C6 and C1E disabled (Sec. 7.3).
+	TC6ANoC6NoC1E = Config{Name: "T_C6A,No_C6,No_C1E", Turbo: true, AgileWatts: true,
+		Menu: []cstate.ID{cstate.C6A}}
+
+	// NTC6ANoC6NoC1E is the same without Turbo.
+	NTC6ANoC6NoC1E = Config{Name: "NT_C6A,No_C6,No_C1E", AgileWatts: true,
+		Menu: []cstate.ID{cstate.C6A}}
+
+	// KVBaseline is the Fig. 12/13 baseline for MySQL/Kafka: P-states
+	// disabled, C1 and C6 enabled.
+	KVBaseline = Config{Name: "Baseline_C1_C6",
+		Menu: []cstate.ID{cstate.C1, cstate.C6}}
+
+	// KVNoC6 is the Fig. 12/13 recommended configuration with C6
+	// disabled.
+	KVNoC6 = Config{Name: "No_C6",
+		Menu: []cstate.ID{cstate.C1}}
+
+	// KVAW maps the No_C6 configuration's C1 residency onto C6A
+	// (Fig. 12(d)/13(d)).
+	KVAW = Config{Name: "AW_C6A", AgileWatts: true,
+		Menu: []cstate.ID{cstate.C6A}}
+)
+
+// AllConfigs lists every named configuration.
+func AllConfigs() []Config {
+	return []Config{
+		Baseline, AW, NTBaseline, NTNoC6, NTNoC6NoC1E,
+		TNoC6, TNoC6NoC1E, TC6ANoC6NoC1E, NTC6ANoC6NoC1E,
+		KVBaseline, KVNoC6, KVAW,
+	}
+}
+
+// ConfigByName looks up a configuration.
+func ConfigByName(name string) (Config, error) {
+	for _, c := range AllConfigs() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("governor: unknown config %q", name)
+}

@@ -1,0 +1,185 @@
+// Package governor implements the OS-level idle-state selection policies
+// (the software half of the C-state machinery) and the named platform
+// configurations evaluated in the paper (Sec. 7.2: NT_Baseline, NT_No_C6,
+// NT_No_C6,No_C1E, their Turbo variants, and the AgileWatts configs).
+package governor
+
+import (
+	"fmt"
+
+	"repro/internal/cstate"
+	"repro/internal/sim"
+)
+
+// Governor selects an idle state when a core runs out of work. It learns
+// from the actually observed idle durations, mirroring how the Linux
+// menu governor predicts residency.
+type Governor interface {
+	// Select returns the C-state to enter at time now given the menu of
+	// enabled idle states.
+	Select(now sim.Time, menu []cstate.ID) cstate.ID
+	// Observe records the actual duration of the idle period that just
+	// ended, to refine future predictions.
+	Observe(idle sim.Time)
+	// Name identifies the policy.
+	Name() string
+}
+
+// MenuGovernor predicts the next idle duration with an exponentially
+// weighted moving average over recent idle periods, corrected toward the
+// most recent observation when the pattern is irregular — a simplified
+// Linux menu governor. It then picks the deepest enabled state whose
+// target residency fits the prediction.
+type MenuGovernor struct {
+	catalog *cstate.Catalog
+	// ewma is the running idle-duration estimate (ns).
+	ewma float64
+	// lastIdle is the most recent observation (ns).
+	lastIdle float64
+	// alpha is the EWMA weight of new observations.
+	alpha float64
+	// seeded reports whether any observation has arrived.
+	seeded bool
+}
+
+// NewMenuGovernor returns a menu-style governor over the catalog.
+func NewMenuGovernor(c *cstate.Catalog) *MenuGovernor {
+	return &MenuGovernor{catalog: c, alpha: 0.3}
+}
+
+// Name implements Governor.
+func (g *MenuGovernor) Name() string { return "menu" }
+
+// Predict returns the current idle-duration prediction in ns. Before any
+// observation, it predicts pessimistically short (pick shallow), which is
+// what hardware does on cold start.
+func (g *MenuGovernor) Predict() sim.Time {
+	if !g.seeded {
+		return 0
+	}
+	// Bias toward the shorter of (ewma, last): under-predicting depth
+	// costs a little power; over-predicting costs latency, which is what
+	// latency-critical deployments tune against.
+	p := g.ewma
+	if g.lastIdle < p {
+		p = (g.lastIdle + g.ewma) / 2
+	}
+	return sim.Time(p)
+}
+
+// Select implements Governor.
+func (g *MenuGovernor) Select(now sim.Time, menu []cstate.ID) cstate.ID {
+	id, _ := g.catalog.DeepestByResidency(menu, g.Predict())
+	return id
+}
+
+// Observe implements Governor.
+func (g *MenuGovernor) Observe(idle sim.Time) {
+	v := float64(idle)
+	if !g.seeded {
+		g.ewma = v
+		g.seeded = true
+	} else {
+		g.ewma = g.alpha*v + (1-g.alpha)*g.ewma
+	}
+	g.lastIdle = v
+}
+
+// StaticGovernor always selects the deepest state in the menu, ignoring
+// residency targets. It models "performance-tuned" BIOS setups that trust
+// a single state, and is also useful for upper-bound analyses.
+type StaticGovernor struct {
+	catalog *cstate.Catalog
+}
+
+// NewStaticGovernor returns a deepest-state governor.
+func NewStaticGovernor(c *cstate.Catalog) *StaticGovernor {
+	return &StaticGovernor{catalog: c}
+}
+
+// Name implements Governor.
+func (g *StaticGovernor) Name() string { return "static-deepest" }
+
+// Select implements Governor.
+func (g *StaticGovernor) Select(now sim.Time, menu []cstate.ID) cstate.ID {
+	id, _ := g.catalog.DeepestByResidency(menu, sim.MaxTime)
+	return id
+}
+
+// Observe implements Governor.
+func (g *StaticGovernor) Observe(sim.Time) {}
+
+// LadderGovernor starts shallow and deepens one step each time an idle
+// period overruns the next state's target residency, resetting on a
+// short idle — the classic ladder policy kept for ablation studies.
+type LadderGovernor struct {
+	catalog *cstate.Catalog
+	rung    int
+	last    sim.Time
+}
+
+// NewLadderGovernor returns a ladder policy over the catalog.
+func NewLadderGovernor(c *cstate.Catalog) *LadderGovernor {
+	return &LadderGovernor{catalog: c}
+}
+
+// Name implements Governor.
+func (g *LadderGovernor) Name() string { return "ladder" }
+
+// Select implements Governor.
+func (g *LadderGovernor) Select(now sim.Time, menu []cstate.ID) cstate.ID {
+	if len(menu) == 0 {
+		return cstate.C0
+	}
+	ordered := orderShallowToDeep(g.catalog, menu)
+	if g.rung >= len(ordered) {
+		g.rung = len(ordered) - 1
+	}
+	return ordered[g.rung]
+}
+
+// Observe implements Governor.
+func (g *LadderGovernor) Observe(idle sim.Time) {
+	// Promote when the last idle comfortably exceeded twice the current
+	// state's target; demote on a short idle.
+	if idle > g.last*2 || idle > 100*sim.Microsecond {
+		g.rung++
+	} else if idle < 5*sim.Microsecond && g.rung > 0 {
+		g.rung--
+	}
+	g.last = idle
+}
+
+func orderShallowToDeep(c *cstate.Catalog, menu []cstate.ID) []cstate.ID {
+	out := append([]cstate.ID(nil), menu...)
+	// Insertion sort by descending power (shallowest = highest power).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && c.Params(out[j]).PowerWatts > c.Params(out[j-1]).PowerWatts; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Policy names accepted by New.
+const (
+	PolicyMenu   = "menu"
+	PolicyStatic = "static-deepest"
+	PolicyLadder = "ladder"
+)
+
+// New constructs a governor by policy name.
+func New(policy string, c *cstate.Catalog) (Governor, error) {
+	switch policy {
+	case PolicyMenu:
+		return NewMenuGovernor(c), nil
+	case PolicyStatic:
+		return NewStaticGovernor(c), nil
+	case PolicyLadder:
+		return NewLadderGovernor(c), nil
+	case PolicyInterval:
+		return NewIntervalGovernor(c), nil
+	default:
+		return nil, fmt.Errorf("governor: unknown policy %q", policy)
+	}
+}

@@ -1,0 +1,216 @@
+package governor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cstate"
+	"repro/internal/sim"
+)
+
+func menuAll() []cstate.ID {
+	return []cstate.ID{cstate.C1, cstate.C1E, cstate.C6}
+}
+
+func TestMenuGovernorColdStartShallow(t *testing.T) {
+	g := NewMenuGovernor(cstate.Skylake())
+	// No history: must pick the shallowest state.
+	if id := g.Select(0, menuAll()); id != cstate.C1 {
+		t.Fatalf("cold start selected %v, want C1", id)
+	}
+}
+
+func TestMenuGovernorLearnsLongIdle(t *testing.T) {
+	g := NewMenuGovernor(cstate.Skylake())
+	for i := 0; i < 20; i++ {
+		g.Observe(2 * sim.Millisecond)
+	}
+	if id := g.Select(0, menuAll()); id != cstate.C6 {
+		t.Fatalf("after long idles selected %v, want C6", id)
+	}
+}
+
+func TestMenuGovernorShortIdleStaysShallow(t *testing.T) {
+	g := NewMenuGovernor(cstate.Skylake())
+	for i := 0; i < 20; i++ {
+		g.Observe(3 * sim.Microsecond)
+	}
+	if id := g.Select(0, menuAll()); id != cstate.C1 {
+		t.Fatalf("short idles selected %v, want C1", id)
+	}
+}
+
+func TestMenuGovernorMediumIdlePicksC1E(t *testing.T) {
+	g := NewMenuGovernor(cstate.Skylake())
+	for i := 0; i < 20; i++ {
+		g.Observe(50 * sim.Microsecond)
+	}
+	if id := g.Select(0, menuAll()); id != cstate.C1E {
+		t.Fatalf("50us idles selected %v, want C1E", id)
+	}
+}
+
+func TestMenuGovernorReactsToShortBurst(t *testing.T) {
+	g := NewMenuGovernor(cstate.Skylake())
+	for i := 0; i < 20; i++ {
+		g.Observe(2 * sim.Millisecond)
+	}
+	// A sudden short idle pulls the prediction down via the last-value
+	// correction.
+	g.Observe(2 * sim.Microsecond)
+	if p := g.Predict(); p > sim.Millisecond {
+		t.Fatalf("prediction %v did not react to short idle", p)
+	}
+}
+
+func TestMenuGovernorAWMenu(t *testing.T) {
+	g := NewMenuGovernor(cstate.Skylake())
+	for i := 0; i < 20; i++ {
+		g.Observe(30 * sim.Microsecond)
+	}
+	// AW menu: C6A admissible at 30us, C6AE needs 20us too, C6 needs 600.
+	// Deepest admissible of {C6A, C6AE} is C6AE (0.23W).
+	id := g.Select(0, []cstate.ID{cstate.C6A, cstate.C6AE, cstate.C6})
+	if id != cstate.C6AE {
+		t.Fatalf("selected %v, want C6AE", id)
+	}
+}
+
+func TestStaticGovernorDeepest(t *testing.T) {
+	g := NewStaticGovernor(cstate.Skylake())
+	if id := g.Select(0, menuAll()); id != cstate.C6 {
+		t.Fatalf("static selected %v, want C6", id)
+	}
+	if id := g.Select(0, []cstate.ID{cstate.C1}); id != cstate.C1 {
+		t.Fatalf("static selected %v, want C1", id)
+	}
+	g.Observe(sim.Second) // must not panic / change anything
+}
+
+func TestLadderGovernorClimbs(t *testing.T) {
+	g := NewLadderGovernor(cstate.Skylake())
+	menu := menuAll()
+	if id := g.Select(0, menu); id != cstate.C1 {
+		t.Fatalf("ladder start = %v, want C1", id)
+	}
+	for i := 0; i < 5; i++ {
+		g.Observe(sim.Millisecond)
+	}
+	if id := g.Select(0, menu); id != cstate.C6 {
+		t.Fatalf("ladder after long idles = %v, want C6", id)
+	}
+	for i := 0; i < 5; i++ {
+		g.Observe(sim.Microsecond)
+	}
+	if id := g.Select(0, menu); id != cstate.C1 {
+		t.Fatalf("ladder after short idles = %v, want C1", id)
+	}
+}
+
+func TestLadderEmptyMenu(t *testing.T) {
+	g := NewLadderGovernor(cstate.Skylake())
+	if id := g.Select(0, nil); id != cstate.C0 {
+		t.Fatalf("empty menu = %v", id)
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	c := cstate.Skylake()
+	for _, p := range []string{PolicyMenu, PolicyStatic, PolicyLadder} {
+		g, err := New(p, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Name() != p {
+			t.Fatalf("name %q != policy %q", g.Name(), p)
+		}
+	}
+	if _, err := New("nope", c); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+// Property: every governor only ever selects states from the menu (or C0
+// for an empty menu).
+func TestPropertyGovernorsRespectMenu(t *testing.T) {
+	c := cstate.Skylake()
+	all := []cstate.ID{cstate.C1, cstate.C6A, cstate.C1E, cstate.C6AE, cstate.C6}
+	f := func(mask uint8, idles []uint32) bool {
+		var menu []cstate.ID
+		for i, id := range all {
+			if mask&(1<<i) != 0 {
+				menu = append(menu, id)
+			}
+		}
+		for _, policy := range []string{PolicyMenu, PolicyStatic, PolicyLadder, PolicyInterval} {
+			g, _ := New(policy, c)
+			for _, idle := range idles {
+				g.Observe(sim.Time(idle))
+				id := g.Select(0, menu)
+				if len(menu) == 0 {
+					if id != cstate.C0 {
+						return false
+					}
+					continue
+				}
+				found := false
+				for _, m := range menu {
+					if m == id {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, c := range AllConfigs() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+	bad := Config{Name: "mix", Menu: []cstate.ID{cstate.C1, cstate.C6A}}
+	if err := bad.Validate(); err == nil {
+		t.Error("mixed C1+C6A config passed validation")
+	}
+	bad2 := Config{Name: "c0", Menu: []cstate.ID{cstate.C0}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("C0-in-menu config passed validation")
+	}
+}
+
+func TestConfigByName(t *testing.T) {
+	c, err := ConfigByName("NT_No_C6")
+	if err != nil || c.Enabled(cstate.C6) || !c.Enabled(cstate.C1E) {
+		t.Fatalf("NT_No_C6 lookup wrong: %+v err=%v", c, err)
+	}
+	if _, err := ConfigByName("bogus"); err == nil {
+		t.Fatal("bogus config accepted")
+	}
+}
+
+func TestPaperConfigSemantics(t *testing.T) {
+	if !Baseline.Turbo || Baseline.AgileWatts {
+		t.Error("Baseline must be Turbo-enabled, non-AW")
+	}
+	if !AW.Turbo || !AW.AgileWatts || AW.Enabled(cstate.C1) {
+		t.Error("AW must be Turbo-enabled with C1 replaced")
+	}
+	if NTBaseline.Turbo {
+		t.Error("NT_Baseline must disable Turbo")
+	}
+	if NTNoC6.Enabled(cstate.C6) || NTNoC6NoC1E.Enabled(cstate.C1E) {
+		t.Error("disabled states present in tuned configs")
+	}
+	if !TC6ANoC6NoC1E.Enabled(cstate.C6A) || TC6ANoC6NoC1E.Enabled(cstate.C6) {
+		t.Error("T_C6A config wrong")
+	}
+}

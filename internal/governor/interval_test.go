@@ -1,0 +1,76 @@
+package governor
+
+import (
+	"testing"
+
+	"repro/internal/cstate"
+	"repro/internal/sim"
+)
+
+func TestIntervalColdStartShallow(t *testing.T) {
+	g := NewIntervalGovernor(cstate.Skylake())
+	if id := g.Select(0, menuAll()); id != cstate.C1 {
+		t.Fatalf("cold start = %v, want C1", id)
+	}
+}
+
+func TestIntervalStablePatternGoesDeep(t *testing.T) {
+	g := NewIntervalGovernor(cstate.Skylake())
+	for i := 0; i < 8; i++ {
+		g.Observe(2 * sim.Millisecond)
+	}
+	if id := g.Select(0, menuAll()); id != cstate.C6 {
+		t.Fatalf("stable 2ms idles selected %v, want C6", id)
+	}
+}
+
+func TestIntervalIrregularStaysShallow(t *testing.T) {
+	g := NewIntervalGovernor(cstate.Skylake())
+	// Wildly mixed durations: prediction must be conservative.
+	durations := []sim.Time{
+		3 * sim.Microsecond, 2 * sim.Millisecond, 5 * sim.Microsecond,
+		900 * sim.Microsecond, 2 * sim.Microsecond, 1500 * sim.Microsecond,
+		4 * sim.Microsecond, 800 * sim.Microsecond,
+	}
+	for _, d := range durations {
+		g.Observe(d)
+	}
+	if id := g.Select(0, menuAll()); id == cstate.C6 {
+		t.Fatal("irregular idles selected C6")
+	}
+}
+
+func TestIntervalOutlierTrimming(t *testing.T) {
+	g := NewIntervalGovernor(cstate.Skylake())
+	// Seven short idles and one huge outlier: the outlier must not drag
+	// the prediction into deep territory.
+	for i := 0; i < 7; i++ {
+		g.Observe(10 * sim.Microsecond)
+	}
+	g.Observe(50 * sim.Millisecond)
+	p := g.Predict()
+	if p > 100*sim.Microsecond {
+		t.Fatalf("prediction %v not robust to outlier", p)
+	}
+}
+
+func TestIntervalRingBuffer(t *testing.T) {
+	g := NewIntervalGovernor(cstate.Skylake())
+	// Old history must age out after 8 observations.
+	for i := 0; i < 8; i++ {
+		g.Observe(2 * sim.Microsecond)
+	}
+	for i := 0; i < 8; i++ {
+		g.Observe(2 * sim.Millisecond)
+	}
+	if id := g.Select(0, menuAll()); id != cstate.C6 {
+		t.Fatalf("ring buffer did not age out: %v", id)
+	}
+}
+
+func TestIntervalViaFactory(t *testing.T) {
+	g, err := New(PolicyInterval, cstate.Skylake())
+	if err != nil || g.Name() != PolicyInterval {
+		t.Fatalf("factory: %v %v", g, err)
+	}
+}

@@ -1,0 +1,25 @@
+package kvstore
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// BenchmarkAccess measures one simulated KV operation (lookup + LRU
+// maintenance + demand computation).
+func BenchmarkAccess(b *testing.B) {
+	rng := xrand.New(1)
+	s, err := New(DefaultConfig(), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm.
+	for i := 0; i < 100_000; i++ {
+		s.NextAccess(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.NextAccess(rng)
+	}
+}

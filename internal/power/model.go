@@ -1,0 +1,167 @@
+// Package power implements the paper's analytical CPU-core power models:
+// the motivation upper bound (Eq. 1), the baseline average-power model
+// (Eq. 2), the AgileWatts model (Eq. 3), the Turbo-enabled savings model
+// (Eq. 4), leakage technology scaling, and the model-validation
+// methodology of Sec. 6.3.
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/cstate"
+)
+
+// Residencies holds per-C-state residency fractions indexed by
+// cstate.ID. Fractions over the states in use must sum to ~1.
+type Residencies [cstate.NumStates]float64
+
+// Sum returns the total residency (should be ~1 for a complete vector).
+func (r Residencies) Sum() float64 {
+	s := 0.0
+	for _, v := range r {
+		s += v
+	}
+	return s
+}
+
+// Validate checks the vector is a distribution.
+func (r Residencies) Validate() error {
+	for i, v := range r {
+		if v < -1e-9 || v > 1+1e-9 {
+			return fmt.Errorf("power: residency %v = %v out of range", cstate.ID(i), v)
+		}
+	}
+	if s := r.Sum(); s < 0.999 || s > 1.001 {
+		return fmt.Errorf("power: residencies sum to %v, want 1", s)
+	}
+	return nil
+}
+
+// Vector is per-C-state core power in watts indexed by cstate.ID.
+type Vector [cstate.NumStates]float64
+
+// VectorFromCatalog extracts the resident-power vector from a catalog.
+func VectorFromCatalog(c *cstate.Catalog) Vector {
+	return Vector(c.PowerVector())
+}
+
+// AvgPower computes Eq. 2 / Eq. 3: the residency-weighted average core
+// power. It works for both the baseline state set {C0, C1, C1E, C6} and
+// the AW set {C0, C6A, C6AE, C6} — whichever states carry nonzero
+// residency.
+func AvgPower(r Residencies, p Vector) float64 {
+	avg := 0.0
+	for i := range r {
+		avg += r[i] * p[i]
+	}
+	return avg
+}
+
+// MotivationSavings computes Eq. 1: the upper-bound average-power saving
+// from an ideal deep idle state with C1's latency and C6's power, for a
+// workload spending rc0/rc1/rc6 of its time in C0/C1/C6.
+// It returns the percentage reduction of baseline average power.
+func MotivationSavings(rc0, rc1, rc6 float64, p Vector) float64 {
+	baseline := rc0*p[cstate.C0] + rc1*p[cstate.C1] + rc6*p[cstate.C6]
+	if baseline <= 0 {
+		return 0
+	}
+	savings := rc1 * (p[cstate.C1] - p[cstate.C6])
+	return savings / baseline * 100
+}
+
+// TurboSavings computes Eq. 4: with Turbo enabled, AW's average power
+// saving replaces C1/C1E residency power with C6A/C6AE power, relative
+// to the measured baseline average power (which already includes Turbo's
+// C0 power variation). It returns the percentage reduction.
+func TurboSavings(rc1, rc1e, avgBaseline float64, p Vector) float64 {
+	if avgBaseline <= 0 {
+		return 0
+	}
+	savings := rc1*(p[cstate.C1]-p[cstate.C6A]) + rc1e*(p[cstate.C1E]-p[cstate.C6AE])
+	return savings / avgBaseline * 100
+}
+
+// AWInput describes a measured baseline run to be transformed by the AW
+// model (Sec. 6.2 "Modeling the AW CPU Core").
+type AWInput struct {
+	// Baseline residency fractions (C0/C1/C1E/C6 populated).
+	Baseline Residencies
+
+	// TransitionsPerSecond is the rate of C1+C1E entries observed in the
+	// baseline, each of which pays the extra C6A transition latency under
+	// AW.
+	TransitionsPerSecond float64
+
+	// ExtraTransitionLatencySec is the additional per-transition latency
+	// of C6A/C6AE over C1/C1E hardware transitions (~100 ns).
+	ExtraTransitionLatencySec float64
+
+	// FreqScalability is the workload's performance change per unit
+	// frequency change (Sec. 6.2 footnote 8).
+	FreqScalability float64
+
+	// FreqLossFraction is the frequency degradation from the UFPG power
+	// gates (Sec. 5.1.1: ~1 %).
+	FreqLossFraction float64
+}
+
+// AWResult is the transformed AW prediction.
+type AWResult struct {
+	// Residencies after replacing C1->C6A and C1E->C6AE and scaling for
+	// the AW performance overheads.
+	Residencies Residencies
+	// PerfDegradation is the modeled relative increase in busy (C0) time.
+	PerfDegradation float64
+}
+
+// ApplyAW performs the paper's three modeling steps: (1) scale C-state
+// residency for the power-gate frequency loss (weighted by workload
+// frequency scalability) and the extra C6A transition latency; (2) move
+// C1/C1E residency to C6A/C6AE; (3) leave C0/C6 in place. The result
+// feeds AvgPower with the AW power vector.
+func ApplyAW(in AWInput) AWResult {
+	perfLoss := in.FreqScalability * in.FreqLossFraction
+	extraActive := in.TransitionsPerSecond * in.ExtraTransitionLatencySec
+
+	r := in.Baseline
+	// Busy time grows by the frequency-loss-driven slowdown plus the
+	// per-transition latency (expressed as a fraction of total time).
+	grow := r[cstate.C0]*perfLoss + extraActive
+	idle := r[cstate.C1] + r[cstate.C1E] + r[cstate.C6]
+	if grow > idle {
+		grow = idle
+	}
+	var out Residencies
+	out[cstate.C0] = r[cstate.C0] + grow
+	// The growth eats proportionally into the idle states.
+	shrink := 1.0
+	if idle > 0 {
+		shrink = (idle - grow) / idle
+	}
+	out[cstate.C6A] = r[cstate.C1] * shrink
+	out[cstate.C6AE] = r[cstate.C1E] * shrink
+	out[cstate.C6] = r[cstate.C6] * shrink
+	return AWResult{
+		Residencies:     out,
+		PerfDegradation: perfLoss + extraActiveFraction(extraActive, r[cstate.C0]),
+	}
+}
+
+// extraActiveFraction expresses the transition-latency overhead relative
+// to busy time, which is how it shows up as request-latency degradation.
+func extraActiveFraction(extraActive, busy float64) float64 {
+	if busy <= 0 {
+		return 0
+	}
+	return extraActive / busy
+}
+
+// SavingsPercent is a helper returning (base-new)/base * 100, guarded
+// against a non-positive base.
+func SavingsPercent(base, new float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return (base - new) / base * 100
+}

@@ -1,0 +1,48 @@
+package power
+
+// Technology and regulator scaling helpers used by the PPA methodology
+// (Sec. 5.1.2 and Table 3 footnotes).
+
+// LeakageScale returns the leakage power scaling factor when moving a
+// design across technology nodes per the methodology of [99]: for a
+// dimensional scaling factor alpha (~0.7 from 22 nm to 14 nm) and a
+// voltage scaling factor beta (conservatively 1.0), leakage scales as
+// alpha*beta.
+func LeakageScale(alpha, beta float64) float64 {
+	return alpha * beta
+}
+
+// CapacityScale returns the leakage scaling between two SRAM capacities
+// (leakage is proportional to retained bits).
+func CapacityScale(targetBytes, referenceBytes int) float64 {
+	if referenceBytes <= 0 {
+		return 0
+	}
+	return float64(targetBytes) / float64(referenceBytes)
+}
+
+// LVREfficiency models a sleep transistor / low-dropout regulator: its
+// power-conversion efficiency is the ratio of output to input voltage
+// (Sec. 5.1.2), so lowering the input toward the retention output
+// improves efficiency — the reason C6AE's cache sleep power (40 mW) is
+// below C6A's (55 mW).
+func LVREfficiency(vOut, vIn float64) float64 {
+	if vIn <= 0 || vOut <= 0 {
+		return 0
+	}
+	if vOut > vIn {
+		return 1
+	}
+	return vOut / vIn
+}
+
+// SleepLeakageAtVoltage scales sleep-mode leakage measured at input
+// voltage vRef to a new input voltage vNew, holding the retention output
+// voltage constant: dissipation in the sleep transistor scales with the
+// voltage drop across it.
+func SleepLeakageAtVoltage(leakAtRef, vRet, vRef, vNew float64) float64 {
+	if vRef <= vRet {
+		return leakAtRef
+	}
+	return leakAtRef * (vNew - vRet) / (vRef - vRet)
+}

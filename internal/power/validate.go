@@ -1,0 +1,117 @@
+package power
+
+import (
+	"repro/internal/cstate"
+	"repro/internal/xrand"
+)
+
+// Validation reproduces the Sec. 6.3 methodology: run representative
+// server workloads at multiple utilization levels, collect C-state
+// residencies and measured average power, estimate power with the
+// analytical model, and report per-workload accuracy.
+//
+// Substitution note (no RAPL hardware): "measured" power is synthesized
+// as the model's prediction perturbed by the effects the analytical model
+// deliberately ignores — C0 dynamic-power variation with workload IPC and
+// per-sample measurement noise — so the accuracy score exercises the same
+// gap the paper quantifies.
+
+// ValidationSample is one (utilization level) run of one workload.
+type ValidationSample struct {
+	Utilization float64
+	Residencies Residencies
+	MeasuredW   float64
+	EstimatedW  float64
+}
+
+// ValidationResult aggregates a workload's accuracy across load levels.
+type ValidationResult struct {
+	Workload string
+	Samples  []ValidationSample
+	// AccuracyPercent = 100 * (1 - mean(|est-meas|/meas)).
+	AccuracyPercent float64
+}
+
+// ValidationProfile describes how a validation workload splits its idle
+// time across C-states as utilization varies, and how strongly its C0
+// dynamic power deviates from the single-point C0 power the model uses.
+type ValidationProfile struct {
+	Name string
+	// IdleDepth in [0,1]: fraction of idle time eligible for deep states
+	// at low load (batch workloads idle longer and deeper).
+	IdleDepth float64
+	// DynamicVariation is the relative amplitude of C0 power deviation
+	// (IPC-dependent) from the modeled 4 W point.
+	DynamicVariation float64
+	// Utilizations are the measured load points.
+	Utilizations []float64
+}
+
+// ValidationProfiles returns the four Sec. 6.3 workloads. IdleDepth and
+// DynamicVariation are chosen to reflect their characters: SPECpower's
+// graduated load idles deeply; Nginx is latency-bound and shallow; Spark
+// and Hive are batchy with high IPC variation.
+func ValidationProfiles() []ValidationProfile {
+	return []ValidationProfile{
+		{Name: "SPECpower", IdleDepth: 0.8, DynamicVariation: 0.05,
+			Utilizations: []float64{0.1, 0.2, 0.4, 0.6, 0.8, 1.0}},
+		{Name: "Nginx", IdleDepth: 0.3, DynamicVariation: 0.06,
+			Utilizations: []float64{0.1, 0.25, 0.5, 0.75}},
+		{Name: "Spark", IdleDepth: 0.6, DynamicVariation: 0.08,
+			Utilizations: []float64{0.3, 0.6, 0.9}},
+		{Name: "Hive", IdleDepth: 0.7, DynamicVariation: 0.07,
+			Utilizations: []float64{0.2, 0.5, 0.8}},
+	}
+}
+
+// residenciesAt derives a plausible baseline residency vector for the
+// profile at the given utilization: busy time is C0; idle time splits
+// between C1, C1E and C6 according to IdleDepth and how long idle
+// periods are (longer at low load).
+func (p ValidationProfile) residenciesAt(util float64) Residencies {
+	var r Residencies
+	r[cstate.C0] = util
+	idle := 1 - util
+	deep := p.IdleDepth * (1 - util) // deeper when less loaded
+	r[cstate.C6] = idle * deep * 0.7
+	r[cstate.C1E] = idle * deep * 0.3
+	r[cstate.C1] = idle - r[cstate.C6] - r[cstate.C1E]
+	return r
+}
+
+// Validate runs the Sec. 6.3 validation for every profile with the given
+// catalog and RNG seed, returning per-workload accuracy (paper: 96.1 % /
+// 95.2 % / 94.4 % / 94.9 % for SPECpower / Nginx / Spark / Hive).
+func Validate(cat *cstate.Catalog, seed uint64) []ValidationResult {
+	vec := VectorFromCatalog(cat)
+	vec[cstate.C0] = cat.C0PowerP1
+	var out []ValidationResult
+	for _, p := range ValidationProfiles() {
+		rng := xrand.NewStream(seed, "validate/"+p.Name)
+		res := ValidationResult{Workload: p.Name}
+		errSum := 0.0
+		for _, u := range p.Utilizations {
+			r := p.residenciesAt(u)
+			est := AvgPower(r, vec)
+			// Synthesize the measurement: C0 dynamic power deviates with
+			// IPC (systematic, utilization-weighted) plus sampling noise.
+			ipcDev := rng.Normal(0, p.DynamicVariation)
+			noise := rng.Normal(0, 0.01)
+			meas := est + r[cstate.C0]*cat.C0PowerP1*ipcDev + est*noise
+			if meas <= 0 {
+				meas = est
+			}
+			res.Samples = append(res.Samples, ValidationSample{
+				Utilization: u, Residencies: r, MeasuredW: meas, EstimatedW: est,
+			})
+			err := est - meas
+			if err < 0 {
+				err = -err
+			}
+			errSum += err / meas
+		}
+		res.AccuracyPercent = 100 * (1 - errSum/float64(len(p.Utilizations)))
+		out = append(out, res)
+	}
+	return out
+}

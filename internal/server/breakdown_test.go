@@ -1,0 +1,138 @@
+package server
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/governor"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestBreakdownComponentsSumToServerLatency(t *testing.T) {
+	res := run(t, quickCfg(governor.Baseline, 200e3))
+	b := res.Breakdown
+	sum := b.Wake.AvgUS + b.Queue.AvgUS + b.Service.AvgUS
+	if math.Abs(sum-res.Server.AvgUS)/res.Server.AvgUS > 0.05 {
+		t.Fatalf("breakdown sum %.2f vs server avg %.2f", sum, res.Server.AvgUS)
+	}
+	if b.Wake.Count == 0 || b.Service.Count == 0 {
+		t.Fatal("empty breakdown histograms")
+	}
+}
+
+func TestBreakdownWakeDominatesWithC6AtLowLoad(t *testing.T) {
+	// NT baseline at very low load: many requests pay C6's wake path
+	// (30us hardware exit + ~16us software, per the Sec. 3 breakdown;
+	// the remaining entry time shows up as queueing for arrivals that
+	// land mid-entry).
+	res := run(t, quickCfg(governor.NTBaseline, 10e3))
+	if res.Breakdown.Wake.P99US < 40 {
+		t.Fatalf("p99 wake %.1fus too small for a C6-heavy baseline", res.Breakdown.Wake.P99US)
+	}
+	// AW-style C6A-only config: wake bounded by the ~2us software path.
+	aw := run(t, quickCfg(governor.TC6ANoC6NoC1E, 10e3))
+	if aw.Breakdown.Wake.P99US > 5 {
+		t.Fatalf("C6A p99 wake %.1fus, want ~2us", aw.Breakdown.Wake.P99US)
+	}
+	if aw.Breakdown.Wake.P99US >= res.Breakdown.Wake.P99US {
+		t.Fatal("C6A wake not below C6 wake")
+	}
+}
+
+func TestBreakdownQueueGrowsWithLoad(t *testing.T) {
+	low := run(t, quickCfg(governor.NTNoC6NoC1E, 50e3))
+	high := run(t, quickCfg(governor.NTNoC6NoC1E, 500e3))
+	if high.Breakdown.Queue.AvgUS <= low.Breakdown.Queue.AvgUS {
+		t.Fatalf("queueing did not grow with load: %.2f vs %.2f",
+			high.Breakdown.Queue.AvgUS, low.Breakdown.Queue.AvgUS)
+	}
+}
+
+func TestClosedLoopThroughput(t *testing.T) {
+	cfg := Config{
+		Platform: governor.Baseline, Profile: workload.Memcached(),
+		Duration: 150 * sim.Millisecond, Warmup: 20 * sim.Millisecond,
+		Seed: 11, ClosedLoopConnections: 200, ThinkTime: 2 * sim.Millisecond,
+	}
+	res := run(t, cfg)
+	// Little's law: throughput ~ N / (think + response) with response
+	// ~tens of microseconds << think.
+	want := 200.0 / (2e-3)
+	if res.CompletedPerSec < want*0.8 || res.CompletedPerSec > want*1.1 {
+		t.Fatalf("closed-loop throughput %.0f, want ~%.0f", res.CompletedPerSec, want)
+	}
+	if res.Server.Count == 0 {
+		t.Fatal("no latency samples")
+	}
+}
+
+func TestClosedLoopIgnoresRate(t *testing.T) {
+	cfg := Config{
+		Platform: governor.Baseline, Profile: workload.Memcached(),
+		Duration: 80 * sim.Millisecond, Warmup: 10 * sim.Millisecond,
+		Seed: 12, RatePerSec: 1e6, // would be 1M QPS open loop
+		ClosedLoopConnections: 20, ThinkTime: 4 * sim.Millisecond,
+	}
+	res := run(t, cfg)
+	// 20 connections at 4ms think ~ 5K QPS, nowhere near 1M.
+	if res.CompletedPerSec > 50e3 {
+		t.Fatalf("closed loop leaked open-loop arrivals: %.0f/s", res.CompletedPerSec)
+	}
+}
+
+func TestClosedLoopSelfThrottles(t *testing.T) {
+	// A closed loop cannot over-saturate: even with zero think time the
+	// in-flight count is bounded by the connection count.
+	cfg := Config{
+		Platform: governor.Baseline, Profile: workload.Memcached(),
+		Duration: 80 * sim.Millisecond, Warmup: 10 * sim.Millisecond,
+		Seed: 13, ClosedLoopConnections: 10, ThinkTime: sim.Microsecond,
+	}
+	res := run(t, cfg)
+	// p99 stays bounded (no unbounded open-loop queue blowup).
+	if res.Server.P99US > 2000 {
+		t.Fatalf("closed loop queue blew up: p99 = %.0fus", res.Server.P99US)
+	}
+	if res.CompletedPerSec <= 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+func TestPerCoreStats(t *testing.T) {
+	res := run(t, quickCfg(governor.Baseline, 200e3))
+	if len(res.PerCore) != 20 {
+		t.Fatalf("per-core entries = %d", len(res.PerCore))
+	}
+	var powerSum float64
+	for _, cs := range res.PerCore {
+		sum := 0.0
+		for _, v := range cs.Residency {
+			if v < 0 {
+				t.Fatalf("core %d negative residency", cs.Core)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("core %d residency sums to %v", cs.Core, sum)
+		}
+		powerSum += cs.AvgPowerW
+	}
+	// Per-core powers average to the aggregate.
+	if math.Abs(powerSum/20-res.AvgCorePowerW) > 1e-9 {
+		t.Fatalf("per-core power mean %.4f vs aggregate %.4f", powerSum/20, res.AvgCorePowerW)
+	}
+	// Round-robin dispatch keeps cores roughly uniform.
+	var minP, maxP = math.Inf(1), 0.0
+	for _, cs := range res.PerCore {
+		if cs.AvgPowerW < minP {
+			minP = cs.AvgPowerW
+		}
+		if cs.AvgPowerW > maxP {
+			maxP = cs.AvgPowerW
+		}
+	}
+	if maxP/minP > 1.5 {
+		t.Fatalf("per-core power skew %.2f..%.2f too large", minP, maxP)
+	}
+}

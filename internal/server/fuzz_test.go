@@ -1,0 +1,123 @@
+package server
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cstate"
+	"repro/internal/governor"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestPropertyServerInvariants fuzzes platform configurations, loads and
+// seeds, and checks the physical invariants every run must satisfy.
+func TestPropertyServerInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz run skipped in -short")
+	}
+	profiles := []workload.Profile{workload.Memcached(), workload.Kafka(), workload.MySQL()}
+	configs := governor.AllConfigs()
+	f := func(cfgIdx, profIdx uint8, rateK uint16, seed uint64, policy uint8) bool {
+		cfg := configs[int(cfgIdx)%len(configs)]
+		prof := profiles[int(profIdx)%len(profiles)]
+		policies := []string{governor.PolicyMenu, governor.PolicyStatic, governor.PolicyLadder}
+		rate := float64(rateK%600) * 1000
+		res, err := RunConfig(Config{
+			Platform:       cfg,
+			GovernorPolicy: policies[int(policy)%len(policies)],
+			Profile:        prof,
+			RatePerSec:     rate,
+			Duration:       30 * sim.Millisecond,
+			Warmup:         5 * sim.Millisecond,
+			Seed:           seed,
+		})
+		if err != nil {
+			t.Logf("run error: %v", err)
+			return false
+		}
+		// Residency is a distribution.
+		sum := 0.0
+		for id, v := range res.Residency {
+			if v < -1e-9 {
+				t.Logf("negative residency %v", cstate.ID(id))
+				return false
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Logf("residency sum %v", sum)
+			return false
+		}
+		// Disabled states never visited.
+		for _, id := range cstate.Skylake().IdleStates() {
+			if !cfg.Enabled(id) && res.Residency[id] != 0 {
+				t.Logf("disabled state %v has residency", id)
+				return false
+			}
+		}
+		// Power within physical bounds (0..turbo C0 power).
+		if res.AvgCorePowerW < 0.05 || res.AvgCorePowerW > 9 {
+			t.Logf("implausible core power %v", res.AvgCorePowerW)
+			return false
+		}
+		// Energy consistency: avg power x window x cores == energy.
+		window := res.MeasuredDuration.Seconds()
+		wantE := res.AvgCorePowerW * window * 20
+		if res.EnergyJ > 0 && math.Abs(wantE-res.EnergyJ)/res.EnergyJ > 1e-6 {
+			t.Logf("energy %v vs %v", res.EnergyJ, wantE)
+			return false
+		}
+		// Throughput cannot exceed the offered load's burst ceiling: the
+		// Kafka MMPP process boosts its rate 4x while bursting, and a
+		// short window can land mostly inside a burst.
+		if rate > 0 && res.CompletedPerSec > rate*5+1000 {
+			t.Logf("throughput %v exceeds offered burst ceiling %v", res.CompletedPerSec, rate)
+			return false
+		}
+		// Latency summaries ordered.
+		sErr := res.Server
+		if sErr.P50US > sErr.P99US+1e-9 || sErr.P99US > sErr.MaxUS+1e-9 {
+			t.Logf("latency quantiles out of order: %+v", sErr)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnoopEventsServedAndCounted(t *testing.T) {
+	cfg := quickCfg(governor.TC6ANoC6NoC1E, 10e3)
+	cfg.SnoopRatePerSec = 100e3
+	res := run(t, cfg)
+	if res.SnoopsServed == 0 {
+		t.Fatal("no snoops served")
+	}
+	quiet := run(t, quickCfg(governor.TC6ANoC6NoC1E, 10e3))
+	if res.AvgCorePowerW <= quiet.AvgCorePowerW {
+		t.Fatal("snoop service did not raise power")
+	}
+}
+
+func TestSnoopsNotServedInC6(t *testing.T) {
+	// A core flushed into C6 does not service snoops (the uncore snoop
+	// filter answers them).
+	cfg := Config{
+		Platform:        governor.Config{Name: "C6only", Menu: []cstate.ID{cstate.C6}},
+		GovernorPolicy:  governor.PolicyStatic,
+		Profile:         workload.Memcached(),
+		RatePerSec:      0,
+		Duration:        60 * sim.Millisecond,
+		Warmup:          10 * sim.Millisecond,
+		Seed:            5,
+		SnoopRatePerSec: 100e3,
+		OSNoisePeriod:   -1,
+	}
+	res := run(t, cfg)
+	if res.SnoopsServed != 0 {
+		t.Fatalf("C6 cores served %d snoops", res.SnoopsServed)
+	}
+}

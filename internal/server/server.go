@@ -1,0 +1,854 @@
+// Package server is the discrete-event model of the paper's evaluation
+// platform: a 2-socket, 10-core-per-socket (20 logical CPU) Skylake
+// server running one latency-critical service. Requests arrive open-loop,
+// are dispatched to per-core queues, and execute at the core's current
+// frequency; idle cores enter C-states chosen by an OS governor and pay
+// entry/exit latencies on wake-up. The simulator produces exactly the
+// quantities the paper measures on hardware: per-C-state residencies and
+// transition counts, RAPL-style average power, and average/tail request
+// latency (server-side and end-to-end).
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/cstate"
+	"repro/internal/governor"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/turbo"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Cores is the number of logical CPUs (paper platform: 20).
+	Cores int
+	// Catalog supplies C-state parameters (power, latencies).
+	Catalog *cstate.Catalog
+	// Platform is the named C-state/Turbo configuration under test.
+	Platform governor.Config
+	// GovernorPolicy selects the idle-selection policy (default menu).
+	GovernorPolicy string
+	// Profile is the service being run.
+	Profile workload.Profile
+	// RatePerSec is the aggregate offered load (QPS).
+	RatePerSec float64
+	// Duration is the measured interval; Warmup runs before it.
+	Duration sim.Time
+	Warmup   sim.Time
+	// Seed makes the run reproducible.
+	Seed uint64
+
+	// UncoreW is the constant package power outside the cores (two
+	// sockets' uncore, calibrated so package power matches Fig. 9(c)).
+	UncoreW float64
+	// Freq is the platform frequency plan.
+	Freq turbo.FreqPlan
+	// TurboSustainedW / TurboCapacityJ parameterize the thermal budget.
+	TurboSustainedW float64
+	TurboCapacityJ  float64
+	// FixedFreqHz, when nonzero, pins the non-turbo frequency (used by
+	// the Fig. 8(d) scalability experiment).
+	FixedFreqHz float64
+
+	// AWFreqLossFraction is the ~1 % frequency degradation the UFPG power
+	// gates impose when the platform uses AW states (Sec. 5.1.1).
+	AWFreqLossFraction float64
+
+	// SnoopRatePerSec is the per-core rate of incoming snoop requests
+	// served while idle (0 disables snoop modeling).
+	SnoopRatePerSec float64
+	// SnoopServiceTime is the cache-domain active time per snoop.
+	SnoopServiceTime sim.Time
+
+	// OSNoisePeriod is the mean gap between per-core background OS
+	// wake-ups (timer ticks, kernel housekeeping, NIC interrupts). These
+	// are what keep real servers out of deep C-states even at light load
+	// (Sec. 2); set to a negative value to disable.
+	OSNoisePeriod sim.Time
+	// OSNoiseDemand is the CPU demand of one background wake-up.
+	OSNoiseDemand sim.Time
+
+	// TraceHook, when set, receives every per-core C-state change
+	// (core, time, new state) — the power:cpu_idle trace of this
+	// simulator. See internal/trace for a recorder implementation.
+	TraceHook func(core int, now sim.Time, state cstate.ID)
+
+	// PkgIdleEnabled turns on the package idle-state model: when every
+	// core has been resident in an idle state for PkgEntryDelay, the
+	// uncore drops to PkgUncoreLowW until any core wakes. This extends
+	// the paper toward its companion direction (AgilePkgC [9]): core
+	// C-states alone leave the uncore burning full power.
+	PkgIdleEnabled bool
+	// PkgEntryDelay is the all-idle hysteresis before the package state
+	// engages (legacy package C-states need hundreds of microseconds).
+	PkgEntryDelay sim.Time
+	// PkgUncoreLowW is the uncore power while the package state holds.
+	PkgUncoreLowW float64
+
+	// ClosedLoopConnections switches the load generator from open-loop
+	// (Poisson at RatePerSec) to a closed loop of N connections, each
+	// issuing its next request ThinkTime after the previous response —
+	// the Mutilate agent model. RatePerSec is ignored when > 0.
+	ClosedLoopConnections int
+	// ThinkTime is the mean exponential think time per connection.
+	ThinkTime sim.Time
+}
+
+// Defaults fills unset fields with the paper's platform values.
+func (c Config) Defaults() Config {
+	if c.Cores == 0 {
+		c.Cores = 20
+	}
+	if c.Catalog == nil {
+		c.Catalog = cstate.Skylake()
+	}
+	if c.GovernorPolicy == "" {
+		c.GovernorPolicy = governor.PolicyMenu
+	}
+	if c.Duration == 0 {
+		c.Duration = 500 * sim.Millisecond
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 50 * sim.Millisecond
+	}
+	if c.UncoreW == 0 {
+		c.UncoreW = 30 // two sockets' uncore
+	}
+	if c.Freq == (turbo.FreqPlan{}) {
+		c.Freq = turbo.Xeon4114()
+	}
+	if c.TurboSustainedW == 0 {
+		// Chosen between the high-load package power of a C1-parked
+		// configuration (~73 W) and a C1E-parked one (~65 W), so that
+		// high idle power starves Turbo of thermal headroom (Sec. 7.3).
+		c.TurboSustainedW = 68
+	}
+	if c.TurboCapacityJ == 0 {
+		// Small enough that sustained over-budget operation exhausts it
+		// within a measurement window (real turbo time constants are
+		// seconds; windows here are hundreds of milliseconds).
+		c.TurboCapacityJ = 0.5
+	}
+	if c.AWFreqLossFraction == 0 {
+		c.AWFreqLossFraction = 0.01
+	}
+	if c.SnoopServiceTime == 0 {
+		c.SnoopServiceTime = sim.Microsecond
+	}
+	if c.OSNoisePeriod == 0 {
+		c.OSNoisePeriod = sim.Millisecond
+	}
+	if c.OSNoiseDemand == 0 {
+		c.OSNoiseDemand = 2 * sim.Microsecond
+	}
+	if c.PkgEntryDelay == 0 {
+		c.PkgEntryDelay = 100 * sim.Microsecond
+	}
+	if c.ClosedLoopConnections > 0 && c.ThinkTime == 0 {
+		c.ThinkTime = sim.Millisecond
+	}
+	if c.PkgUncoreLowW == 0 {
+		c.PkgUncoreLowW = 12
+	}
+	return c
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("server: cores = %d", c.Cores)
+	}
+	if err := c.Platform.Validate(); err != nil {
+		return err
+	}
+	if err := c.Profile.Validate(); err != nil {
+		return err
+	}
+	if c.RatePerSec < 0 {
+		return fmt.Errorf("server: negative rate")
+	}
+	return c.Freq.Validate()
+}
+
+// LatencySummary condenses a latency distribution (microseconds).
+type LatencySummary struct {
+	Count         uint64
+	AvgUS, P50US  float64
+	P95US, P99US  float64
+	P999US, MaxUS float64
+}
+
+// BreakdownSummary decomposes server-side latency (all microseconds):
+// Wake is the C-state exit penalty paid by requests that found their
+// core idle; Queue is time spent waiting behind other requests; Service
+// is execution time. Wake+Queue+Service ≈ Server latency.
+type BreakdownSummary struct {
+	Wake    LatencySummary
+	Queue   LatencySummary
+	Service LatencySummary
+}
+
+func summarize(h *stats.Histogram) LatencySummary {
+	return LatencySummary{
+		Count: h.Count(),
+		AvgUS: h.Mean(), P50US: h.Quantile(0.50),
+		P95US: h.Quantile(0.95), P99US: h.Quantile(0.99),
+		P999US: h.Quantile(0.999), MaxUS: h.Max(),
+	}
+}
+
+// Result aggregates one run's measurements over the measured interval.
+type Result struct {
+	Config Config
+
+	// Residency is the core-time fraction in each C-state.
+	Residency [cstate.NumStates]float64
+	// TransitionsPerSec is the per-second rate of entries into each
+	// state, aggregated over all cores.
+	TransitionsPerSec [cstate.NumStates]float64
+
+	// AvgCorePowerW is the mean per-core power (cores only).
+	AvgCorePowerW float64
+	// PackagePowerW = cores + uncore.
+	PackagePowerW float64
+	// EnergyJ is total core energy over the measured window.
+	EnergyJ float64
+
+	// Server and EndToEnd latency summaries; end-to-end adds network RTT.
+	Server   LatencySummary
+	EndToEnd LatencySummary
+
+	// Breakdown decomposes server-side latency into its components.
+	Breakdown BreakdownSummary
+
+	// CompletedPerSec is the achieved throughput.
+	CompletedPerSec float64
+	// TurboFraction is the share of busy time spent at Turbo frequency.
+	TurboFraction float64
+	// MeasuredDuration is the length of the measured window.
+	MeasuredDuration sim.Time
+
+	// UncoreAvgW is the average uncore power (constant UncoreW unless
+	// the package idle-state model is enabled).
+	UncoreAvgW float64
+	// PkgIdleFraction is the share of the window the package idle state
+	// held (0 unless PkgIdleEnabled).
+	PkgIdleFraction float64
+	// SnoopsServed counts coherence requests serviced by idle cores over
+	// the whole run (0 unless SnoopRatePerSec > 0).
+	SnoopsServed uint64
+
+	// PerCore carries per-CPU measurements (round-robin dispatch keeps
+	// them nearly uniform; skew indicates a modeling or policy change).
+	PerCore []CoreStats
+}
+
+// CoreStats is one logical CPU's measurement over the window.
+type CoreStats struct {
+	Core      int
+	Residency [cstate.NumStates]float64
+	AvgPowerW float64
+}
+
+type request struct {
+	arrival sim.Time
+	demand  sim.Time // at reference frequency
+	// background marks OS-noise work, excluded from latency/throughput.
+	background bool
+	// wake is the wake-up latency attributed to this request (the head
+	// request that found the core idle pays the exit flow).
+	wake sim.Time
+	// conn is the closed-loop connection index (-1 for open loop).
+	conn int
+}
+
+type coreRuntime struct {
+	idx     int
+	machine *cstate.Machine
+	gov     governor.Governor
+	meter   *stats.EnergyMeter
+	queue   []request
+	busy    bool
+	// idleStart is when the core last became idle (for governor feedback).
+	idleStart sim.Time
+	// curPowerW is the core's current draw, mirrored into the package
+	// total for turbo-budget accounting.
+	curPowerW float64
+	// busyAtTurbo accumulates busy time at turbo frequency.
+	busyTime, turboBusyTime sim.Time
+	// lastTraced deduplicates TraceHook callbacks.
+	lastTraced cstate.ID
+	// snoopGen invalidates in-flight snoop-service timers when the core
+	// leaves its idle episode.
+	snoopGen uint64
+}
+
+// Sim is a fully constructed simulation run.
+type Sim struct {
+	cfg     Config
+	eng     *sim.Engine
+	cores   []*coreRuntime
+	arrRand *xrand.Rand
+	svcRand *xrand.Rand
+	netRand *xrand.Rand
+	budget  *turbo.Budget
+	cpower  *turbo.CorePower
+
+	nextCore int
+	totalPwr float64
+
+	measuring     bool
+	measureStart  sim.Time
+	serverLat     *stats.Histogram
+	e2eLat        *stats.Histogram
+	wakeLat       *stats.Histogram
+	queueLat      *stats.Histogram
+	serviceLat    *stats.Histogram
+	completed     uint64
+	preTrans      [cstate.NumStates]uint64
+	preResidency  [cstate.NumStates]float64
+	preCoreRes    [][cstate.NumStates]float64
+	preTransTaken bool
+
+	// snoopsServed counts snoops serviced by idle cores.
+	snoopsServed uint64
+
+	// Package idle-state model.
+	idleCores    int
+	pkgActive    bool
+	pkgEvent     *sim.Event
+	pkgIdleStart sim.Time
+	pkgIdleTotal sim.Time
+	uncoreMeter  *stats.EnergyMeter
+}
+
+// uncorePower returns the current uncore draw.
+func (s *Sim) uncorePower() float64 {
+	if s.pkgActive {
+		return s.cfg.PkgUncoreLowW
+	}
+	return s.cfg.UncoreW
+}
+
+// coreBecameIdle is called when a core reaches PhaseIdle residency.
+func (s *Sim) coreBecameIdle(now sim.Time) {
+	s.idleCores++
+	if !s.cfg.PkgIdleEnabled || s.idleCores < len(s.cores) || s.pkgActive || s.pkgEvent != nil {
+		return
+	}
+	s.pkgEvent = s.eng.Schedule(s.cfg.PkgEntryDelay, func(t sim.Time) {
+		s.pkgEvent = nil
+		if s.idleCores == len(s.cores) && !s.pkgActive {
+			s.pkgActive = true
+			s.pkgIdleStart = t
+			s.uncoreMeter.SetPower(int64(t), s.cfg.PkgUncoreLowW)
+		}
+	})
+}
+
+// coreLeftIdle is called when an idle core starts waking.
+func (s *Sim) coreLeftIdle(now sim.Time) {
+	s.idleCores--
+	if s.pkgEvent != nil {
+		s.eng.Cancel(s.pkgEvent)
+		s.pkgEvent = nil
+	}
+	if s.pkgActive {
+		s.pkgActive = false
+		s.pkgIdleTotal += now - s.pkgIdleStart
+		s.uncoreMeter.SetPower(int64(now), s.cfg.UncoreW)
+	}
+}
+
+// coreResidencySnapshot returns one core's cumulative per-state
+// residency (ns) as of time at, attributing the open interval to the
+// current state.
+func coreResidencySnapshot(c *coreRuntime, at sim.Time) [cstate.NumStates]float64 {
+	var out [cstate.NumStates]float64
+	r := c.machine.Residency()
+	for id := 0; id < int(cstate.NumStates); id++ {
+		out[id] = float64(r.TimeIn(id))
+	}
+	out[r.Current()] += float64(int64(at) - r.Total())
+	return out
+}
+
+// residencySnapshot returns cumulative per-state residency (ns) across
+// all cores as of time at.
+func (s *Sim) residencySnapshot(at sim.Time) [cstate.NumStates]float64 {
+	var out [cstate.NumStates]float64
+	for _, c := range s.cores {
+		one := coreResidencySnapshot(c, at)
+		for id := range out {
+			out[id] += one[id]
+		}
+	}
+	return out
+}
+
+// New constructs a simulation from the config (after applying defaults).
+func New(cfg Config) (*Sim, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		cfg:       cfg,
+		eng:       sim.NewEngine(),
+		arrRand:   xrand.NewStream(cfg.Seed, "arrivals/"+cfg.Profile.Name),
+		svcRand:   xrand.NewStream(cfg.Seed, "service/"+cfg.Profile.Name),
+		netRand:   xrand.NewStream(cfg.Seed, "network/"+cfg.Profile.Name),
+		budget:    turbo.NewBudget(cfg.TurboSustainedW, cfg.TurboCapacityJ),
+		cpower:    turbo.NewCorePower(cfg.Freq),
+		serverLat: stats.NewHistogram(),
+		e2eLat:    stats.NewHistogram(),
+	}
+	s.wakeLat = stats.NewHistogram()
+	s.queueLat = stats.NewHistogram()
+	s.serviceLat = stats.NewHistogram()
+	s.uncoreMeter = stats.NewEnergyMeter(0, cfg.UncoreW)
+	for i := 0; i < cfg.Cores; i++ {
+		gov, err := governor.New(cfg.GovernorPolicy, cfg.Catalog)
+		if err != nil {
+			return nil, err
+		}
+		c := &coreRuntime{
+			idx:     i,
+			machine: cstate.NewMachine(cfg.Catalog, 0),
+			gov:     gov,
+			meter:   stats.NewEnergyMeter(0, 0),
+		}
+		s.cores = append(s.cores, c)
+		if cfg.TraceHook != nil {
+			cfg.TraceHook(i, 0, cstate.C0)
+		}
+		// Cores start idle: enter a C-state immediately.
+		s.enterIdle(c, 0)
+	}
+	return s, nil
+}
+
+// traceSwitch reports a residency change to the trace hook, suppressing
+// duplicates.
+func (s *Sim) traceSwitch(c *coreRuntime, now sim.Time, st cstate.ID) {
+	if s.cfg.TraceHook == nil || c.lastTraced == st {
+		return
+	}
+	c.lastTraced = st
+	s.cfg.TraceHook(c.idx, now, st)
+}
+
+// baseFreq returns the core's non-turbo operating frequency.
+func (s *Sim) baseFreq() float64 {
+	f := s.cfg.Freq.BaseHz
+	if s.cfg.FixedFreqHz > 0 {
+		f = s.cfg.FixedFreqHz
+	}
+	if s.cfg.Platform.AgileWatts {
+		f *= 1 - s.cfg.AWFreqLossFraction
+	}
+	return f
+}
+
+// serviceFreq decides the frequency for a service slice starting now.
+func (s *Sim) serviceFreq() float64 {
+	if s.cfg.Platform.Turbo && s.budget.BoostAllowed() {
+		f := s.cfg.Freq.TurboHz
+		if s.cfg.Platform.AgileWatts {
+			f *= 1 - s.cfg.AWFreqLossFraction
+		}
+		return f
+	}
+	return s.baseFreq()
+}
+
+// setCorePower accounts a power change on core c at time now, updating
+// the turbo budget with the package power that applied until now.
+func (s *Sim) setCorePower(c *coreRuntime, now sim.Time, watts float64) {
+	s.budget.Update(int64(now), s.totalPwr+s.uncorePower())
+	s.totalPwr += watts - c.curPowerW
+	c.curPowerW = watts
+	c.meter.SetPower(int64(now), watts)
+}
+
+// idlePower returns the resident power of an idle state (snoop service
+// is accounted event-wise; see snoopArrive).
+func (s *Sim) idlePower(id cstate.ID) float64 {
+	return s.cfg.Catalog.Params(id).PowerWatts
+}
+
+// snoopArrive models one coherence request hitting core c (Sec. 4.2):
+// if the core is resident in a cache-coherent idle state, the CCSM wakes
+// the cache domain for SnoopServiceTime at the state's snoop power, then
+// returns it to sleep. Cores in C6 flushed their caches — the snoop is
+// answered by the uncore snoop filter at no core cost. Active cores
+// serve snoops within their normal operation.
+func (s *Sim) snoopArrive(c *coreRuntime, rng *xrand.Rand, now sim.Time) {
+	if c.machine.Phase() == cstate.PhaseIdle {
+		st := c.machine.State()
+		if cstate.ComponentsOf(st).Caches == cstate.CacheCoherent {
+			s.snoopsServed++
+			p := s.cfg.Catalog.Params(st)
+			s.setCorePower(c, now, p.SnoopPowerWatts)
+			gen := c.snoopGen
+			s.eng.Schedule(s.cfg.SnoopServiceTime, func(t sim.Time) {
+				// Return to sleep power only if the core is still resident
+				// in the same idle episode.
+				if c.snoopGen == gen && c.machine.Phase() == cstate.PhaseIdle {
+					s.setCorePower(c, t, s.idlePower(c.machine.State()))
+				}
+			})
+		}
+	}
+	gap := sim.Time(rng.Exp(1e9 / s.cfg.SnoopRatePerSec))
+	if gap < 1 {
+		gap = 1
+	}
+	s.eng.Schedule(gap, func(t sim.Time) { s.snoopArrive(c, rng, t) })
+}
+
+// enterIdle runs the governor and starts the entry flow on core c.
+func (s *Sim) enterIdle(c *coreRuntime, now sim.Time) {
+	c.idleStart = now
+	id := c.gov.Select(now, s.cfg.Platform.Menu)
+	if id == cstate.C0 {
+		// Empty menu: the core polls in C0 at active power.
+		s.setCorePower(c, now, s.cpower.AtFreq(s.baseFreq()))
+		return
+	}
+	entry := c.machine.Enter(id, now)
+	// Entry flows burn roughly active power.
+	s.setCorePower(c, now, s.cpower.AtFreq(s.baseFreq()))
+	s.eng.Schedule(entry, func(t sim.Time) { s.entryDone(c, t) })
+}
+
+func (s *Sim) entryDone(c *coreRuntime, now sim.Time) {
+	mustExit, exitLat := c.machine.EntryComplete(now)
+	s.traceSwitch(c, now, c.machine.State())
+	if mustExit {
+		// An arrival landed during entry; the wake penalty also includes
+		// the software exit path.
+		s.setCorePower(c, now, s.exitPower(c.machine.State()))
+		penalty := exitLat + s.swExitOverhead(c.machine.State())
+		if len(c.queue) > 0 {
+			c.queue[0].wake = penalty
+		}
+		s.eng.Schedule(penalty, func(t sim.Time) { s.exitDone(c, t) })
+		return
+	}
+	s.setCorePower(c, now, s.idlePower(c.machine.State()))
+	s.coreBecameIdle(now)
+}
+
+// swExitOverhead is the software share of the OS-visible transition time:
+// Table 1's worst case minus the hardware entry+exit flows.
+func (s *Sim) swExitOverhead(id cstate.ID) sim.Time {
+	p := s.cfg.Catalog.Params(id)
+	sw := p.TransitionTime - p.HWEntryLatency - p.HWExitLatency
+	if sw < 0 {
+		return 0
+	}
+	return sw
+}
+
+// exitPower returns the power burned during the wake-up flow from state
+// id: states that idle at the Pn operating point (C1E/C6AE) execute
+// their exit path — IRQ entry, scheduler, DVFS ramp — at the minimum
+// frequency's active power (~1 W), while P1 states exit at full active
+// power.
+func (s *Sim) exitPower(id cstate.ID) float64 {
+	if s.cfg.Catalog.Params(id).PStateOnEntry == cstate.Pn {
+		return s.cpower.AtFreq(s.cfg.Freq.MinHz)
+	}
+	return s.cpower.AtFreq(s.baseFreq())
+}
+
+// wake is called when work arrives at an idle core.
+func (s *Sim) wake(c *coreRuntime, now sim.Time) {
+	switch c.machine.Phase() {
+	case cstate.PhaseIdle:
+		state := c.machine.State()
+		c.gov.Observe(now - c.idleStart)
+		exitLat, _ := c.machine.Wake(now)
+		c.snoopGen++
+		s.coreLeftIdle(now)
+		s.traceSwitch(c, now, cstate.C0)
+		s.setCorePower(c, now, s.exitPower(state))
+		penalty := exitLat + s.swExitOverhead(state)
+		if len(c.queue) > 0 {
+			c.queue[0].wake = penalty
+		}
+		s.eng.Schedule(penalty, func(t sim.Time) { s.exitDone(c, t) })
+	case cstate.PhaseEntering:
+		c.gov.Observe(now - c.idleStart)
+		c.machine.Wake(now) // deferred until entryDone
+	case cstate.PhaseExiting:
+		// Already waking; the queued request will start at exitDone.
+	case cstate.PhaseActive:
+		// Polling in C0 (empty menu): start immediately.
+		if !c.busy {
+			s.startNext(c, now)
+		}
+	}
+}
+
+func (s *Sim) exitDone(c *coreRuntime, now sim.Time) {
+	c.machine.ExitComplete(now)
+	s.traceSwitch(c, now, cstate.C0)
+	if len(c.queue) > 0 {
+		s.startNext(c, now)
+		return
+	}
+	// Spurious wake (e.g. request was handled elsewhere — not expected in
+	// this model, but keep the machine consistent).
+	s.enterIdle(c, now)
+}
+
+func (s *Sim) startNext(c *coreRuntime, now sim.Time) {
+	req := c.queue[0]
+	c.queue = c.queue[1:]
+	c.busy = true
+	freq := s.serviceFreq()
+	dur := turbo.ScaleServiceTime(req.demand, s.cfg.Profile.FreqScalability, s.cfg.Profile.RefFreqHz, freq)
+	if dur < 1 {
+		dur = 1
+	}
+	s.setCorePower(c, now, s.cpower.AtFreq(freq))
+	if s.measuring {
+		c.busyTime += dur
+		if freq > s.baseFreq()+1 {
+			c.turboBusyTime += dur
+		}
+		if !req.background {
+			waited := now - req.arrival
+			wake := req.wake
+			if wake > waited {
+				wake = waited
+			}
+			s.wakeLat.Add(wake.Micros())
+			s.queueLat.Add((waited - wake).Micros())
+			s.serviceLat.Add(dur.Micros())
+		}
+	}
+	s.eng.Schedule(dur, func(t sim.Time) { s.complete(c, req, t) })
+}
+
+func (s *Sim) complete(c *coreRuntime, req request, now sim.Time) {
+	c.busy = false
+	if s.measuring && !req.background {
+		latUS := (now - req.arrival).Micros()
+		s.serverLat.Add(latUS)
+		s.e2eLat.Add(latUS + s.cfg.Profile.SampleNetwork(s.netRand).Micros())
+		s.completed++
+	}
+	if req.conn >= 0 {
+		s.connThink(req.conn, now)
+	}
+	if len(c.queue) > 0 {
+		s.startNext(c, now)
+		return
+	}
+	s.enterIdle(c, now)
+}
+
+// dispatch enqueues one request round-robin.
+func (s *Sim) dispatch(now sim.Time, conn int) {
+	c := s.cores[s.nextCore]
+	s.nextCore = (s.nextCore + 1) % len(s.cores)
+	req := request{arrival: now, demand: s.cfg.Profile.Service.Sample(s.svcRand), conn: conn}
+	c.queue = append(c.queue, req)
+	if !c.busy {
+		s.wake(c, now)
+	}
+}
+
+// arrival dispatches one open-loop request and schedules the next.
+func (s *Sim) arrival(now sim.Time) {
+	s.dispatch(now, -1)
+	gap := s.cfg.Profile.Arrivals.NextGap(s.arrRand, s.cfg.RatePerSec)
+	if gap < sim.MaxTime-now {
+		s.eng.Schedule(gap, func(t sim.Time) { s.arrival(t) })
+	}
+}
+
+// connThink schedules a closed-loop connection's next request.
+func (s *Sim) connThink(conn int, now sim.Time) {
+	think := sim.Time(s.arrRand.Exp(float64(s.cfg.ThinkTime)))
+	if think < 1 {
+		think = 1
+	}
+	s.eng.Schedule(think, func(t sim.Time) { s.dispatch(t, conn) })
+}
+
+// noise injects one background OS wake-up on core c and reschedules.
+func (s *Sim) noise(c *coreRuntime, rng *xrand.Rand, now sim.Time) {
+	c.queue = append(c.queue, request{arrival: now, demand: s.cfg.OSNoiseDemand, background: true, conn: -1})
+	if !c.busy {
+		s.wake(c, now)
+	}
+	gap := sim.Time(rng.Exp(float64(s.cfg.OSNoisePeriod)))
+	if gap < sim.Microsecond {
+		gap = sim.Microsecond
+	}
+	s.eng.Schedule(gap, func(t sim.Time) { s.noise(c, rng, t) })
+}
+
+// Run executes the configured warmup + measurement and returns results.
+func (s *Sim) Run() Result {
+	switch {
+	case s.cfg.ClosedLoopConnections > 0:
+		for i := 0; i < s.cfg.ClosedLoopConnections; i++ {
+			conn := i
+			// Stagger connection starts across one think time.
+			start := sim.Time(s.arrRand.Exp(float64(s.cfg.ThinkTime))) + 1
+			s.eng.ScheduleAt(start, func(t sim.Time) { s.dispatch(t, conn) })
+		}
+	case s.cfg.RatePerSec > 0:
+		gap := s.cfg.Profile.Arrivals.NextGap(s.arrRand, s.cfg.RatePerSec)
+		s.eng.ScheduleAt(gap, func(t sim.Time) { s.arrival(t) })
+	}
+	if s.cfg.OSNoisePeriod > 0 {
+		for i, c := range s.cores {
+			rng := xrand.NewStream(s.cfg.Seed, fmt.Sprintf("osnoise/%d", i))
+			first := sim.Time(rng.Exp(float64(s.cfg.OSNoisePeriod)))
+			c := c
+			s.eng.ScheduleAt(first+1, func(t sim.Time) { s.noise(c, rng, t) })
+		}
+	}
+	if s.cfg.SnoopRatePerSec > 0 {
+		for i, c := range s.cores {
+			rng := xrand.NewStream(s.cfg.Seed, fmt.Sprintf("snoop/%d", i))
+			first := sim.Time(rng.Exp(1e9/s.cfg.SnoopRatePerSec)) + 1
+			c := c
+			s.eng.ScheduleAt(first, func(t sim.Time) { s.snoopArrive(c, rng, t) })
+		}
+	}
+	// Warmup.
+	s.eng.RunUntil(s.cfg.Warmup)
+	s.eng.AdvanceTo(s.cfg.Warmup)
+	s.beginMeasurement()
+	end := s.cfg.Warmup + s.cfg.Duration
+	s.eng.RunUntil(end)
+	return s.collect(end)
+}
+
+func (s *Sim) beginMeasurement() {
+	s.measuring = true
+	s.measureStart = s.eng.Now()
+	for i, c := range s.cores {
+		_ = i
+		// Reset energy accounting to the measurement window.
+		c.meter = stats.NewEnergyMeter(int64(s.eng.Now()), c.curPowerW)
+	}
+	s.uncoreMeter = stats.NewEnergyMeter(int64(s.eng.Now()), s.uncorePower())
+	s.pkgIdleTotal = 0
+	if s.pkgActive {
+		s.pkgIdleStart = s.eng.Now()
+	}
+	if !s.preTransTaken {
+		for id := 0; id < int(cstate.NumStates); id++ {
+			var sum uint64
+			for _, c := range s.cores {
+				sum += c.machine.Transitions(cstate.ID(id))
+			}
+			s.preTrans[id] = sum
+		}
+		s.preResidency = s.residencySnapshot(s.measureStart)
+		s.preCoreRes = make([][cstate.NumStates]float64, len(s.cores))
+		for i, c := range s.cores {
+			s.preCoreRes[i] = coreResidencySnapshot(c, s.measureStart)
+		}
+		s.preTransTaken = true
+	}
+}
+
+func (s *Sim) collect(end sim.Time) Result {
+	res := Result{Config: s.cfg, MeasuredDuration: end - s.measureStart}
+	windowSec := (end - s.measureStart).Seconds()
+	var totalEnergy float64
+	var busy, turboBusy sim.Time
+	for _, c := range s.cores {
+		totalEnergy += c.meter.Energy(int64(end))
+		busy += c.busyTime
+		turboBusy += c.turboBusyTime
+	}
+	endSnap := s.residencySnapshot(end)
+	var residencyNS [cstate.NumStates]float64
+	for id := range residencyNS {
+		residencyNS[id] = endSnap[id] - s.preResidency[id]
+	}
+	var totalNS float64
+	for _, v := range residencyNS {
+		totalNS += v
+	}
+	for id := range res.Residency {
+		if totalNS > 0 {
+			res.Residency[id] = residencyNS[id] / totalNS
+		}
+	}
+	for id := 0; id < int(cstate.NumStates); id++ {
+		var sum uint64
+		for _, c := range s.cores {
+			sum += c.machine.Transitions(cstate.ID(id))
+		}
+		if windowSec > 0 {
+			res.TransitionsPerSec[id] = float64(sum-s.preTrans[id]) / windowSec
+		}
+	}
+	if windowSec > 0 {
+		res.AvgCorePowerW = totalEnergy / windowSec / float64(len(s.cores))
+		res.CompletedPerSec = float64(s.completed) / windowSec
+	}
+	res.UncoreAvgW = s.uncoreMeter.AveragePower(int64(end))
+	pkgIdle := s.pkgIdleTotal
+	if s.pkgActive {
+		pkgIdle += end - s.pkgIdleStart
+	}
+	if end > s.measureStart {
+		res.PkgIdleFraction = float64(pkgIdle) / float64(end-s.measureStart)
+	}
+	res.PackagePowerW = res.AvgCorePowerW*float64(len(s.cores)) + res.UncoreAvgW
+	res.EnergyJ = totalEnergy
+	res.SnoopsServed = s.snoopsServed
+	for i, c := range s.cores {
+		cs := CoreStats{Core: i}
+		snap := coreResidencySnapshot(c, end)
+		var coreTotal float64
+		for id := range snap {
+			snap[id] -= s.preCoreRes[i][id]
+			coreTotal += snap[id]
+		}
+		for id := range snap {
+			if coreTotal > 0 {
+				cs.Residency[id] = snap[id] / coreTotal
+			}
+		}
+		if windowSec > 0 {
+			cs.AvgPowerW = c.meter.Energy(int64(end)) / windowSec
+		}
+		res.PerCore = append(res.PerCore, cs)
+	}
+	res.Server = summarize(s.serverLat)
+	res.EndToEnd = summarize(s.e2eLat)
+	res.Breakdown = BreakdownSummary{
+		Wake:    summarize(s.wakeLat),
+		Queue:   summarize(s.queueLat),
+		Service: summarize(s.serviceLat),
+	}
+	if busy > 0 {
+		res.TurboFraction = float64(turboBusy) / float64(busy)
+	}
+	return res
+}
+
+// RunConfig is the package-level convenience: construct and run.
+func RunConfig(cfg Config) (Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(), nil
+}

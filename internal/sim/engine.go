@@ -1,0 +1,237 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Time is modeled as int64 nanoseconds from simulation start. Events are
+// ordered by (time, priority, insertion sequence), which makes runs fully
+// deterministic for a given schedule: two events at the same instant fire
+// in the order they were scheduled unless an explicit priority says
+// otherwise.
+//
+// The engine is the substrate for every experiment in this repository:
+// request arrivals, service completions, C-state transitions, snoop
+// traffic and turbo-budget updates are all events on a single queue.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a simulation timestamp in nanoseconds since simulation start.
+type Time int64
+
+// Common durations expressed in simulation ticks.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1_000
+	Millisecond Time = 1_000_000
+	Second      Time = 1_000_000_000
+)
+
+// MaxTime is the largest representable simulation time.
+const MaxTime Time = math.MaxInt64
+
+// Duration converts a standard library duration to simulation ticks.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros reports t as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats the time as microseconds, the natural unit of this paper.
+func (t Time) String() string { return fmt.Sprintf("%.3fus", t.Micros()) }
+
+// Handler is a callback invoked when an event fires. The engine passes the
+// current simulation time (equal to the event's scheduled time).
+type Handler func(now Time)
+
+// Event is a scheduled callback. The zero value is invalid; events are
+// created through Engine.Schedule and friends.
+type Event struct {
+	when     Time
+	priority int
+	seq      uint64
+	fn       Handler
+	index    int // heap index; -1 when not queued
+	canceled bool
+}
+
+// When reports the time at which the event is scheduled to fire.
+func (e *Event) When() Time { return e.when }
+
+// Canceled reports whether the event has been canceled.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	a, b := q[i], q[j]
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	if a.priority != b.priority {
+		return a.priority < b.priority
+	}
+	return a.seq < b.seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of events currently queued (including
+// canceled events that have not yet been popped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// ScheduleAt queues fn to run at absolute time when. Scheduling in the
+// past panics: it always indicates a model bug, and silently clamping
+// would corrupt residency accounting.
+func (e *Engine) ScheduleAt(when Time, fn Handler) *Event {
+	return e.ScheduleAtPriority(when, 0, fn)
+}
+
+// ScheduleAtPriority queues fn at an absolute time with an explicit
+// priority. Lower priorities fire first among events at the same instant.
+func (e *Engine) ScheduleAtPriority(when Time, priority int, fn Handler) *Event {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", when, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil handler")
+	}
+	e.seq++
+	ev := &Event{when: when, priority: priority, seq: e.seq, fn: fn, index: -1}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Schedule queues fn to run after the given delay from now.
+func (e *Engine) Schedule(delay Time, fn Handler) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// Cancel marks ev as canceled. A canceled event is skipped when popped.
+// Canceling an already-fired or already-canceled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled {
+		return
+	}
+	ev.canceled = true
+	if ev.index >= 0 {
+		heap.Remove(&e.queue, ev.index)
+	}
+}
+
+// Stop makes the current Run return after the in-flight handler finishes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single next event, advancing the clock to its time.
+// It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		if ev.when < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.when
+		e.fired++
+		ev.fn(e.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the queue is exhausted, Stop is called,
+// or the next event lies strictly beyond the horizon. The clock is left at
+// min(horizon, time of last executed event); callers that want the clock
+// parked exactly at the horizon should call AdvanceTo afterwards.
+func (e *Engine) RunUntil(horizon Time) {
+	e.stopped = false
+	for !e.stopped {
+		next, ok := e.peek()
+		if !ok || next.when > horizon {
+			return
+		}
+		e.Step()
+	}
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// AdvanceTo moves the clock forward to when without executing events.
+// It panics if a pending event is scheduled before when, or when is in
+// the past.
+func (e *Engine) AdvanceTo(when Time) {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: advance to %v before now %v", when, e.now))
+	}
+	if next, ok := e.peek(); ok && next.when < when {
+		panic("sim: AdvanceTo would skip a pending event")
+	}
+	e.now = when
+}
+
+func (e *Engine) peek() (*Event, bool) {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if !ev.canceled {
+			return ev, true
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil, false
+}

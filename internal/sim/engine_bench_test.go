@@ -1,0 +1,30 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineChurn measures raw event throughput: schedule+fire one
+// event per iteration through a rolling 64-deep queue.
+func BenchmarkEngineChurn(b *testing.B) {
+	e := NewEngine()
+	var fn Handler
+	fn = func(now Time) {
+		e.Schedule(64, fn)
+	}
+	for i := 0; i < 64; i++ {
+		e.Schedule(Time(i), fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkEngineScheduleCancel measures schedule+cancel pairs.
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	e := NewEngine()
+	noop := func(Time) {}
+	for i := 0; i < b.N; i++ {
+		ev := e.Schedule(1000, noop)
+		e.Cancel(ev)
+	}
+}

@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func(Time) { order = append(order, 3) })
+	e.Schedule(10, func(Time) { order = append(order, 1) })
+	e.Schedule(20, func(Time) { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", e.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func(Time) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestPriorityBreaksTies(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.ScheduleAtPriority(5, 1, func(Time) { order = append(order, "low") })
+	e.ScheduleAtPriority(5, 0, func(Time) { order = append(order, "high") })
+	e.Run()
+	if order[0] != "high" || order[1] != "low" {
+		t.Fatalf("priority not honored: %v", order)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(10, func(Time) { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("event not marked canceled")
+	}
+	// Double cancel must be a no-op.
+	e.Cancel(ev)
+}
+
+func TestCancelFromHandler(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	var victim *Event
+	e.Schedule(5, func(Time) { e.Cancel(victim) })
+	victim = e.Schedule(10, func(Time) { fired = true })
+	e.Run()
+	if fired {
+		t.Fatal("event canceled mid-run still fired")
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, d := range []Time{10, 20, 30, 40} {
+		d := d
+		e.Schedule(d, func(now Time) { fired = append(fired, now) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	e.RunUntil(MaxTime)
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events after full run, want 4", len(fired))
+	}
+}
+
+func TestScheduleFromHandler(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var step Handler
+	step = func(now Time) {
+		count++
+		if count < 5 {
+			e.Schedule(10, step)
+		}
+	}
+	e.Schedule(0, step)
+	e.Run()
+	if count != 5 {
+		t.Fatalf("chained handler ran %d times, want 5", count)
+	}
+	if e.Now() != 40 {
+		t.Fatalf("clock = %v, want 40", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i), func(Time) {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", count)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func(Time) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.ScheduleAt(5, func(Time) {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	e.Schedule(-1, func(Time) {})
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil handler did not panic")
+		}
+	}()
+	e.Schedule(1, nil)
+}
+
+func TestAdvanceTo(t *testing.T) {
+	e := NewEngine()
+	e.AdvanceTo(100)
+	if e.Now() != 100 {
+		t.Fatalf("clock = %v, want 100", e.Now())
+	}
+	e.Schedule(10, func(Time) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceTo past a pending event did not panic")
+		}
+	}()
+	e.AdvanceTo(200)
+}
+
+func TestDurationConversion(t *testing.T) {
+	if Duration(time.Microsecond) != Microsecond {
+		t.Fatal("Duration(1us) != Microsecond")
+	}
+	if got := (133 * Microsecond).Micros(); got != 133 {
+		t.Fatalf("Micros = %v, want 133", got)
+	}
+	if got := (2 * Second).Seconds(); got != 2 {
+		t.Fatalf("Seconds = %v, want 2", got)
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in
+// non-decreasing time order and all of them fire.
+func TestPropertyEventOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, d := range delays {
+			e.Schedule(Time(d), func(now Time) { fired = append(fired, now) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Fired() counts executed events exactly, and canceled events
+// are never executed.
+func TestPropertyCancelHalf(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var events []*Event
+		ran := 0
+		for _, d := range delays {
+			events = append(events, e.Schedule(Time(d), func(Time) { ran++ }))
+		}
+		canceled := 0
+		for i, ev := range events {
+			if i%2 == 0 {
+				e.Cancel(ev)
+				canceled++
+			}
+		}
+		e.Run()
+		return ran == len(delays)-canceled && e.Fired() == uint64(ran)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,389 @@
+// Package stats provides the measurement substrate: streaming moments,
+// latency histograms with quantile queries, time-weighted accumulators
+// for C-state residency, and energy integration.
+//
+// These mirror the quantities the paper collects from hardware counters:
+// per-C-state residency and transition counts (Sec. 6.2), RAPL-style
+// average power, and average/tail request latency.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stream accumulates streaming count/mean/variance/min/max using
+// Welford's algorithm.
+type Stream struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one sample.
+func (s *Stream) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// Count returns the number of samples recorded.
+func (s *Stream) Count() uint64 { return s.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Variance returns the unbiased sample variance.
+func (s *Stream) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Stream) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest sample, or 0 with no samples.
+func (s *Stream) Min() float64 { return s.min }
+
+// Max returns the largest sample, or 0 with no samples.
+func (s *Stream) Max() float64 { return s.max }
+
+// Histogram is a log-linear histogram for non-negative values, in the
+// style of HdrHistogram: values are bucketed with bounded relative error
+// so that tail quantiles over microsecond-to-millisecond latencies stay
+// accurate without storing samples.
+type Histogram struct {
+	// subBuckets per power of two; relative error is 1/subBuckets.
+	subBuckets int
+	counts     []uint64
+	n          uint64
+	sum        float64
+	max        float64
+	min        float64
+}
+
+// NewHistogram returns a histogram with ~0.8% relative value error.
+func NewHistogram() *Histogram {
+	return &Histogram{subBuckets: 128, min: math.Inf(1)}
+}
+
+func (h *Histogram) bucketOf(v float64) int {
+	if v < 1 {
+		return int(v * float64(h.subBuckets) / 1)
+	}
+	exp := math.Floor(math.Log2(v))
+	base := math.Pow(2, exp)
+	frac := (v - base) / base // [0,1)
+	return (int(exp)+1)*h.subBuckets + int(frac*float64(h.subBuckets))
+}
+
+// valueOf returns a representative (upper-edge midpoint) value for bucket i.
+func (h *Histogram) valueOf(i int) float64 {
+	if i < h.subBuckets {
+		return (float64(i) + 0.5) / float64(h.subBuckets)
+	}
+	exp := i/h.subBuckets - 1
+	sub := i % h.subBuckets
+	base := math.Pow(2, float64(exp))
+	return base * (1 + (float64(sub)+0.5)/float64(h.subBuckets))
+}
+
+// Add records one non-negative sample. Negative samples are clamped to 0.
+func (h *Histogram) Add(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	b := h.bucketOf(v)
+	if b >= len(h.counts) {
+		grown := make([]uint64, b+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[b]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	if v < h.min {
+		h.min = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Mean returns the exact mean of recorded samples.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Max returns the largest recorded sample (exact).
+func (h *Histogram) Max() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Min returns the smallest recorded sample (exact).
+func (h *Histogram) Min() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Quantile returns the value at quantile q in [0,1], approximated to the
+// histogram's relative error. Quantile(0.99) is the paper's tail latency.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	target := uint64(math.Ceil(q * float64(h.n)))
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			// Clamp to the exact observed range so quantiles are
+			// monotone with the exact Min/Max endpoints.
+			return math.Min(math.Max(h.valueOf(i), h.min), h.max)
+		}
+	}
+	return h.max
+}
+
+// CDFPoint is one point of a cumulative distribution.
+type CDFPoint struct {
+	Value      float64
+	Cumulative float64 // fraction of samples <= Value
+}
+
+// CDF returns up to points CDF samples spanning the recorded
+// distribution, suitable for plotting latency curves.
+func (h *Histogram) CDF(points int) []CDFPoint {
+	if h.n == 0 || points <= 0 {
+		return nil
+	}
+	out := make([]CDFPoint, 0, points)
+	var cum uint64
+	step := float64(h.n) / float64(points)
+	next := step
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		for float64(cum) >= next && len(out) < points {
+			out = append(out, CDFPoint{
+				Value:      math.Min(math.Max(h.valueOf(i), h.min), h.max),
+				Cumulative: float64(cum) / float64(h.n),
+			})
+			next += step
+		}
+	}
+	if len(out) == 0 || out[len(out)-1].Cumulative < 1 {
+		out = append(out, CDFPoint{Value: h.max, Cumulative: 1})
+	}
+	return out
+}
+
+// Residency tracks time-weighted occupancy of a set of named states.
+// It is the software analogue of the C-state residency counters
+// (MSR_CORE_Cx_RESIDENCY) the paper reads.
+type Residency struct {
+	labels      []string
+	timeIn      []int64 // ns
+	transitions []uint64
+	current     int
+	since       int64
+	started     int64
+	closed      bool
+}
+
+// NewResidency creates a tracker over the given state labels, starting in
+// state initial at time start (ns).
+func NewResidency(labels []string, initial int, start int64) *Residency {
+	if initial < 0 || initial >= len(labels) {
+		panic("stats: initial state out of range")
+	}
+	return &Residency{
+		labels:      append([]string(nil), labels...),
+		timeIn:      make([]int64, len(labels)),
+		transitions: make([]uint64, len(labels)),
+		current:     initial,
+		since:       start,
+		started:     start,
+	}
+}
+
+// Switch moves to state next at time now, accumulating time in the
+// previous state. Switching to the current state is a no-op (no
+// transition counted).
+func (r *Residency) Switch(next int, now int64) {
+	if next < 0 || next >= len(r.labels) {
+		panic(fmt.Sprintf("stats: state %d out of range", next))
+	}
+	if now < r.since {
+		panic("stats: residency time went backwards")
+	}
+	if next == r.current {
+		return
+	}
+	r.timeIn[r.current] += now - r.since
+	r.current = next
+	r.since = now
+	r.transitions[next]++
+}
+
+// Close accumulates the final open interval at time now. Further Switch
+// calls panic.
+func (r *Residency) Close(now int64) {
+	if r.closed {
+		return
+	}
+	if now < r.since {
+		panic("stats: residency close before last switch")
+	}
+	r.timeIn[r.current] += now - r.since
+	r.since = now
+	r.closed = true
+}
+
+// Current returns the state the tracker is currently in.
+func (r *Residency) Current() int { return r.current }
+
+// TimeIn returns the accumulated time (ns) in state i.
+func (r *Residency) TimeIn(i int) int64 { return r.timeIn[i] }
+
+// Transitions returns the number of entries into state i.
+func (r *Residency) Transitions(i int) uint64 { return r.transitions[i] }
+
+// Total returns the accumulated observation time (ns).
+func (r *Residency) Total() int64 {
+	var t int64
+	for _, v := range r.timeIn {
+		t += v
+	}
+	return t
+}
+
+// Fractions returns per-state residency fractions summing to 1 (or all
+// zeros before any time has accumulated).
+func (r *Residency) Fractions() []float64 {
+	total := r.Total()
+	out := make([]float64, len(r.timeIn))
+	if total == 0 {
+		return out
+	}
+	for i, v := range r.timeIn {
+		out[i] = float64(v) / float64(total)
+	}
+	return out
+}
+
+// Labels returns the state labels.
+func (r *Residency) Labels() []string { return append([]string(nil), r.labels...) }
+
+// EnergyMeter integrates power over time. Power is piecewise-constant
+// between SetPower calls, which matches the per-C-state power model.
+type EnergyMeter struct {
+	joules  float64
+	power   float64 // watts
+	since   int64   // ns
+	started int64
+}
+
+// NewEnergyMeter starts integration at time start with the given power.
+func NewEnergyMeter(start int64, power float64) *EnergyMeter {
+	return &EnergyMeter{power: power, since: start, started: start}
+}
+
+// SetPower advances integration to now and switches to power watts.
+func (m *EnergyMeter) SetPower(now int64, power float64) {
+	m.advance(now)
+	m.power = power
+}
+
+// Energy advances integration to now and returns total joules so far.
+func (m *EnergyMeter) Energy(now int64) float64 {
+	m.advance(now)
+	return m.joules
+}
+
+// AveragePower returns joules/elapsed-seconds up to now.
+func (m *EnergyMeter) AveragePower(now int64) float64 {
+	e := m.Energy(now)
+	dt := float64(now-m.started) / 1e9
+	if dt <= 0 {
+		return m.power
+	}
+	return e / dt
+}
+
+func (m *EnergyMeter) advance(now int64) {
+	if now < m.since {
+		panic("stats: energy meter time went backwards")
+	}
+	m.joules += m.power * float64(now-m.since) / 1e9
+	m.since = now
+}
+
+// Percentile returns the q-quantile of xs using linear interpolation.
+// It sorts a copy; intended for small offline series in reports/tests.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if q <= 0 {
+		return cp[0]
+	}
+	if q >= 1 {
+		return cp[len(cp)-1]
+	}
+	pos := q * float64(len(cp)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// MeanOf returns the arithmetic mean of xs (0 for empty input).
+func MeanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,45 @@
+package stats
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// BenchmarkHistogramAdd measures per-sample recording cost.
+func BenchmarkHistogramAdd(b *testing.B) {
+	h := NewHistogram()
+	r := xrand.New(1)
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = r.Exp(200)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Add(vals[i&4095])
+	}
+}
+
+// BenchmarkHistogramQuantile measures tail-query cost on a populated
+// histogram.
+func BenchmarkHistogramQuantile(b *testing.B) {
+	h := NewHistogram()
+	r := xrand.New(2)
+	for i := 0; i < 100_000; i++ {
+		h.Add(r.Exp(200))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Quantile(0.99)
+	}
+}
+
+// BenchmarkResidencySwitch measures C-state switch accounting cost.
+func BenchmarkResidencySwitch(b *testing.B) {
+	res := NewResidency([]string{"C0", "C1", "C6"}, 0, 0)
+	now := int64(0)
+	for i := 0; i < b.N; i++ {
+		now += 100
+		res.Switch(i%3, now)
+	}
+}

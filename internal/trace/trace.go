@@ -1,0 +1,143 @@
+// Package trace records per-core C-state timelines from a simulation
+// run — the equivalent of the ftrace/perf power:cpu_idle traces used to
+// debug idle-state behaviour on real servers. Traces can be queried for
+// per-state statistics and exported as CSV for plotting.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/cstate"
+	"repro/internal/sim"
+)
+
+// Event is one C-state change on one core.
+type Event struct {
+	Core  int
+	Time  sim.Time
+	State cstate.ID
+}
+
+// Recorder accumulates events. The zero value is unusable; use New.
+// Recording is bounded to protect memory on long runs: once MaxEvents is
+// reached, further events are counted but not stored.
+type Recorder struct {
+	MaxEvents int
+	events    []Event
+	dropped   uint64
+}
+
+// New returns a recorder storing up to maxEvents events (default 1e6
+// when maxEvents <= 0).
+func New(maxEvents int) *Recorder {
+	if maxEvents <= 0 {
+		maxEvents = 1_000_000
+	}
+	return &Recorder{MaxEvents: maxEvents}
+}
+
+// Record implements the server's trace hook.
+func (r *Recorder) Record(core int, now sim.Time, state cstate.ID) {
+	if len(r.events) >= r.MaxEvents {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, Event{Core: core, Time: now, State: state})
+}
+
+// Len returns the number of stored events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Dropped returns the number of events beyond capacity.
+func (r *Recorder) Dropped() uint64 { return r.dropped }
+
+// Events returns the stored events in record order.
+func (r *Recorder) Events() []Event { return append([]Event(nil), r.events...) }
+
+// CoreTimeline returns the events of one core in time order.
+func (r *Recorder) CoreTimeline(core int) []Event {
+	var out []Event
+	for _, e := range r.events {
+		if e.Core == core {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// Interval is a contiguous stay in one state.
+type Interval struct {
+	Core     int
+	State    cstate.ID
+	Start    sim.Time
+	Duration sim.Time
+}
+
+// Intervals converts a core's timeline into closed intervals up to the
+// given end time.
+func (r *Recorder) Intervals(core int, end sim.Time) []Interval {
+	tl := r.CoreTimeline(core)
+	var out []Interval
+	for i, e := range tl {
+		stop := end
+		if i+1 < len(tl) {
+			stop = tl[i+1].Time
+		}
+		if stop < e.Time {
+			continue
+		}
+		out = append(out, Interval{Core: core, State: e.State, Start: e.Time, Duration: stop - e.Time})
+	}
+	return out
+}
+
+// StateStats summarizes the visits to one state on one core.
+type StateStats struct {
+	State       cstate.ID
+	Visits      int
+	TotalTime   sim.Time
+	MeanVisit   sim.Time
+	LongestStay sim.Time
+}
+
+// Stats computes per-state statistics for a core up to end.
+func (r *Recorder) Stats(core int, end sim.Time) []StateStats {
+	acc := map[cstate.ID]*StateStats{}
+	for _, iv := range r.Intervals(core, end) {
+		s, ok := acc[iv.State]
+		if !ok {
+			s = &StateStats{State: iv.State}
+			acc[iv.State] = s
+		}
+		s.Visits++
+		s.TotalTime += iv.Duration
+		if iv.Duration > s.LongestStay {
+			s.LongestStay = iv.Duration
+		}
+	}
+	var out []StateStats
+	for _, s := range acc {
+		if s.Visits > 0 {
+			s.MeanVisit = s.TotalTime / sim.Time(s.Visits)
+		}
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].State < out[j].State })
+	return out
+}
+
+// WriteCSV exports all events as "core,time_ns,state".
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "core,time_ns,state"); err != nil {
+		return err
+	}
+	for _, e := range r.events {
+		if _, err := fmt.Fprintf(w, "%d,%d,%s\n", e.Core, int64(e.Time), e.State); err != nil {
+			return err
+		}
+	}
+	return nil
+}

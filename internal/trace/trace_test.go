@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cstate"
+	"repro/internal/governor"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := New(10)
+	r.Record(0, 0, cstate.C0)
+	r.Record(0, 100, cstate.C1)
+	r.Record(0, 300, cstate.C0)
+	r.Record(1, 50, cstate.C6)
+	if r.Len() != 4 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	tl := r.CoreTimeline(0)
+	if len(tl) != 3 || tl[1].State != cstate.C1 {
+		t.Fatalf("timeline = %+v", tl)
+	}
+	ivs := r.Intervals(0, 1000)
+	if len(ivs) != 3 {
+		t.Fatalf("intervals = %+v", ivs)
+	}
+	if ivs[1].Duration != 200 {
+		t.Fatalf("C1 interval = %v", ivs[1].Duration)
+	}
+	if ivs[2].Duration != 700 {
+		t.Fatalf("final C0 interval = %v", ivs[2].Duration)
+	}
+}
+
+func TestRecorderStats(t *testing.T) {
+	r := New(0)
+	r.Record(0, 0, cstate.C0)
+	r.Record(0, 100, cstate.C1)
+	r.Record(0, 200, cstate.C0)
+	r.Record(0, 300, cstate.C1)
+	r.Record(0, 600, cstate.C0)
+	stats := r.Stats(0, 1000)
+	var c1 StateStats
+	for _, s := range stats {
+		if s.State == cstate.C1 {
+			c1 = s
+		}
+	}
+	if c1.Visits != 2 || c1.TotalTime != 400 || c1.LongestStay != 300 || c1.MeanVisit != 200 {
+		t.Fatalf("C1 stats = %+v", c1)
+	}
+}
+
+func TestRecorderCap(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 5; i++ {
+		r.Record(0, sim.Time(i), cstate.C0)
+	}
+	if r.Len() != 2 || r.Dropped() != 3 {
+		t.Fatalf("len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := New(0)
+	r.Record(3, 42, cstate.C6A)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "3,42,C6A") {
+		t.Fatalf("csv = %q", buf.String())
+	}
+}
+
+func TestServerIntegration(t *testing.T) {
+	rec := New(0)
+	cfg := server.Config{
+		Platform:   governor.Baseline,
+		Profile:    workload.Memcached(),
+		RatePerSec: 50_000,
+		Duration:   50 * sim.Millisecond,
+		Warmup:     5 * sim.Millisecond,
+		Seed:       9,
+		TraceHook:  rec.Record,
+	}
+	res, err := server.RunConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() < 100 {
+		t.Fatalf("only %d trace events", rec.Len())
+	}
+	// The trace must alternate states per core (no duplicate neighbors).
+	tl := rec.CoreTimeline(0)
+	for i := 1; i < len(tl); i++ {
+		if tl[i].State == tl[i-1].State {
+			t.Fatalf("duplicate state %v at %v", tl[i].State, tl[i].Time)
+		}
+		if tl[i].Time < tl[i-1].Time {
+			t.Fatal("trace not time-ordered")
+		}
+	}
+	// Trace-derived residency should roughly agree with the simulator's
+	// own accounting for the dominant idle state.
+	end := cfg.Warmup + cfg.Duration
+	var traceIdle, total sim.Time
+	for core := 0; core < 20; core++ {
+		for _, iv := range rec.Intervals(core, end) {
+			if iv.State != cstate.C0 {
+				traceIdle += iv.Duration
+			}
+			total += iv.Duration
+		}
+	}
+	traceFrac := float64(traceIdle) / float64(total)
+	simFrac := 1 - res.Residency[cstate.C0]
+	// The trace covers warmup too, so allow a loose tolerance.
+	if traceFrac < simFrac-0.15 || traceFrac > simFrac+0.15 {
+		t.Fatalf("trace idle %.2f vs sim idle %.2f", traceFrac, simFrac)
+	}
+}

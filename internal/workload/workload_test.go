@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+func TestPoissonRate(t *testing.T) {
+	r := xrand.New(1)
+	p := Poisson{}
+	var total sim.Time
+	const n = 100000
+	for i := 0; i < n; i++ {
+		total += p.NextGap(r, 10000) // 10 KQPS -> mean gap 100us
+	}
+	mean := float64(total) / n
+	if math.Abs(mean-100e3)/100e3 > 0.02 {
+		t.Fatalf("mean gap = %vns, want ~100000", mean)
+	}
+}
+
+func TestPoissonZeroRate(t *testing.T) {
+	r := xrand.New(1)
+	if g := (Poisson{}).NextGap(r, 0); g != sim.MaxTime {
+		t.Fatalf("zero rate gap = %v", g)
+	}
+}
+
+func TestMMPP2PreservesRate(t *testing.T) {
+	r := xrand.New(2)
+	m := NewMMPP2()
+	var total sim.Time
+	const n = 200000
+	for i := 0; i < n; i++ {
+		total += m.NextGap(r, 50000)
+	}
+	mean := float64(total) / n
+	want := 1e9 / 50000.0
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("MMPP mean gap = %v, want ~%v", mean, want)
+	}
+}
+
+func TestMMPP2Burstier(t *testing.T) {
+	// The squared coefficient of variation of MMPP gaps must exceed
+	// Poisson's (=1).
+	r := xrand.New(3)
+	m := NewMMPP2()
+	var sum, sum2 float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		g := float64(m.NextGap(r, 50000))
+		sum += g
+		sum2 += g * g
+	}
+	mean := sum / n
+	cv2 := (sum2/n - mean*mean) / (mean * mean)
+	if cv2 < 1.2 {
+		t.Fatalf("MMPP cv^2 = %v, want > 1.2 (burstier than Poisson)", cv2)
+	}
+}
+
+func TestLogNormalServiceMean(t *testing.T) {
+	r := xrand.New(4)
+	s := LogNormalService{MeanTime: 10 * sim.Microsecond, CV: 0.7}
+	var total sim.Time
+	const n = 200000
+	for i := 0; i < n; i++ {
+		total += s.Sample(r)
+	}
+	mean := float64(total) / n
+	if math.Abs(mean-10e3)/10e3 > 0.03 {
+		t.Fatalf("sampled mean = %v, want ~10000ns", mean)
+	}
+	if s.Mean() != 10*sim.Microsecond {
+		t.Fatal("analytic mean wrong")
+	}
+}
+
+func TestTailedServiceMeanAndTail(t *testing.T) {
+	r := xrand.New(5)
+	s := Memcached().Service.(TailedService)
+	var total float64
+	max := 0.0
+	const n = 300000
+	for i := 0; i < n; i++ {
+		v := float64(s.Sample(r))
+		total += v
+		if v > max {
+			max = v
+		}
+	}
+	mean := total / n
+	analytic := float64(s.Mean())
+	if math.Abs(mean-analytic)/analytic > 0.05 {
+		t.Fatalf("sampled mean %v vs analytic %v", mean, analytic)
+	}
+	// The tail must produce samples far beyond the body mean.
+	if max < 5*analytic {
+		t.Fatalf("max sample %v suspiciously small", max)
+	}
+	// And must respect the cap.
+	if max > float64(s.TailCap) {
+		t.Fatalf("sample %v exceeds cap %v", max, s.TailCap)
+	}
+}
+
+func TestProfilesValid(t *testing.T) {
+	for _, p := range []Profile{Memcached(), Kafka(), MySQL()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"memcached", "kafka", "mysql"} {
+		p, err := ByName(n)
+		if err != nil || p.Name != n {
+			t.Errorf("ByName(%s) = %v, %v", n, p.Name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestUtilizationAt(t *testing.T) {
+	p := Memcached()
+	// Paper: latency-critical servers run at 5-25% utilization across the
+	// evaluated load range.
+	lo := p.UtilizationAt(10e3, 20)
+	hi := p.UtilizationAt(500e3, 20)
+	if lo <= 0 || lo > 0.03 {
+		t.Errorf("10KQPS utilization = %v, want well under 5%%", lo)
+	}
+	if hi < 0.15 || hi > 0.35 {
+		t.Errorf("500KQPS utilization = %v, want ~20-25%%", hi)
+	}
+	if p.UtilizationAt(1000, 0) != 0 {
+		t.Error("zero cores must give 0")
+	}
+}
+
+func TestSampleNetwork(t *testing.T) {
+	r := xrand.New(6)
+	p := Memcached()
+	var total float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		total += float64(p.SampleNetwork(r))
+	}
+	mean := total / n
+	if math.Abs(mean-117e3)/117e3 > 0.03 {
+		t.Fatalf("network mean = %vns, want ~117us", mean)
+	}
+	// Zero-RTT profile.
+	p.NetworkRTT = 0
+	if p.SampleNetwork(r) != 0 {
+		t.Fatal("zero RTT must sample 0")
+	}
+	// Deterministic RTT with no CV.
+	p.NetworkRTT = 10 * sim.Microsecond
+	p.NetworkCV = 0
+	if p.SampleNetwork(r) != 10*sim.Microsecond {
+		t.Fatal("cv=0 must return RTT exactly")
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	p := Memcached()
+	p.RefFreqHz = 0
+	if p.Validate() == nil {
+		t.Error("zero frequency accepted")
+	}
+	p = Memcached()
+	p.Arrivals = nil
+	if p.Validate() == nil {
+		t.Error("nil arrivals accepted")
+	}
+	p = Memcached()
+	p.FreqScalability = 1.5
+	if p.Validate() == nil {
+		t.Error("scalability > 1 accepted")
+	}
+}
+
+func TestServiceMeansOrdered(t *testing.T) {
+	// MySQL transactions >> Kafka batches >> Memcached lookups.
+	mc := Memcached().Service.Mean()
+	kf := Kafka().Service.Mean()
+	my := MySQL().Service.Mean()
+	if !(mc < kf && kf < my) {
+		t.Fatalf("service means not ordered: %v %v %v", mc, kf, my)
+	}
+}

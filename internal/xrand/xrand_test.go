@@ -1,0 +1,213 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	a := NewStream(7, "arrivals")
+	b := NewStream(7, "service")
+	c := NewStream(7, "arrivals")
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("differently named streams coincide")
+	}
+	a2 := NewStream(7, "arrivals")
+	_ = c
+	if a2.Uint64() != NewStream(7, "arrivals").Uint64() {
+		t.Fatal("same-named stream not reproducible")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(5)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(10)
+	}
+	mean := sum / n
+	if math.Abs(mean-10) > 0.15 {
+		t.Fatalf("Exp mean = %v, want ~10", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(6)
+	const n = 200000
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal(5, 2)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean-5) > 0.05 {
+		t.Fatalf("Normal mean = %v, want ~5", mean)
+	}
+	if math.Abs(variance-4) > 0.2 {
+		t.Fatalf("Normal variance = %v, want ~4", variance)
+	}
+}
+
+func TestLogNormalMeanCV(t *testing.T) {
+	r := New(8)
+	const n = 400000
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.LogNormalMeanCV(8, 0.5)
+		if v <= 0 {
+			t.Fatalf("log-normal sample <= 0: %v", v)
+		}
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	cv := math.Sqrt(sum2/n-mean*mean) / mean
+	if math.Abs(mean-8) > 0.15 {
+		t.Fatalf("mean = %v, want ~8", mean)
+	}
+	if math.Abs(cv-0.5) > 0.05 {
+		t.Fatalf("cv = %v, want ~0.5", cv)
+	}
+}
+
+func TestLogNormalZeroCV(t *testing.T) {
+	r := New(9)
+	if v := r.LogNormalMeanCV(5, 0); v != 5 {
+		t.Fatalf("cv=0 sample = %v, want exactly the mean", v)
+	}
+}
+
+func TestParetoBound(t *testing.T) {
+	r := New(10)
+	for i := 0; i < 10000; i++ {
+		if v := r.Pareto(3, 2); v < 3 {
+			t.Fatalf("Pareto sample %v below xm", v)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(11)
+	seen := map[int]bool{}
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn did not cover range, saw %d values", len(seen))
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(12)
+	z := NewZipf(r, 100, 1.0)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("rank 0 (%d) not more popular than rank 50 (%d)", counts[0], counts[50])
+	}
+	// Harmonic: rank0/rank1 should be roughly 2 for s=1.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.6 || ratio > 2.5 {
+		t.Fatalf("rank0/rank1 ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestZipfUniform(t *testing.T) {
+	r := New(13)
+	z := NewZipf(r, 10, 0)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		if c < 8500 || c > 11500 {
+			t.Fatalf("s=0 Zipf not uniform: rank %d count %d", i, c)
+		}
+	}
+}
+
+func TestBernoulliProbability(t *testing.T) {
+	r := New(14)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) rate = %v", p)
+	}
+}
+
+// Property: exponential samples are non-negative for any positive mean.
+func TestPropertyExpNonNegative(t *testing.T) {
+	f := func(seed uint64, mean float64) bool {
+		mean = math.Abs(mean)
+		if mean == 0 || math.IsNaN(mean) || math.IsInf(mean, 0) {
+			mean = 1
+		}
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			if r.Exp(mean) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -101,6 +101,27 @@ func MySQL() ServiceProfile { return workload.MySQL() }
 // ServiceByName resolves "memcached", "kafka" or "mysql".
 func ServiceByName(name string) (ServiceProfile, error) { return workload.ByName(name) }
 
+// Dispatch policy names accepted by ServiceRun.Dispatch.
+const (
+	DispatchRoundRobin  = server.DispatchRoundRobin
+	DispatchRandom      = server.DispatchRandom
+	DispatchLeastLoaded = server.DispatchLeastLoaded
+	DispatchPacked      = server.DispatchPacked
+)
+
+// DispatchPolicies lists the built-in dispatch policy names.
+func DispatchPolicies() []string { return server.DispatchPolicies() }
+
+// Load-generator names accepted by ServiceRun.LoadGen.
+const (
+	LoadOpenLoop   = server.LoadOpenLoop
+	LoadClosedLoop = server.LoadClosedLoop
+	LoadBursty     = server.LoadBursty
+)
+
+// LoadGenerators lists the built-in load-generator names.
+func LoadGenerators() []string { return server.LoadGens() }
+
 // MemcachedETC returns the high-fidelity Memcached profile whose service
 // times come from a live Zipf/LRU key-value store model (see
 // internal/kvstore). The seed drives cache warming.
@@ -121,6 +142,17 @@ type ServiceRun struct {
 	Seed uint64
 	// SnoopRatePerSec adds per-core coherence traffic (Sec. 7.5).
 	SnoopRatePerSec float64
+	// Dispatch selects the request-to-core placement policy (default
+	// round-robin; see DispatchPolicies).
+	Dispatch string
+	// LoadGen selects the arrival generator (default open-loop; see
+	// LoadGenerators).
+	LoadGen string
+	// Connections is the closed-loop connection count (selecting the
+	// closed-loop generator implicitly; RateQPS is then ignored).
+	Connections int
+	// ThinkTimeNS is the mean closed-loop think time (default 1ms).
+	ThinkTimeNS Duration
 }
 
 // RunService simulates the paper's 20-CPU server under the given run
@@ -143,6 +175,11 @@ func RunService(r ServiceRun) (Result, error) {
 		Warmup:          r.WarmupNS,
 		Seed:            r.Seed,
 		SnoopRatePerSec: r.SnoopRatePerSec,
+		Dispatch:        r.Dispatch,
+		LoadGen:         r.LoadGen,
+
+		ClosedLoopConnections: r.Connections,
+		ThinkTime:             r.ThinkTimeNS,
 	})
 }
 
@@ -173,6 +210,7 @@ const (
 	ExpPkgIdle        = "pkgidle"         // AgilePkgC-direction package state
 	ExpBreakdown      = "breakdown"       // wake/queue/service latency decomposition
 	ExpProportion     = "proportionality" // Sec. 7.1 energy-proportionality framing
+	ExpDispatch       = "dispatch"        // dispatch-policy power/tail trade-off
 )
 
 // Experiments returns all experiment names in stable order.
@@ -183,7 +221,7 @@ func Experiments() []string {
 		ExpFigure8, ExpFigure9, ExpFigure10, ExpFigure11, ExpFigure12, ExpFigure13,
 		ExpValidation, ExpSnoop,
 		ExpAMD, ExpAblateGovernor, ExpAblateZones, ExpAblatePower, ExpAblateNoise,
-		ExpRaceToHalt, ExpPkgIdle, ExpBreakdown, ExpProportion,
+		ExpRaceToHalt, ExpPkgIdle, ExpBreakdown, ExpProportion, ExpDispatch,
 	}
 	sort.Strings(names)
 	return names
@@ -311,6 +349,12 @@ func RunExperiment(name string, o Options, w io.Writer) error {
 			return err
 		}
 		return render(r.Table())
+	case ExpDispatch:
+		r, err := experiments.Dispatch(o)
+		if err != nil {
+			return err
+		}
+		return render(r.Table(), r.ResidencyTable())
 	default:
 		return fmt.Errorf("agilewatts: unknown experiment %q (known: %v)", name, Experiments())
 	}

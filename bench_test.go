@@ -14,17 +14,27 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
 var printOnce sync.Map
 
+// benchSeedBlock hands each benchmark invocation a disjoint seed range.
+var benchSeedBlock atomic.Uint64
+
 // benchExperiment runs one experiment per iteration, printing the report
-// on the first run of each benchmark.
+// on the first run of each benchmark. Seeds are unique per iteration AND
+// per benchmark (disjoint 2^20 blocks), so the process-wide runner cache
+// never short-circuits the measurement — not within a benchmark, and not
+// across benchmarks whose sweeps overlap (Fig. 8/10, Table 5 and the
+// proportionality study share the Baseline Memcached curve).
 func benchExperiment(b *testing.B, name string) {
 	b.Helper()
 	opts := QuickOptions()
+	base := opts.Seed + benchSeedBlock.Add(1)<<20
 	for i := 0; i < b.N; i++ {
+		opts.Seed = base + uint64(i)
 		var w io.Writer = io.Discard
 		if _, done := printOnce.LoadOrStore(name, true); !done {
 			w = os.Stdout
@@ -104,6 +114,9 @@ func BenchmarkAblatePower(b *testing.B) { benchExperiment(b, ExpAblatePower) }
 
 // BenchmarkAblateNoise regenerates the OS-noise sensitivity study.
 func BenchmarkAblateNoise(b *testing.B) { benchExperiment(b, ExpAblateNoise) }
+
+// BenchmarkDispatch regenerates the dispatch-policy trade-off study.
+func BenchmarkDispatch(b *testing.B) { benchExperiment(b, ExpDispatch) }
 
 // BenchmarkSimulatorThroughput measures raw discrete-event simulator
 // speed: one 100ms Memcached window at 200 KQPS per iteration.

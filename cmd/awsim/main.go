@@ -4,16 +4,20 @@
 //
 // Usage:
 //
-//	awsim [-quick] [-seed N] [experiment ...]
+//	awsim [-quick] [-seed N] [-dispatch POLICY] [-loadgen GEN] [experiment ...]
 //
 // With no experiment arguments it runs the full evaluation section
-// (figures 8-13, table 5, validation).
+// (figures 8-13, table 5, validation). -dispatch and -loadgen override
+// the request placement policy and arrival generator for every
+// simulation, answering "what if the paper's server didn't round-robin"
+// without touching the experiment code.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	agilewatts "repro"
 )
@@ -22,6 +26,12 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced-fidelity runs (shorter windows, fewer load points)")
 	seed := flag.Uint64("seed", 0, "override experiment seed")
 	list := flag.Bool("list", false, "list experiment names and exit")
+	dispatch := flag.String("dispatch", "",
+		"dispatch policy for all simulations: "+strings.Join(agilewatts.DispatchPolicies(), "|"))
+	loadgen := flag.String("loadgen", "",
+		"load generator for all simulations: "+strings.Join(agilewatts.LoadGenerators(), "|"))
+	connections := flag.Int("connections", 0,
+		"closed-loop connection count (required with -loadgen closed-loop)")
 	flag.Parse()
 
 	if *list {
@@ -38,6 +48,15 @@ func main() {
 	if *seed != 0 {
 		opts.Seed = *seed
 	}
+	if *connections != 0 && *loadgen != agilewatts.LoadClosedLoop {
+		// Bare ClosedLoopConnections would silently switch every run to
+		// closed-loop and make rate sweeps meaningless; demand intent.
+		fmt.Fprintln(os.Stderr, "awsim: -connections requires -loadgen closed-loop")
+		os.Exit(2)
+	}
+	opts.Dispatch = *dispatch
+	opts.LoadGen = *loadgen
+	opts.Connections = *connections
 
 	names := flag.Args()
 	if len(names) == 0 {

@@ -24,6 +24,12 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	durMS := flag.Int("duration-ms", 400, "measured window per point (ms)")
 	snoop := flag.Float64("snoop-rate", 0, "per-core snoop rate (1/s)")
+	dispatch := flag.String("dispatch", "",
+		"dispatch policy: "+strings.Join(agilewatts.DispatchPolicies(), "|"))
+	loadgen := flag.String("loadgen", "",
+		"load generator: "+strings.Join(agilewatts.LoadGenerators(), "|"))
+	connections := flag.Int("connections", 0,
+		"closed-loop connection count (required with -loadgen closed-loop)")
 	configs := flag.Bool("configs", false, "list configuration names and exit")
 	flag.Parse()
 
@@ -32,6 +38,12 @@ func main() {
 			fmt.Printf("%-22s turbo=%v menu=%v\n", c.Name, c.Turbo, c.Menu)
 		}
 		return
+	}
+
+	if *connections != 0 && *loadgen != agilewatts.LoadClosedLoop {
+		// Bare ClosedLoopConnections would silently switch the sweep to
+		// closed-loop and ignore -rates; demand intent.
+		fatal(fmt.Errorf("-connections requires -loadgen closed-loop"))
 	}
 
 	prof, err := agilewatts.ServiceByName(*service)
@@ -56,6 +68,9 @@ func main() {
 			Seed:            *seed,
 			DurationNS:      agilewatts.Duration(*durMS) * 1_000_000,
 			SnoopRatePerSec: *snoop,
+			Dispatch:        *dispatch,
+			LoadGen:         *loadgen,
+			Connections:     *connections,
 		})
 		if err != nil {
 			fatal(err)

@@ -34,19 +34,25 @@ func GovernorAblation(o Options) (GovernorAblationResult, error) {
 	o = o.normalize()
 	var out GovernorAblationResult
 	profile := workload.Memcached()
-	for _, rate := range o.Rates {
-		for _, policy := range []string{governor.PolicyMenu, governor.PolicyInterval, governor.PolicyStatic, governor.PolicyLadder} {
-			res, err := runWithPolicy(o, policy, rate, profile)
-			if err != nil {
-				return out, err
-			}
-			out.Points = append(out.Points, GovernorAblationPoint{
-				RateQPS: rate, Policy: policy,
-				AvgCorePowerW: res.AvgCorePowerW,
-				AvgUS:         res.EndToEnd.AvgUS, P99US: res.EndToEnd.P99US,
-			})
+	policies := []string{governor.PolicyMenu, governor.PolicyInterval, governor.PolicyStatic, governor.PolicyLadder}
+	points := make([]GovernorAblationPoint, len(o.Rates)*len(policies))
+	err := parallelMap(len(points), func(i int) error {
+		rate, policy := o.Rates[i/len(policies)], policies[i%len(policies)]
+		res, err := runWithPolicy(o, policy, rate, profile)
+		if err != nil {
+			return err
 		}
+		points[i] = GovernorAblationPoint{
+			RateQPS: rate, Policy: policy,
+			AvgCorePowerW: res.AvgCorePowerW,
+			AvgUS:         res.EndToEnd.AvgUS, P99US: res.EndToEnd.P99US,
+		}
+		return nil
+	})
+	if err != nil {
+		return out, err
 	}
+	out.Points = points
 	return out, nil
 }
 
@@ -216,21 +222,29 @@ type NoiseAblationPoint struct {
 func NoiseAblation(o Options) (NoiseAblationResult, error) {
 	o = o.normalize()
 	var out NoiseAblationResult
-	for _, period := range []sim.Time{-1, 4 * sim.Millisecond, sim.Millisecond, 250 * sim.Microsecond} {
+	periods := []sim.Time{-1, 4 * sim.Millisecond, sim.Millisecond, 250 * sim.Microsecond}
+	points := make([]NoiseAblationPoint, len(periods))
+	err := parallelMap(len(periods), func(i int) error {
+		period := periods[i]
 		res, err := runServerConfig(serverConfig{
 			Platform: governor.Baseline, Profile: workload.Memcached(),
 			Rate: 10e3, Options: o, NoisePeriod: period,
 		})
 		if err != nil {
-			return out, err
+			return err
 		}
-		out.Points = append(out.Points, NoiseAblationPoint{
+		points[i] = NoiseAblationPoint{
 			NoisePeriod:   period,
 			C6Residency:   res.Residency[cstate.C6],
 			C1EResidency:  res.Residency[cstate.C1E],
 			AvgCorePowerW: res.AvgCorePowerW,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return out, err
 	}
+	out.Points = points
 	return out, nil
 }
 

@@ -33,18 +33,23 @@ func Breakdown(o Options) (BreakdownResult, error) {
 		governor.NTBaseline, governor.NTNoC6NoC1E, governor.AW, governor.TC6ANoC6NoC1E,
 	}
 	rates := []float64{o.Rates[0], o.Rates[len(o.Rates)-1]}
-	for _, rate := range rates {
-		for _, cfg := range configs {
-			res, err := o.runService(cfg, profile, rate, 0)
-			if err != nil {
-				return out, err
-			}
-			out.Points = append(out.Points, BreakdownPoint{
-				RateQPS: rate, Config: cfg.Name,
-				B: res.Breakdown, Total: res.Server.AvgUS,
-			})
+	points := make([]BreakdownPoint, len(rates)*len(configs))
+	err := parallelMap(len(points), func(i int) error {
+		rate, cfg := rates[i/len(configs)], configs[i%len(configs)]
+		res, err := o.runService(cfg, profile, rate, 0)
+		if err != nil {
+			return err
 		}
+		points[i] = BreakdownPoint{
+			RateQPS: rate, Config: cfg.Name,
+			B: res.Breakdown, Total: res.Server.AvgUS,
+		}
+		return nil
+	})
+	if err != nil {
+		return out, err
 	}
+	out.Points = points
 	return out, nil
 }
 

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDispatchQuick(t *testing.T) {
+	o := QuickOptions()
+	o.Rates = []float64{100e3, 500e3}
+	r, err := Dispatch(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Policies) != 4 {
+		t.Fatalf("policies = %v, want 4", r.Policies)
+	}
+	if len(r.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(r.Points))
+	}
+	for _, p := range r.Points {
+		// Every policy pair must produce distinct results at every rate.
+		for i := 0; i < len(p.Results); i++ {
+			for j := i + 1; j < len(p.Results); j++ {
+				a, b := p.Results[i], p.Results[j]
+				if a.Residency == b.Residency && a.Server.P99US == b.Server.P99US {
+					t.Errorf("rate %.0f: %s and %s identical",
+						p.RateQPS, r.Policies[i], r.Policies[j])
+				}
+			}
+		}
+	}
+	// Deterministic: a second run reproduces the first exactly (also
+	// exercises the runner cache path).
+	again, err := Dispatch(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi, p := range r.Points {
+		for i := range p.Results {
+			if p.Results[i].AvgCorePowerW != again.Points[pi].Results[i].AvgCorePowerW {
+				t.Fatalf("dispatch experiment not deterministic (%s @ %.0f)",
+					r.Policies[i], p.RateQPS)
+			}
+		}
+	}
+	// The consolidation trade-off shows at the low-load point: packed
+	// draws less core power than round-robin but pays a worse tail.
+	low := r.Points[0]
+	idx := func(name string) int {
+		for i, p := range r.Policies {
+			if p == name {
+				return i
+			}
+		}
+		t.Fatalf("policy %s missing", name)
+		return -1
+	}
+	rr := low.Results[idx("round-robin")]
+	packed := low.Results[idx("packed")]
+	if packed.Server.P99US <= rr.Server.P99US {
+		t.Errorf("packed p99 %.1f not above round-robin %.1f", packed.Server.P99US, rr.Server.P99US)
+	}
+	var buf bytes.Buffer
+	if err := r.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ResidencyTable().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no table output")
+	}
+}

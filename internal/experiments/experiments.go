@@ -3,20 +3,26 @@
 // returns structured results plus a rendered report.Table, so the same
 // code backs the CLI tools, the examples, and the benchmark harness.
 //
+// Every simulation-backed experiment executes through the shared
+// internal/runner sweep executor: sweeps run with bounded parallelism,
+// and simulations that several experiments have in common (the Baseline
+// Memcached curve backs Fig. 8, Fig. 10, Table 5 and the proportionality
+// study) are memoized and run once per process.
+//
 // Index (see DESIGN.md for the full mapping):
 //
 //	Table1, Table2, Table3, Table4, Table5
 //	Motivation (Sec. 2), TransitionLatency (Sec. 5.2)
 //	Figure8, Figure9, Figure10, Figure11, Figure12, Figure13
 //	Validation (Sec. 6.3), SnoopImpact (Sec. 7.5)
+//	Dispatch (load-placement policy study)
 package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/governor"
+	"repro/internal/runner"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -32,6 +38,17 @@ type Options struct {
 	// Rates is the Memcached load sweep (QPS); defaults to the paper's
 	// 10K-500K points.
 	Rates []float64
+	// Dispatch overrides the request-to-core placement policy for every
+	// simulation (default round-robin; see server.DispatchPolicies).
+	// The dispatch experiment ignores it and sweeps all policies.
+	Dispatch string
+	// LoadGen overrides the arrival generator for every simulation
+	// (default open-loop; see server.LoadGens).
+	LoadGen string
+	// Connections is the closed-loop connection count, required when
+	// LoadGen is closed-loop (each experiment's rate points then only
+	// vary the memo key, not the offered load).
+	Connections int
 }
 
 // DefaultOptions returns full-fidelity settings.
@@ -70,32 +87,10 @@ func (o Options) normalize() Options {
 	return o
 }
 
-// parallelMap runs fn(0..n-1) concurrently (bounded by GOMAXPROCS) and
-// returns the first error. Each simulation is an isolated Sim with its
-// own RNG streams, so sweep points parallelize safely.
+// parallelMap runs fn(0..n-1) through the shared runner's bounded
+// worker pool and returns the first error by index.
 func parallelMap(n int, fn func(i int) error) error {
-	if n <= 0 {
-		return nil
-	}
-	var wg sync.WaitGroup
-	errs := make([]error, n)
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			errs[i] = fn(i)
-		}(i)
-	}
-	wg.Wait()
-	for _, e := range errs {
-		if e != nil {
-			return e
-		}
-	}
-	return nil
+	return runner.Default().Each(n, fn)
 }
 
 // serverResult aliases the simulator result for the ablation helpers.
@@ -123,15 +118,20 @@ func runServerConfig(sc serverConfig) (server.Result, error) {
 		Warmup:         o.Warmup,
 		Seed:           o.Seed,
 		OSNoisePeriod:  sc.NoisePeriod,
+		Dispatch:       o.Dispatch,
+		LoadGen:        o.LoadGen,
+
+		ClosedLoopConnections: o.Connections,
 	}
-	res, err := server.RunConfig(cfg)
+	res, err := runner.Default().Run(cfg)
 	if err != nil {
 		return server.Result{}, fmt.Errorf("experiments: %s: %w", sc.Platform.Name, err)
 	}
 	return res, nil
 }
 
-// runService executes one simulation with the experiment options.
+// runService executes one simulation with the experiment options,
+// memoized through the shared runner.
 func (o Options) runService(platform governor.Config, profile workload.Profile, rate, fixedFreqHz float64) (server.Result, error) {
 	cfg := server.Config{
 		Platform:    platform,
@@ -141,8 +141,12 @@ func (o Options) runService(platform governor.Config, profile workload.Profile, 
 		Warmup:      o.Warmup,
 		Seed:        o.Seed,
 		FixedFreqHz: fixedFreqHz,
+		Dispatch:    o.Dispatch,
+		LoadGen:     o.LoadGen,
+
+		ClosedLoopConnections: o.Connections,
 	}
-	res, err := server.RunConfig(cfg)
+	res, err := runner.Default().Run(cfg)
 	if err != nil {
 		return server.Result{}, fmt.Errorf("experiments: %s @ %.0f QPS: %w", platform.Name, rate, err)
 	}

@@ -37,14 +37,16 @@ func serviceEval(o Options, profile workload.Profile, labels []string, rates []f
 	o = o.normalize()
 	out := ServiceEvalResult{Service: profile.Name}
 	vec := power.VectorFromCatalog(cstate.Skylake())
-	for i, rate := range rates {
+	points := make([]ServiceEvalPoint, len(rates))
+	err := parallelMap(len(rates), func(i int) error {
+		rate := rates[i]
 		base, err := o.runService(governor.KVBaseline, profile, rate, 0)
 		if err != nil {
-			return out, err
+			return err
 		}
 		noC6, err := o.runService(governor.KVNoC6, profile, rate, 0)
 		if err != nil {
-			return out, err
+			return err
 		}
 		p := ServiceEvalPoint{Label: labels[i], RateQPS: rate, Baseline: base, NoC6: noC6}
 		p.AvgLatReductionPct = pctOver(base.EndToEnd.AvgUS, noC6.EndToEnd.AvgUS)
@@ -53,8 +55,13 @@ func serviceEval(o Options, profile workload.Profile, labels []string, rates []f
 		p.AvgPReductionPct = power.TurboSavings(
 			noC6.Residency[cstate.C1], noC6.Residency[cstate.C1E],
 			noC6.AvgCorePowerW, vec)
-		out.Points = append(out.Points, p)
+		points[i] = p
+		return nil
+	})
+	if err != nil {
+		return out, err
 	}
+	out.Points = points
 	return out, nil
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/governor"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -38,29 +39,39 @@ func PkgIdle(o Options) (PkgIdleResult, error) {
 	if len(o.Rates) > 1 {
 		rates = append(rates, o.Rates[len(o.Rates)/2])
 	}
-	for _, rate := range rates {
-		for _, delay := range []sim.Time{600 * sim.Microsecond, 100 * sim.Microsecond, 10 * sim.Microsecond} {
-			res, err := server.RunConfig(server.Config{
-				Platform:       governor.AW,
-				Profile:        profile,
-				RatePerSec:     rate,
-				Duration:       o.Duration,
-				Warmup:         o.Warmup,
-				Seed:           o.Seed,
-				PkgIdleEnabled: true,
-				PkgEntryDelay:  delay,
-			})
-			if err != nil {
-				return out, err
-			}
-			out.Points = append(out.Points, PkgIdlePoint{
-				RateQPS: rate, EntryDelay: delay,
-				PkgIdleFraction: res.PkgIdleFraction,
-				UncoreAvgW:      res.UncoreAvgW,
-				PackagePowerW:   res.PackagePowerW,
-			})
+	delays := []sim.Time{600 * sim.Microsecond, 100 * sim.Microsecond, 10 * sim.Microsecond}
+	points := make([]PkgIdlePoint, len(rates)*len(delays))
+	err := parallelMap(len(points), func(i int) error {
+		rate, delay := rates[i/len(delays)], delays[i%len(delays)]
+		res, err := runner.Default().Run(server.Config{
+			Platform:       governor.AW,
+			Profile:        profile,
+			RatePerSec:     rate,
+			Duration:       o.Duration,
+			Warmup:         o.Warmup,
+			Seed:           o.Seed,
+			PkgIdleEnabled: true,
+			PkgEntryDelay:  delay,
+			Dispatch:       o.Dispatch,
+			LoadGen:        o.LoadGen,
+
+			ClosedLoopConnections: o.Connections,
+		})
+		if err != nil {
+			return err
 		}
+		points[i] = PkgIdlePoint{
+			RateQPS: rate, EntryDelay: delay,
+			PkgIdleFraction: res.PkgIdleFraction,
+			UncoreAvgW:      res.UncoreAvgW,
+			PackagePowerW:   res.PackagePowerW,
+		}
+		return nil
+	})
+	if err != nil {
+		return out, err
 	}
+	out.Points = points
 	return out, nil
 }
 

@@ -27,20 +27,27 @@ func Table5(o Options) (Table5Result, error) {
 	vec := power.VectorFromCatalog(cstate.Skylake())
 	model := datacenter.NewCostModel()
 	const coresPerCPU = 10
-	var qps, baseW, awW []float64
-	for _, rate := range o.Rates {
+	qps := make([]float64, len(o.Rates))
+	baseW := make([]float64, len(o.Rates))
+	awW := make([]float64, len(o.Rates))
+	err := parallelMap(len(o.Rates), func(i int) error {
+		rate := o.Rates[i]
 		base, err := o.runService(governor.Baseline, profile, rate, 0)
 		if err != nil {
-			return Table5Result{}, err
+			return err
 		}
 		// AW per-core power from the Sec. 6.2 transform.
 		reduction := power.TurboSavings(
 			base.Residency[cstate.C1], base.Residency[cstate.C1E],
 			base.AvgCorePowerW, vec) / 100
 		baseCPU := base.AvgCorePowerW * coresPerCPU
-		qps = append(qps, rate)
-		baseW = append(baseW, baseCPU)
-		awW = append(awW, baseCPU*(1-reduction))
+		qps[i] = rate
+		baseW[i] = baseCPU
+		awW[i] = baseCPU * (1 - reduction)
+		return nil
+	})
+	if err != nil {
+		return Table5Result{}, err
 	}
 	rows, err := model.Table5(qps, baseW, awW)
 	if err != nil {

@@ -1,0 +1,218 @@
+// Package runner is the shared sweep executor behind every experiment:
+// it runs server simulations with bounded parallelism and memoizes
+// results, so overlapping sweeps (Fig. 8, Fig. 10, Table 5 and the
+// proportionality study all simulate the Baseline Memcached curve) cost
+// one simulation instead of four.
+//
+// Memoization is sound because a simulation is a pure function of its
+// Config: all randomness derives from Config.Seed, and Key only reports a
+// config cacheable when every behavioral input is captured by value
+// (profiles backed by live mutable state, custom catalogs, and trace
+// hooks are executed uncached). Cached Results are shared between
+// callers, so experiments must treat them as read-only — which they do,
+// being pure renderers.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/governor"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/turbo"
+)
+
+// Runner executes simulations with bounded parallelism and memoization.
+// The zero value is not usable; construct with New.
+type Runner struct {
+	sem chan struct{}
+
+	mu    sync.Mutex
+	cache map[string]*entry
+
+	hits, misses atomic.Uint64
+}
+
+type entry struct {
+	once sync.Once
+	res  server.Result
+	err  error
+}
+
+// New returns a Runner bounding concurrent simulations to parallelism
+// (GOMAXPROCS when <= 0).
+func New(parallelism int) *Runner {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		sem:   make(chan struct{}, parallelism),
+		cache: make(map[string]*entry),
+	}
+}
+
+var defaultRunner = New(0)
+
+// Default returns the process-wide shared Runner. All experiments route
+// through it, so an `awsim` invocation regenerating several figures
+// reuses every simulation they have in common.
+func Default() *Runner { return defaultRunner }
+
+// keyData mirrors every behavioral Config field that is representable by
+// value; Profile is replaced by its fingerprint. Catalog and TraceHook
+// are deliberately absent — configs carrying them are not cacheable.
+type keyData struct {
+	Cores                 int
+	Platform              governor.Config
+	GovernorPolicy        string
+	Profile               string
+	RatePerSec            float64
+	Duration, Warmup      sim.Time
+	Seed                  uint64
+	Dispatch              string
+	PackQueueCap          int
+	LoadGen               string
+	BurstOn, BurstOff     sim.Time
+	UncoreW               float64
+	Freq                  turbo.FreqPlan
+	TurboSustainedW       float64
+	TurboCapacityJ        float64
+	FixedFreqHz           float64
+	AWFreqLoss            float64
+	SnoopRate             float64
+	SnoopService          sim.Time
+	NoisePeriod           sim.Time
+	NoiseDemand           sim.Time
+	PkgIdle               bool
+	PkgEntryDelay         sim.Time
+	PkgUncoreLowW         float64
+	ClosedLoopConnections int
+	ThinkTime             sim.Time
+}
+
+// Key returns the memoization key for cfg and whether cfg is cacheable.
+// Non-cacheable configs (custom catalog, trace hook, or a profile whose
+// behavior is not captured by value) always execute. The key is computed
+// on the defaulted config, so zero-value and explicitly-default knobs
+// (Dispatch "" vs "round-robin", PackQueueCap 0 vs 4, ...) share one
+// cache slot.
+func Key(cfg server.Config) (string, bool) {
+	if cfg.Catalog != nil || cfg.TraceHook != nil {
+		return "", false
+	}
+	pf, ok := cfg.Profile.Fingerprint()
+	if !ok {
+		return "", false
+	}
+	cfg = cfg.Defaults() // normalize; the injected Catalog is not keyed
+	return fmt.Sprintf("%+v", keyData{
+		Cores:                 cfg.Cores,
+		Platform:              cfg.Platform,
+		GovernorPolicy:        cfg.GovernorPolicy,
+		Profile:               pf,
+		RatePerSec:            cfg.RatePerSec,
+		Duration:              cfg.Duration,
+		Warmup:                cfg.Warmup,
+		Seed:                  cfg.Seed,
+		Dispatch:              cfg.Dispatch,
+		PackQueueCap:          cfg.PackQueueCap,
+		LoadGen:               cfg.LoadGen,
+		BurstOn:               cfg.BurstOnTime,
+		BurstOff:              cfg.BurstOffTime,
+		UncoreW:               cfg.UncoreW,
+		Freq:                  cfg.Freq,
+		TurboSustainedW:       cfg.TurboSustainedW,
+		TurboCapacityJ:        cfg.TurboCapacityJ,
+		FixedFreqHz:           cfg.FixedFreqHz,
+		AWFreqLoss:            cfg.AWFreqLossFraction,
+		SnoopRate:             cfg.SnoopRatePerSec,
+		SnoopService:          cfg.SnoopServiceTime,
+		NoisePeriod:           cfg.OSNoisePeriod,
+		NoiseDemand:           cfg.OSNoiseDemand,
+		PkgIdle:               cfg.PkgIdleEnabled,
+		PkgEntryDelay:         cfg.PkgEntryDelay,
+		PkgUncoreLowW:         cfg.PkgUncoreLowW,
+		ClosedLoopConnections: cfg.ClosedLoopConnections,
+		ThinkTime:             cfg.ThinkTime,
+	}), true
+}
+
+// Run executes (or returns the memoized result of) one simulation.
+// Identical configs requested concurrently run once; the duplicates
+// block on the first execution. The returned Result may be shared with
+// other callers and must be treated as read-only.
+func (r *Runner) Run(cfg server.Config) (server.Result, error) {
+	key, cacheable := Key(cfg)
+	if !cacheable {
+		r.misses.Add(1)
+		return server.RunConfig(cfg)
+	}
+	r.mu.Lock()
+	e, hit := r.cache[key]
+	if !hit {
+		e = &entry{}
+		r.cache[key] = e
+	}
+	r.mu.Unlock()
+	if hit {
+		r.hits.Add(1)
+	} else {
+		r.misses.Add(1)
+	}
+	e.once.Do(func() { e.res, e.err = server.RunConfig(cfg) })
+	return e.res, e.err
+}
+
+// Each runs fn(0..n-1) with bounded parallelism and returns the first
+// error by index. It replaces the per-experiment ad-hoc parallelMap
+// helpers; each simulation is an isolated Sim with its own RNG streams,
+// so sweep points parallelize safely. fn must not call Each on the same
+// Runner (the parallelism bound would deadlock); calling Run is fine.
+func (r *Runner) Each(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		r.sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-r.sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// Sweep runs one simulation per config and returns results in order.
+func (r *Runner) Sweep(cfgs []server.Config) ([]server.Result, error) {
+	out := make([]server.Result, len(cfgs))
+	err := r.Each(len(cfgs), func(i int) error {
+		res, err := r.Run(cfgs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stats reports cache hits and misses (uncacheable runs count as misses).
+func (r *Runner) Stats() (hits, misses uint64) {
+	return r.hits.Load(), r.misses.Load()
+}

@@ -1,0 +1,193 @@
+package runner
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cstate"
+	"repro/internal/governor"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func quickCfg() server.Config {
+	return server.Config{
+		Platform:   governor.Baseline,
+		Profile:    workload.Memcached(),
+		RatePerSec: 100e3,
+		Duration:   40 * sim.Millisecond,
+		Warmup:     5 * sim.Millisecond,
+		Seed:       7,
+	}
+}
+
+func TestKeyCacheability(t *testing.T) {
+	cfg := quickCfg()
+	k1, ok := Key(cfg)
+	if !ok {
+		t.Fatal("plain config not cacheable")
+	}
+	k2, _ := Key(cfg)
+	if k1 != k2 {
+		t.Fatal("key not deterministic")
+	}
+	other := cfg
+	other.Seed = 8
+	k3, _ := Key(other)
+	if k3 == k1 {
+		t.Fatal("different seeds share a key")
+	}
+	other = cfg
+	other.Dispatch = server.DispatchPacked
+	if k, _ := Key(other); k == k1 {
+		t.Fatal("different dispatch policies share a key")
+	}
+	// Zero-value and explicitly-default knobs normalize to one key, so
+	// experiments that spell out the default still hit the shared cache.
+	explicit := cfg
+	explicit.Dispatch = server.DispatchRoundRobin
+	explicit.LoadGen = server.LoadOpenLoop
+	if k, _ := Key(explicit); k != k1 {
+		t.Fatal("explicit defaults keyed differently from zero values")
+	}
+
+	hooked := cfg
+	hooked.TraceHook = func(int, sim.Time, cstate.ID) {}
+	if _, ok := Key(hooked); ok {
+		t.Fatal("trace-hooked config reported cacheable")
+	}
+	cat := cfg
+	cat.Catalog = cstate.Skylake()
+	if _, ok := Key(cat); ok {
+		t.Fatal("custom-catalog config reported cacheable")
+	}
+	etc, err := workload.MemcachedETC(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := cfg
+	live.Profile = etc
+	if _, ok := Key(live); ok {
+		t.Fatal("live-kvstore profile reported cacheable")
+	}
+}
+
+func TestRunMemoizes(t *testing.T) {
+	r := New(2)
+	a, err := r.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cache hit returns the same Result value, sharing the PerCore
+	// backing array — pointer equality proves no second simulation ran.
+	if &a.PerCore[0] != &b.PerCore[0] {
+		t.Fatal("second identical run was not served from cache")
+	}
+	if hits, misses := r.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+
+	other := quickCfg()
+	other.RatePerSec = 200e3
+	c, err := r.Run(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CompletedPerSec == a.CompletedPerSec {
+		t.Fatal("different rate returned cached result")
+	}
+}
+
+func TestConcurrentIdenticalRunsSingleFlight(t *testing.T) {
+	r := New(4)
+	results := make([]server.Result, 8)
+	err := r.Each(len(results), func(i int) error {
+		res, err := r.Run(quickCfg())
+		results[i] = res
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(results); i++ {
+		if &results[i].PerCore[0] != &results[0].PerCore[0] {
+			t.Fatal("concurrent identical runs were not single-flighted")
+		}
+	}
+	if hits, misses := r.Stats(); hits+misses != 8 || misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 7/1", hits, misses)
+	}
+}
+
+func TestEachBoundsParallelismAndPropagatesErrors(t *testing.T) {
+	r := New(3)
+	var inFlight, peak atomic.Int64
+	err := r.Each(16, func(i int) error {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		defer inFlight.Add(-1)
+		if i == 11 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("parallelism bound violated: peak %d > 3", p)
+	}
+}
+
+func TestSweepPreservesOrder(t *testing.T) {
+	r := New(4)
+	rates := []float64{10e3, 100e3, 300e3}
+	cfgs := make([]server.Config, len(rates))
+	for i, rate := range rates {
+		cfgs[i] = quickCfg()
+		cfgs[i].RatePerSec = rate
+	}
+	out, err := r.Sweep(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(rates) {
+		t.Fatalf("got %d results, want %d", len(out), len(rates))
+	}
+	for i, res := range out {
+		if res.Config.RatePerSec != rates[i] {
+			t.Fatalf("result %d is for rate %v, want %v", i, res.Config.RatePerSec, rates[i])
+		}
+	}
+}
+
+func TestUncacheableRunsExecute(t *testing.T) {
+	r := New(2)
+	var traced atomic.Int64
+	cfg := quickCfg()
+	cfg.TraceHook = func(int, sim.Time, cstate.ID) { traced.Add(1) }
+	if _, err := r.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	first := traced.Load()
+	if first == 0 {
+		t.Fatal("trace hook never fired")
+	}
+	if _, err := r.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if traced.Load() == first {
+		t.Fatal("uncacheable config was cached")
+	}
+}

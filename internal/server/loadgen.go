@@ -1,0 +1,167 @@
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Load-generator names accepted by Config.LoadGen.
+const (
+	// LoadOpenLoop issues Poisson (or profile-defined) arrivals at
+	// Config.RatePerSec regardless of completions — the Mutilate agent's
+	// open-loop mode the paper measures under.
+	LoadOpenLoop = "open-loop"
+	// LoadClosedLoop runs Config.ClosedLoopConnections connections, each
+	// issuing its next request one think time after its previous
+	// response (the Mutilate closed-loop model).
+	LoadClosedLoop = "closed-loop"
+	// LoadBursty is an on/off modulated open loop: exponentially
+	// distributed ON bursts separated by silent OFF gaps, with the burst
+	// rate scaled so the long-run average still equals Config.RatePerSec.
+	// OFF gaps are long enough for cores to reach deep C-states, so the
+	// same average load produces a very different residency picture.
+	LoadBursty = "bursty"
+)
+
+// LoadGens lists the built-in load-generator names.
+func LoadGens() []string {
+	return []string{LoadOpenLoop, LoadClosedLoop, LoadBursty}
+}
+
+// LoadGen drives request arrivals into a simulation. Implementations draw
+// all randomness from the Sim's arrival stream, keeping runs reproducible
+// from the single run seed.
+type LoadGen interface {
+	// Name identifies the generator.
+	Name() string
+	// Start schedules the generator's initial events on the engine.
+	Start(s *Sim)
+	// OnComplete is invoked when the foreground request of connection
+	// conn finishes; open-loop generators ignore it, closed-loop ones
+	// schedule the connection's next request.
+	OnComplete(s *Sim, conn int, now sim.Time)
+}
+
+// newLoadGen constructs the named generator.
+func newLoadGen(cfg Config) (LoadGen, error) {
+	switch cfg.LoadGen {
+	case LoadOpenLoop:
+		return openLoopGen{}, nil
+	case LoadClosedLoop:
+		if cfg.ClosedLoopConnections <= 0 {
+			return nil, fmt.Errorf("server: closed-loop load needs ClosedLoopConnections > 0")
+		}
+		return closedLoopGen{}, nil
+	case LoadBursty:
+		if cfg.RatePerSec <= 0 {
+			return nil, fmt.Errorf("server: bursty load needs RatePerSec > 0")
+		}
+		on, off := float64(cfg.BurstOnTime), float64(cfg.BurstOffTime)
+		return &burstyGen{
+			onRate:  cfg.RatePerSec * (on + off) / on,
+			onMean:  on,
+			offMean: off,
+		}, nil
+	default:
+		return nil, fmt.Errorf("server: unknown load generator %q (known: %v)", cfg.LoadGen, LoadGens())
+	}
+}
+
+// openLoopGen reproduces the seed simulator's open-loop path exactly: one
+// profile-defined gap draw per arrival, starting from time zero.
+type openLoopGen struct{}
+
+func (openLoopGen) Name() string { return LoadOpenLoop }
+
+func (openLoopGen) Start(s *Sim) {
+	if s.cfg.RatePerSec <= 0 {
+		return
+	}
+	gap := s.cfg.Profile.Arrivals.NextGap(s.arrRand, s.cfg.RatePerSec)
+	s.eng.ScheduleAt(gap, func(t sim.Time) { s.openLoopArrival(t) })
+}
+
+func (openLoopGen) OnComplete(*Sim, int, sim.Time) {}
+
+// openLoopArrival dispatches one request and schedules the next.
+func (s *Sim) openLoopArrival(now sim.Time) {
+	s.dispatch(now, -1)
+	gap := s.cfg.Profile.Arrivals.NextGap(s.arrRand, s.cfg.RatePerSec)
+	if gap < sim.MaxTime-now {
+		s.eng.Schedule(gap, func(t sim.Time) { s.openLoopArrival(t) })
+	}
+}
+
+// closedLoopGen models Mutilate agents: N connections, exponential think
+// times, next request issued only after the previous response.
+type closedLoopGen struct{}
+
+func (closedLoopGen) Name() string { return LoadClosedLoop }
+
+func (closedLoopGen) Start(s *Sim) {
+	for i := 0; i < s.cfg.ClosedLoopConnections; i++ {
+		conn := i
+		// Stagger connection starts across one think time.
+		start := sim.Time(s.arrRand.Exp(float64(s.cfg.ThinkTime))) + 1
+		s.eng.ScheduleAt(start, func(t sim.Time) { s.dispatch(t, conn) })
+	}
+}
+
+func (closedLoopGen) OnComplete(s *Sim, conn int, now sim.Time) {
+	think := sim.Time(s.arrRand.Exp(float64(s.cfg.ThinkTime)))
+	if think < 1 {
+		think = 1
+	}
+	s.eng.Schedule(think, func(t sim.Time) { s.dispatch(t, conn) })
+}
+
+// burstyGen alternates exponentially distributed ON bursts (Poisson
+// arrivals at onRate) with silent OFF gaps.
+type burstyGen struct {
+	onRate  float64 // instantaneous rate during a burst (1/s)
+	onMean  float64 // mean burst length (ns)
+	offMean float64 // mean silent gap (ns)
+}
+
+func (*burstyGen) Name() string { return LoadBursty }
+
+func (g *burstyGen) Start(s *Sim) {
+	s.eng.ScheduleAt(1, func(t sim.Time) { g.burst(s, t) })
+}
+
+func (*burstyGen) OnComplete(*Sim, int, sim.Time) {}
+
+// burst runs one ON window starting now and schedules the next burst
+// after an OFF gap.
+func (g *burstyGen) burst(s *Sim, now sim.Time) {
+	dur := sim.Time(s.arrRand.Exp(g.onMean))
+	if dur < 1 {
+		dur = 1
+	}
+	end := now + dur
+	g.arrive(s, now, end)
+	gap := sim.Time(s.arrRand.Exp(g.offMean))
+	if gap < 1 {
+		gap = 1
+	}
+	if end < sim.MaxTime-gap {
+		s.eng.ScheduleAt(end+gap, func(t sim.Time) { g.burst(s, t) })
+	}
+}
+
+// arrive schedules the next arrival within the ON window [from, end].
+func (g *burstyGen) arrive(s *Sim, from, end sim.Time) {
+	gap := sim.Time(s.arrRand.Exp(1e9 / g.onRate))
+	if gap < 1 {
+		gap = 1
+	}
+	t := from + gap
+	if t > end {
+		return
+	}
+	s.eng.ScheduleAt(t, func(now sim.Time) {
+		s.dispatch(now, -1)
+		g.arrive(s, now, end)
+	})
+}

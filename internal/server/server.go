@@ -1,12 +1,15 @@
 // Package server is the discrete-event model of the paper's evaluation
 // platform: a 2-socket, 10-core-per-socket (20 logical CPU) Skylake
-// server running one latency-critical service. Requests arrive open-loop,
-// are dispatched to per-core queues, and execute at the core's current
-// frequency; idle cores enter C-states chosen by an OS governor and pay
-// entry/exit latencies on wake-up. The simulator produces exactly the
-// quantities the paper measures on hardware: per-C-state residencies and
-// transition counts, RAPL-style average power, and average/tail request
-// latency (server-side and end-to-end).
+// server running one latency-critical service. Requests arrive through a
+// pluggable load generator (LoadGen), are placed on per-core queues by a
+// pluggable dispatch policy (Dispatcher), and execute at the core's
+// current frequency; idle cores enter C-states chosen by an OS governor
+// and pay entry/exit latencies on wake-up. A Collector turns the run into
+// exactly the quantities the paper measures on hardware: per-C-state
+// residencies and transition counts, RAPL-style average power, and
+// average/tail request latency (server-side and end-to-end).
+//
+// See DESIGN.md for how the subsystems compose.
 package server
 
 import (
@@ -40,6 +43,21 @@ type Config struct {
 	Warmup   sim.Time
 	// Seed makes the run reproducible.
 	Seed uint64
+
+	// Dispatch selects the request-to-core placement policy (default
+	// round-robin, the paper's assumption). See DispatchPolicies.
+	Dispatch string
+	// PackQueueCap bounds per-core backlog under the packed policy
+	// (default 4 outstanding requests).
+	PackQueueCap int
+
+	// LoadGen selects the arrival generator (default open-loop, or
+	// closed-loop when ClosedLoopConnections > 0). See LoadGens.
+	LoadGen string
+	// BurstOnTime / BurstOffTime are the mean ON-burst and silent-gap
+	// lengths of the bursty generator (defaults 500us / 1.5ms).
+	BurstOnTime  sim.Time
+	BurstOffTime sim.Time
 
 	// UncoreW is the constant package power outside the cores (two
 	// sockets' uncore, calibrated so package power matches Fig. 9(c)).
@@ -107,6 +125,25 @@ func (c Config) Defaults() Config {
 	}
 	if c.GovernorPolicy == "" {
 		c.GovernorPolicy = governor.PolicyMenu
+	}
+	if c.Dispatch == "" {
+		c.Dispatch = DispatchRoundRobin
+	}
+	if c.PackQueueCap == 0 {
+		c.PackQueueCap = defaultPackQueueCap
+	}
+	if c.LoadGen == "" {
+		if c.ClosedLoopConnections > 0 {
+			c.LoadGen = LoadClosedLoop
+		} else {
+			c.LoadGen = LoadOpenLoop
+		}
+	}
+	if c.BurstOnTime == 0 {
+		c.BurstOnTime = 500 * sim.Microsecond
+	}
+	if c.BurstOffTime == 0 {
+		c.BurstOffTime = 1500 * sim.Microsecond
 	}
 	if c.Duration == 0 {
 		c.Duration = 500 * sim.Millisecond
@@ -241,8 +278,14 @@ type Result struct {
 	// the whole run (0 unless SnoopRatePerSec > 0).
 	SnoopsServed uint64
 
+	// MaxQueueDepth is the largest per-core backlog (queued + executing)
+	// observed at any dispatch during the window — the imbalance signal
+	// that separates the dispatch policies.
+	MaxQueueDepth int
+
 	// PerCore carries per-CPU measurements (round-robin dispatch keeps
-	// them nearly uniform; skew indicates a modeling or policy change).
+	// them nearly uniform; skew indicates a modeling or policy change,
+	// and is the whole point of the packed policy).
 	PerCore []CoreStats
 }
 
@@ -286,7 +329,9 @@ type coreRuntime struct {
 	snoopGen uint64
 }
 
-// Sim is a fully constructed simulation run.
+// Sim is a fully constructed simulation run: the core/C-state model plus
+// three pluggable subsystems — load generation (gen), request placement
+// (disp), and measurement (col).
 type Sim struct {
 	cfg     Config
 	eng     *sim.Engine
@@ -297,21 +342,11 @@ type Sim struct {
 	budget  *turbo.Budget
 	cpower  *turbo.CorePower
 
-	nextCore int
-	totalPwr float64
+	gen  LoadGen
+	disp Dispatcher
+	col  *Collector
 
-	measuring     bool
-	measureStart  sim.Time
-	serverLat     *stats.Histogram
-	e2eLat        *stats.Histogram
-	wakeLat       *stats.Histogram
-	queueLat      *stats.Histogram
-	serviceLat    *stats.Histogram
-	completed     uint64
-	preTrans      [cstate.NumStates]uint64
-	preResidency  [cstate.NumStates]float64
-	preCoreRes    [][cstate.NumStates]float64
-	preTransTaken bool
+	totalPwr float64
 
 	// snoopsServed counts snoops serviced by idle cores.
 	snoopsServed uint64
@@ -395,20 +430,32 @@ func New(cfg Config) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Sim{
-		cfg:       cfg,
-		eng:       sim.NewEngine(),
-		arrRand:   xrand.NewStream(cfg.Seed, "arrivals/"+cfg.Profile.Name),
-		svcRand:   xrand.NewStream(cfg.Seed, "service/"+cfg.Profile.Name),
-		netRand:   xrand.NewStream(cfg.Seed, "network/"+cfg.Profile.Name),
-		budget:    turbo.NewBudget(cfg.TurboSustainedW, cfg.TurboCapacityJ),
-		cpower:    turbo.NewCorePower(cfg.Freq),
-		serverLat: stats.NewHistogram(),
-		e2eLat:    stats.NewHistogram(),
+	// Stateful arrival processes (e.g. the MMPP2 Kafka stream) are copied
+	// per run so concurrent or repeated runs never share mutable state.
+	if ca, ok := cfg.Profile.Arrivals.(workload.CloneableArrival); ok {
+		cfg.Profile.Arrivals = ca.CloneArrival()
 	}
-	s.wakeLat = stats.NewHistogram()
-	s.queueLat = stats.NewHistogram()
-	s.serviceLat = stats.NewHistogram()
+	s := &Sim{
+		cfg:     cfg,
+		eng:     sim.NewEngine(),
+		arrRand: xrand.NewStream(cfg.Seed, "arrivals/"+cfg.Profile.Name),
+		svcRand: xrand.NewStream(cfg.Seed, "service/"+cfg.Profile.Name),
+		netRand: xrand.NewStream(cfg.Seed, "network/"+cfg.Profile.Name),
+		budget:  turbo.NewBudget(cfg.TurboSustainedW, cfg.TurboCapacityJ),
+		cpower:  turbo.NewCorePower(cfg.Freq),
+		col:     newCollector(),
+	}
+	gen, err := newLoadGen(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.gen = gen
+	disp, err := newDispatcher(cfg.Dispatch, cfg.PackQueueCap,
+		xrand.NewStream(cfg.Seed, "dispatch/"+cfg.Profile.Name))
+	if err != nil {
+		return nil, err
+	}
+	s.disp = disp
 	s.uncoreMeter = stats.NewEnergyMeter(0, cfg.UncoreW)
 	for i := 0; i < cfg.Cores; i++ {
 		gov, err := governor.New(cfg.GovernorPolicy, cfg.Catalog)
@@ -617,20 +664,13 @@ func (s *Sim) startNext(c *coreRuntime, now sim.Time) {
 		dur = 1
 	}
 	s.setCorePower(c, now, s.cpower.AtFreq(freq))
-	if s.measuring {
+	if s.col.measuring {
 		c.busyTime += dur
 		if freq > s.baseFreq()+1 {
 			c.turboBusyTime += dur
 		}
 		if !req.background {
-			waited := now - req.arrival
-			wake := req.wake
-			if wake > waited {
-				wake = waited
-			}
-			s.wakeLat.Add(wake.Micros())
-			s.queueLat.Add((waited - wake).Micros())
-			s.serviceLat.Add(dur.Micros())
+			s.col.noteStart(req, now, dur)
 		}
 	}
 	s.eng.Schedule(dur, func(t sim.Time) { s.complete(c, req, t) })
@@ -638,14 +678,11 @@ func (s *Sim) startNext(c *coreRuntime, now sim.Time) {
 
 func (s *Sim) complete(c *coreRuntime, req request, now sim.Time) {
 	c.busy = false
-	if s.measuring && !req.background {
-		latUS := (now - req.arrival).Micros()
-		s.serverLat.Add(latUS)
-		s.e2eLat.Add(latUS + s.cfg.Profile.SampleNetwork(s.netRand).Micros())
-		s.completed++
+	if s.col.measuring && !req.background {
+		s.col.noteComplete(req, now, s.cfg.Profile.SampleNetwork(s.netRand))
 	}
 	if req.conn >= 0 {
-		s.connThink(req.conn, now)
+		s.gen.OnComplete(s, req.conn, now)
 	}
 	if len(c.queue) > 0 {
 		s.startNext(c, now)
@@ -654,33 +691,15 @@ func (s *Sim) complete(c *coreRuntime, req request, now sim.Time) {
 	s.enterIdle(c, now)
 }
 
-// dispatch enqueues one request round-robin.
+// dispatch places one request on a core chosen by the dispatch policy.
 func (s *Sim) dispatch(now sim.Time, conn int) {
-	c := s.cores[s.nextCore]
-	s.nextCore = (s.nextCore + 1) % len(s.cores)
+	c := s.cores[s.disp.Pick(now, s.cores)]
 	req := request{arrival: now, demand: s.cfg.Profile.Service.Sample(s.svcRand), conn: conn}
 	c.queue = append(c.queue, req)
+	s.col.noteDispatch(c)
 	if !c.busy {
 		s.wake(c, now)
 	}
-}
-
-// arrival dispatches one open-loop request and schedules the next.
-func (s *Sim) arrival(now sim.Time) {
-	s.dispatch(now, -1)
-	gap := s.cfg.Profile.Arrivals.NextGap(s.arrRand, s.cfg.RatePerSec)
-	if gap < sim.MaxTime-now {
-		s.eng.Schedule(gap, func(t sim.Time) { s.arrival(t) })
-	}
-}
-
-// connThink schedules a closed-loop connection's next request.
-func (s *Sim) connThink(conn int, now sim.Time) {
-	think := sim.Time(s.arrRand.Exp(float64(s.cfg.ThinkTime)))
-	if think < 1 {
-		think = 1
-	}
-	s.eng.Schedule(think, func(t sim.Time) { s.dispatch(t, conn) })
 }
 
 // noise injects one background OS wake-up on core c and reschedules.
@@ -698,18 +717,7 @@ func (s *Sim) noise(c *coreRuntime, rng *xrand.Rand, now sim.Time) {
 
 // Run executes the configured warmup + measurement and returns results.
 func (s *Sim) Run() Result {
-	switch {
-	case s.cfg.ClosedLoopConnections > 0:
-		for i := 0; i < s.cfg.ClosedLoopConnections; i++ {
-			conn := i
-			// Stagger connection starts across one think time.
-			start := sim.Time(s.arrRand.Exp(float64(s.cfg.ThinkTime))) + 1
-			s.eng.ScheduleAt(start, func(t sim.Time) { s.dispatch(t, conn) })
-		}
-	case s.cfg.RatePerSec > 0:
-		gap := s.cfg.Profile.Arrivals.NextGap(s.arrRand, s.cfg.RatePerSec)
-		s.eng.ScheduleAt(gap, func(t sim.Time) { s.arrival(t) })
-	}
+	s.gen.Start(s)
 	if s.cfg.OSNoisePeriod > 0 {
 		for i, c := range s.cores {
 			rng := xrand.NewStream(s.cfg.Seed, fmt.Sprintf("osnoise/%d", i))
@@ -729,119 +737,10 @@ func (s *Sim) Run() Result {
 	// Warmup.
 	s.eng.RunUntil(s.cfg.Warmup)
 	s.eng.AdvanceTo(s.cfg.Warmup)
-	s.beginMeasurement()
+	s.col.begin(s)
 	end := s.cfg.Warmup + s.cfg.Duration
 	s.eng.RunUntil(end)
-	return s.collect(end)
-}
-
-func (s *Sim) beginMeasurement() {
-	s.measuring = true
-	s.measureStart = s.eng.Now()
-	for i, c := range s.cores {
-		_ = i
-		// Reset energy accounting to the measurement window.
-		c.meter = stats.NewEnergyMeter(int64(s.eng.Now()), c.curPowerW)
-	}
-	s.uncoreMeter = stats.NewEnergyMeter(int64(s.eng.Now()), s.uncorePower())
-	s.pkgIdleTotal = 0
-	if s.pkgActive {
-		s.pkgIdleStart = s.eng.Now()
-	}
-	if !s.preTransTaken {
-		for id := 0; id < int(cstate.NumStates); id++ {
-			var sum uint64
-			for _, c := range s.cores {
-				sum += c.machine.Transitions(cstate.ID(id))
-			}
-			s.preTrans[id] = sum
-		}
-		s.preResidency = s.residencySnapshot(s.measureStart)
-		s.preCoreRes = make([][cstate.NumStates]float64, len(s.cores))
-		for i, c := range s.cores {
-			s.preCoreRes[i] = coreResidencySnapshot(c, s.measureStart)
-		}
-		s.preTransTaken = true
-	}
-}
-
-func (s *Sim) collect(end sim.Time) Result {
-	res := Result{Config: s.cfg, MeasuredDuration: end - s.measureStart}
-	windowSec := (end - s.measureStart).Seconds()
-	var totalEnergy float64
-	var busy, turboBusy sim.Time
-	for _, c := range s.cores {
-		totalEnergy += c.meter.Energy(int64(end))
-		busy += c.busyTime
-		turboBusy += c.turboBusyTime
-	}
-	endSnap := s.residencySnapshot(end)
-	var residencyNS [cstate.NumStates]float64
-	for id := range residencyNS {
-		residencyNS[id] = endSnap[id] - s.preResidency[id]
-	}
-	var totalNS float64
-	for _, v := range residencyNS {
-		totalNS += v
-	}
-	for id := range res.Residency {
-		if totalNS > 0 {
-			res.Residency[id] = residencyNS[id] / totalNS
-		}
-	}
-	for id := 0; id < int(cstate.NumStates); id++ {
-		var sum uint64
-		for _, c := range s.cores {
-			sum += c.machine.Transitions(cstate.ID(id))
-		}
-		if windowSec > 0 {
-			res.TransitionsPerSec[id] = float64(sum-s.preTrans[id]) / windowSec
-		}
-	}
-	if windowSec > 0 {
-		res.AvgCorePowerW = totalEnergy / windowSec / float64(len(s.cores))
-		res.CompletedPerSec = float64(s.completed) / windowSec
-	}
-	res.UncoreAvgW = s.uncoreMeter.AveragePower(int64(end))
-	pkgIdle := s.pkgIdleTotal
-	if s.pkgActive {
-		pkgIdle += end - s.pkgIdleStart
-	}
-	if end > s.measureStart {
-		res.PkgIdleFraction = float64(pkgIdle) / float64(end-s.measureStart)
-	}
-	res.PackagePowerW = res.AvgCorePowerW*float64(len(s.cores)) + res.UncoreAvgW
-	res.EnergyJ = totalEnergy
-	res.SnoopsServed = s.snoopsServed
-	for i, c := range s.cores {
-		cs := CoreStats{Core: i}
-		snap := coreResidencySnapshot(c, end)
-		var coreTotal float64
-		for id := range snap {
-			snap[id] -= s.preCoreRes[i][id]
-			coreTotal += snap[id]
-		}
-		for id := range snap {
-			if coreTotal > 0 {
-				cs.Residency[id] = snap[id] / coreTotal
-			}
-		}
-		if windowSec > 0 {
-			cs.AvgPowerW = c.meter.Energy(int64(end)) / windowSec
-		}
-		res.PerCore = append(res.PerCore, cs)
-	}
-	res.Server = summarize(s.serverLat)
-	res.EndToEnd = summarize(s.e2eLat)
-	res.Breakdown = BreakdownSummary{
-		Wake:    summarize(s.wakeLat),
-		Queue:   summarize(s.queueLat),
-		Service: summarize(s.serviceLat),
-	}
-	if busy > 0 {
-		res.TurboFraction = float64(turboBusy) / float64(busy)
-	}
-	return res
+	return s.col.collect(s, end)
 }
 
 // RunConfig is the package-level convenience: construct and run.

@@ -19,6 +19,23 @@ func BenchmarkEngineChurn(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineChurnDeep is the same churn through a 1024-deep queue,
+// where heap depth (and therefore the 4-ary layout) dominates.
+func BenchmarkEngineChurnDeep(b *testing.B) {
+	e := NewEngine()
+	var fn Handler
+	fn = func(now Time) {
+		e.Schedule(1024, fn)
+	}
+	for i := 0; i < 1024; i++ {
+		e.Schedule(Time(i), fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
 // BenchmarkEngineScheduleCancel measures schedule+cancel pairs.
 func BenchmarkEngineScheduleCancel(b *testing.B) {
 	e := NewEngine()

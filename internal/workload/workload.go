@@ -27,12 +27,33 @@ type ArrivalProcess interface {
 	Name() string
 }
 
+// CloneableArrival is implemented by stateful arrival processes. The
+// simulator copies such processes before a run, so a Profile value can be
+// shared across concurrent or repeated simulations without its modulation
+// state leaking between them.
+type CloneableArrival interface {
+	ArrivalProcess
+	// CloneArrival returns an independent copy carrying the same
+	// parameters and current modulation state.
+	CloneArrival() ArrivalProcess
+}
+
+// fingerprinter is implemented by workload components whose behavior is
+// fully determined by the returned value string; components backed by
+// live mutable state (e.g. the kvstore ETC service) do not implement it,
+// which marks profiles containing them as non-memoizable.
+type fingerprinter interface {
+	fingerprint() string
+}
+
 // Poisson is a memoryless arrival process — the standard open-loop load
 // generator model (Mutilate's default).
 type Poisson struct{}
 
 // Name implements ArrivalProcess.
 func (Poisson) Name() string { return "poisson" }
+
+func (Poisson) fingerprint() string { return "poisson" }
 
 // NextGap implements ArrivalProcess.
 func (Poisson) NextGap(r *xrand.Rand, ratePerSec float64) sim.Time {
@@ -68,6 +89,17 @@ func NewMMPP2() *MMPP2 {
 
 // Name implements ArrivalProcess.
 func (m *MMPP2) Name() string { return "mmpp2" }
+
+// CloneArrival implements CloneableArrival.
+func (m *MMPP2) CloneArrival() ArrivalProcess {
+	cp := *m
+	return &cp
+}
+
+func (m *MMPP2) fingerprint() string {
+	return fmt.Sprintf("mmpp2:%g,%g,%d,%v,%g",
+		m.BurstRateBoost, m.BurstFraction, m.MeanBurst, m.bursting, m.dwellLeft)
+}
 
 // NextGap implements ArrivalProcess.
 func (m *MMPP2) NextGap(r *xrand.Rand, ratePerSec float64) sim.Time {
@@ -118,6 +150,10 @@ type LogNormalService struct {
 // Name implements ServiceDist.
 func (s LogNormalService) Name() string { return "lognormal" }
 
+func (s LogNormalService) fingerprint() string {
+	return fmt.Sprintf("lognormal:%d,%g", s.MeanTime, s.CV)
+}
+
 // Mean implements ServiceDist.
 func (s LogNormalService) Mean() sim.Time { return s.MeanTime }
 
@@ -145,6 +181,11 @@ type TailedService struct {
 
 // Name implements ServiceDist.
 func (s TailedService) Name() string { return "lognormal+pareto" }
+
+func (s TailedService) fingerprint() string {
+	return fmt.Sprintf("tailed:%s,%g,%d,%g,%d",
+		s.Body.fingerprint(), s.TailProb, s.TailXm, s.TailAlpha, s.TailCap)
+}
 
 // Mean implements ServiceDist.
 func (s TailedService) Mean() sim.Time {
@@ -197,6 +238,24 @@ func (p Profile) Validate() error {
 		return fmt.Errorf("workload %q: scalability %v out of [0,1]", p.Name, p.FreqScalability)
 	}
 	return nil
+}
+
+// Fingerprint returns a deterministic identity string for the profile and
+// true when every component's behavior is fully captured by value — the
+// precondition for memoizing simulation results keyed on it. Profiles
+// backed by live mutable state (e.g. MemcachedETC's kvstore) report false.
+func (p Profile) Fingerprint() (string, bool) {
+	af, ok := p.Arrivals.(fingerprinter)
+	if !ok {
+		return "", false
+	}
+	sf, ok := p.Service.(fingerprinter)
+	if !ok {
+		return "", false
+	}
+	return fmt.Sprintf("%s|ref=%g|scal=%g|rtt=%d|cv=%g|arr=%s|svc=%s",
+		p.Name, p.RefFreqHz, p.FreqScalability, p.NetworkRTT, p.NetworkCV,
+		af.fingerprint(), sf.fingerprint()), true
 }
 
 // UtilizationAt returns the offered per-core utilization at an aggregate

@@ -23,6 +23,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/cstate"
 	"repro/internal/experiments"
@@ -66,6 +67,10 @@ const (
 // Skylake returns the calibrated Skylake-server C-state catalog extended
 // with AgileWatts' C6A and C6AE states.
 func Skylake() *Catalog { return cstate.Skylake() }
+
+// EPYC returns the AMD EPYC-like C-state catalog (Sec. 5.5), usable for
+// heterogeneous cluster nodes.
+func EPYC() *Catalog { return cstate.EPYC() }
 
 // NewArchitecture returns the paper-calibrated AgileWatts core design.
 func NewArchitecture() *Architecture { return core.NewArchitecture() }
@@ -183,6 +188,99 @@ func RunService(r ServiceRun) (Result, error) {
 	})
 }
 
+// Cluster dispatch policy names accepted by ClusterRun.ClusterDispatch.
+const (
+	ClusterSpread      = cluster.DispatchSpread
+	ClusterLeastLoaded = cluster.DispatchLeastLoaded
+	ClusterConsolidate = cluster.DispatchConsolidate
+)
+
+// ClusterPolicies lists the cluster-level dispatch policy names.
+func ClusterPolicies() []string { return cluster.Policies() }
+
+// NodeConfig is a full per-node server configuration, for heterogeneous
+// fleets (mixed catalogs, core counts, platform configurations).
+type NodeConfig = server.Config
+
+// ClusterResult is a fleet simulation outcome: per-node results plus
+// fleet power, energy proportionality, and aggregated tail latency.
+type ClusterResult = cluster.Result
+
+// ClusterRun describes one fleet simulation: the embedded ServiceRun is
+// the per-node template (its RateQPS is the aggregate fleet load), and
+// the cluster dispatcher partitions that load across Nodes nodes.
+type ClusterRun struct {
+	ServiceRun
+	// Nodes is the fleet size (default 1). Node i runs with seed
+	// Seed+i, so nodes see independent randomness while the fleet stays
+	// reproducible from one seed.
+	Nodes int
+	// ClusterDispatch selects the fleet load-partitioning policy
+	// (default spread; see ClusterPolicies). A 1-node spread cluster
+	// reproduces RunService bit-for-bit.
+	ClusterDispatch string
+	// TargetUtil is the consolidate policy's per-node fill level
+	// (default 0.6).
+	TargetUtil float64
+	// ParkDrained quiesces nodes that receive no load (OS noise off,
+	// package idle-state model on), letting them reach package deep
+	// idle.
+	ParkDrained bool
+	// NodeOverride, when set, customizes node i's configuration after
+	// the template is applied — the hook for heterogeneous fleets, e.g.
+	// giving some nodes an EPYC() catalog or a different PlatformConfig.
+	NodeOverride func(i int, cfg NodeConfig) NodeConfig
+}
+
+// RunCluster simulates a fleet of per-node server simulations behind a
+// cluster-level dispatcher and aggregates the results.
+func RunCluster(r ClusterRun) (ClusterResult, error) {
+	if r.Nodes < 0 {
+		return ClusterResult{}, fmt.Errorf("agilewatts: negative cluster size %d", r.Nodes)
+	}
+	if r.Nodes == 0 {
+		r.Nodes = 1
+	}
+	if r.Platform.Name == "" {
+		r.Platform = Baseline
+	}
+	if r.Service.Name == "" {
+		r.Service = Memcached()
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	template := server.Config{
+		Platform:        r.Platform,
+		Profile:         r.Service,
+		Duration:        r.DurationNS,
+		Warmup:          r.WarmupNS,
+		Seed:            r.Seed,
+		SnoopRatePerSec: r.SnoopRatePerSec,
+		Dispatch:        r.Dispatch,
+		LoadGen:         r.LoadGen,
+
+		// Carried through so cluster.Validate rejects closed-loop runs
+		// with a clear error (the cluster dispatcher partitions open-loop
+		// rates) instead of silently simulating open-loop.
+		ClosedLoopConnections: r.Connections,
+		ThinkTime:             r.ThinkTimeNS,
+	}
+	nodes := cluster.Homogeneous(r.Nodes, template)
+	if r.NodeOverride != nil {
+		for i := range nodes {
+			nodes[i] = r.NodeOverride(i, nodes[i])
+		}
+	}
+	return cluster.Run(cluster.Config{
+		Nodes:       nodes,
+		RateQPS:     r.RateQPS,
+		Dispatch:    r.ClusterDispatch,
+		TargetUtil:  r.TargetUtil,
+		ParkDrained: r.ParkDrained,
+	})
+}
+
 // Experiment names accepted by RunExperiment.
 const (
 	ExpTable1     = "table1"
@@ -211,6 +309,7 @@ const (
 	ExpBreakdown      = "breakdown"       // wake/queue/service latency decomposition
 	ExpProportion     = "proportionality" // Sec. 7.1 energy-proportionality framing
 	ExpDispatch       = "dispatch"        // dispatch-policy power/tail trade-off
+	ExpCluster        = "cluster"         // fleet spread-vs-consolidate study
 )
 
 // Experiments returns all experiment names in stable order.
@@ -222,6 +321,7 @@ func Experiments() []string {
 		ExpValidation, ExpSnoop,
 		ExpAMD, ExpAblateGovernor, ExpAblateZones, ExpAblatePower, ExpAblateNoise,
 		ExpRaceToHalt, ExpPkgIdle, ExpBreakdown, ExpProportion, ExpDispatch,
+		ExpCluster,
 	}
 	sort.Strings(names)
 	return names
@@ -355,6 +455,12 @@ func RunExperiment(name string, o Options, w io.Writer) error {
 			return err
 		}
 		return render(r.Table(), r.ResidencyTable())
+	case ExpCluster:
+		r, err := experiments.Cluster(o)
+		if err != nil {
+			return err
+		}
+		return render(r.Table(), r.CostTable())
 	default:
 		return fmt.Errorf("agilewatts: unknown experiment %q (known: %v)", name, Experiments())
 	}

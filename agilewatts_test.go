@@ -2,6 +2,7 @@ package agilewatts
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -44,6 +45,65 @@ func TestHeadlineClaim(t *testing.T) {
 	deg := (aw.EndToEnd.AvgUS - base.EndToEnd.AvgUS) / base.EndToEnd.AvgUS
 	if deg > 0.01 {
 		t.Errorf("end-to-end degradation %.2f%% above 1%%", deg*100)
+	}
+}
+
+func TestRunClusterOneNodeMatchesRunService(t *testing.T) {
+	// The public-API version of the superset guarantee: a 1-node spread
+	// cluster is RunService, bit for bit.
+	run := ServiceRun{RateQPS: 120_000, DurationNS: 100_000_000, WarmupNS: 10_000_000}
+	single, err := RunService(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := RunCluster(ClusterRun{ServiceRun: run, Nodes: 1, ClusterDispatch: ClusterSpread})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fleet.Nodes[0].Result, single) {
+		t.Error("RunCluster(1 node, spread) diverged from RunService")
+	}
+	if fleet.FleetPowerW != single.PackagePowerW || fleet.Server != single.Server {
+		t.Error("fleet aggregates are not the single node's values")
+	}
+}
+
+func TestRunClusterHeterogeneousOverride(t *testing.T) {
+	res, err := RunCluster(ClusterRun{
+		ServiceRun:      ServiceRun{RateQPS: 200_000, DurationNS: 80_000_000, WarmupNS: 10_000_000},
+		Nodes:           2,
+		ClusterDispatch: ClusterLeastLoaded,
+		NodeOverride: func(i int, cfg NodeConfig) NodeConfig {
+			if i == 1 {
+				cfg.Cores = 40 // one big node
+			}
+			return cfg
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes[1].RateQPS <= res.Nodes[0].RateQPS {
+		t.Errorf("least-loaded did not favor the bigger node: %v vs %v",
+			res.Nodes[1].RateQPS, res.Nodes[0].RateQPS)
+	}
+	if EPYC().Params(C6).PowerWatts < 0 {
+		t.Fatal("EPYC catalog not exposed")
+	}
+}
+
+func TestRunClusterRejectsClosedLoop(t *testing.T) {
+	// The cluster dispatcher partitions open-loop rates; a closed-loop
+	// template must be rejected loudly, not silently run open-loop.
+	_, err := RunCluster(ClusterRun{
+		ServiceRun: ServiceRun{Connections: 100, RateQPS: 100_000},
+		Nodes:      2,
+	})
+	if err == nil {
+		t.Fatal("closed-loop cluster template accepted")
+	}
+	if _, err := RunCluster(ClusterRun{Nodes: -2, ServiceRun: ServiceRun{RateQPS: 1}}); err == nil {
+		t.Fatal("negative cluster size accepted")
 	}
 }
 

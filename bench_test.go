@@ -14,27 +14,34 @@ import (
 	"io"
 	"os"
 	"sync"
-	"sync/atomic"
 	"testing"
+
+	"repro/internal/xrand"
 )
 
 var printOnce sync.Map
 
-// benchSeedBlock hands each benchmark invocation a disjoint seed range.
-var benchSeedBlock atomic.Uint64
+// benchSeedBlock hands each benchmark invocation a disjoint seed range
+// (see xrand.SeedBlocks for the block-size invariant).
+var benchSeedBlock xrand.SeedBlocks
 
 // benchExperiment runs one experiment per iteration, printing the report
 // on the first run of each benchmark. Seeds are unique per iteration AND
-// per benchmark (disjoint 2^20 blocks), so the process-wide runner cache
-// never short-circuits the measurement — not within a benchmark, and not
-// across benchmarks whose sweeps overlap (Fig. 8/10, Table 5 and the
-// proportionality study share the Baseline Memcached curve).
+// per benchmark, so the process-wide runner cache never short-circuits
+// the measurement — not within a benchmark, and not across benchmarks
+// whose sweeps overlap (Fig. 8/10, Table 5, the proportionality and
+// cluster studies share the Baseline Memcached curve).
 func benchExperiment(b *testing.B, name string) {
 	b.Helper()
 	opts := QuickOptions()
-	base := opts.Seed + benchSeedBlock.Add(1)<<20
+	base := benchSeedBlock.Next(opts.Seed)
 	for i := 0; i < b.N; i++ {
-		opts.Seed = base + uint64(i)
+		// Stride iterations within the block: fleet experiments derive
+		// per-node seeds Seed..Seed+Nodes-1, which adjacent iteration
+		// seeds would otherwise share (and memoize away). A stride of 16
+		// covers the cluster experiment's fleets while keeping the block
+		// good for 2^16 iterations — far beyond any realistic b.N.
+		opts.Seed = base + uint64(i)<<4
 		var w io.Writer = io.Discard
 		if _, done := printOnce.LoadOrStore(name, true); !done {
 			w = os.Stdout
@@ -117,6 +124,9 @@ func BenchmarkAblateNoise(b *testing.B) { benchExperiment(b, ExpAblateNoise) }
 
 // BenchmarkDispatch regenerates the dispatch-policy trade-off study.
 func BenchmarkDispatch(b *testing.B) { benchExperiment(b, ExpDispatch) }
+
+// BenchmarkCluster regenerates the fleet spread-vs-consolidate study.
+func BenchmarkCluster(b *testing.B) { benchExperiment(b, ExpCluster) }
 
 // BenchmarkSimulatorThroughput measures raw discrete-event simulator
 // speed: one 100ms Memcached window at 200 KQPS per iteration.

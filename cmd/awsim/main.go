@@ -4,13 +4,17 @@
 //
 // Usage:
 //
-//	awsim [-quick] [-seed N] [-dispatch POLICY] [-loadgen GEN] [experiment ...]
+//	awsim [-quick] [-seed N] [-dispatch POLICY] [-loadgen GEN]
+//	      [-nodes N] [-cluster-dispatch POLICY] [experiment ...]
 //
 // With no experiment arguments it runs the full evaluation section
 // (figures 8-13, table 5, validation). -dispatch and -loadgen override
 // the request placement policy and arrival generator for every
 // simulation, answering "what if the paper's server didn't round-robin"
-// without touching the experiment code.
+// without touching the experiment code. -nodes and -cluster-dispatch
+// parameterize the fleet-level cluster experiment:
+//
+//	awsim -nodes 8 -cluster-dispatch consolidate cluster
 package main
 
 import (
@@ -32,6 +36,11 @@ func main() {
 		"load generator for all simulations: "+strings.Join(agilewatts.LoadGenerators(), "|"))
 	connections := flag.Int("connections", 0,
 		"closed-loop connection count (required with -loadgen closed-loop)")
+	nodes := flag.Int("nodes", 0,
+		"fleet size for the cluster experiment (default 4)")
+	clusterDispatch := flag.String("cluster-dispatch", "",
+		"cluster load-partitioning policy for the cluster experiment's cost rows: "+
+			strings.Join(agilewatts.ClusterPolicies(), "|"))
 	flag.Parse()
 
 	if *list {
@@ -57,6 +66,8 @@ func main() {
 	opts.Dispatch = *dispatch
 	opts.LoadGen = *loadgen
 	opts.Connections = *connections
+	opts.Nodes = *nodes
+	opts.ClusterDispatch = *clusterDispatch
 
 	names := flag.Args()
 	if len(names) == 0 {

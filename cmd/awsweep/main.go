@@ -5,6 +5,12 @@
 // Usage:
 //
 //	awsweep -service memcached -config AW -rates 10000,100000,500000
+//
+// With -nodes > 1 (or -cluster-dispatch set) the sweep runs an N-node
+// fleet per rate point through the cluster layer and emits fleet-level
+// columns instead:
+//
+//	awsweep -nodes 8 -cluster-dispatch consolidate -rates 10000,100000
 package main
 
 import (
@@ -30,6 +36,12 @@ func main() {
 		"load generator: "+strings.Join(agilewatts.LoadGenerators(), "|"))
 	connections := flag.Int("connections", 0,
 		"closed-loop connection count (required with -loadgen closed-loop)")
+	nodes := flag.Int("nodes", 1, "fleet size; > 1 sweeps an N-node cluster")
+	clusterDispatch := flag.String("cluster-dispatch", "",
+		"cluster load-partitioning policy (implies a cluster sweep): "+
+			strings.Join(agilewatts.ClusterPolicies(), "|"))
+	park := flag.Bool("park-drained", true,
+		"park nodes the cluster policy drains (package deep idle)")
 	configs := flag.Bool("configs", false, "list configuration names and exit")
 	flag.Parse()
 
@@ -45,6 +57,9 @@ func main() {
 		// closed-loop and ignore -rates; demand intent.
 		fatal(fmt.Errorf("-connections requires -loadgen closed-loop"))
 	}
+	if *nodes < 1 {
+		fatal(fmt.Errorf("-nodes must be >= 1, got %d", *nodes))
+	}
 
 	prof, err := agilewatts.ServiceByName(*service)
 	if err != nil {
@@ -55,13 +70,18 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Println("rate_qps,avg_core_w,package_w,server_avg_us,server_p99_us,e2e_avg_us,e2e_p99_us,c0,c1,c6a,c1e,c6ae,c6,turbo_fraction")
+	clustered := *nodes > 1 || *clusterDispatch != ""
+	if clustered {
+		fmt.Println("rate_qps,nodes,active_nodes,idle_nodes,fleet_w,w_per_node,fleet_qps,qps_per_w,server_avg_us,server_p99_us,worst_p99_us,e2e_p99_us")
+	} else {
+		fmt.Println("rate_qps,avg_core_w,package_w,server_avg_us,server_p99_us,e2e_avg_us,e2e_p99_us,c0,c1,c6a,c1e,c6ae,c6,turbo_fraction")
+	}
 	for _, part := range strings.Split(*rates, ",") {
 		rate, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
 		if err != nil {
 			fatal(fmt.Errorf("bad rate %q: %w", part, err))
 		}
-		res, err := agilewatts.RunService(agilewatts.ServiceRun{
+		run := agilewatts.ServiceRun{
 			Platform:        cfg,
 			Service:         prof,
 			RateQPS:         rate,
@@ -71,7 +91,26 @@ func main() {
 			Dispatch:        *dispatch,
 			LoadGen:         *loadgen,
 			Connections:     *connections,
-		})
+		}
+		if clustered {
+			res, err := agilewatts.RunCluster(agilewatts.ClusterRun{
+				ServiceRun:      run,
+				Nodes:           *nodes,
+				ClusterDispatch: *clusterDispatch,
+				ParkDrained:     *park,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%.0f,%d,%d,%d,%.2f,%.2f,%.0f,%.1f,%.2f,%.2f,%.2f,%.2f\n",
+				rate, *nodes, res.ActiveNodes, res.IdleNodes,
+				res.FleetPowerW, res.FleetPowerW/float64(*nodes),
+				res.CompletedPerSec, res.QPSPerWatt,
+				res.Server.AvgUS, res.Server.P99US, res.WorstP99US,
+				res.EndToEnd.P99US)
+			continue
+		}
+		res, err := agilewatts.RunService(run)
 		if err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,137 @@
+// Command benchgate compares two `go test -bench` output files and fails
+// when any benchmark regressed beyond a threshold. CI uses it as the
+// enforcement half of the benchmark comparison (benchstat renders the
+// human-readable report; benchgate decides pass/fail), guarding the
+// internal/sim and internal/stats microbenchmarks against silent
+// slowdowns.
+//
+// Usage:
+//
+//	benchgate -base old.txt -new new.txt [-threshold 20] [-filter REGEX]
+//
+// Each file may contain multiple runs of the same benchmark (-count=N);
+// the median ns/op per benchmark is compared, which tolerates scheduler
+// noise far better than single samples. Benchmarks present in only one
+// file are reported and skipped. Exit status is 1 when any shared
+// benchmark's median slowed down by more than threshold percent.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches "BenchmarkName-8   1234   567.8 ns/op ..." output.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?\d+)?) ns/op`)
+
+// parse returns benchmark name -> ns/op samples.
+func parse(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		out[m[1]] = append(out[m[1]], v)
+	}
+	return out, sc.Err()
+}
+
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func main() {
+	base := flag.String("base", "", "baseline bench output file")
+	next := flag.String("new", "", "new bench output file")
+	threshold := flag.Float64("threshold", 20, "max allowed regression (percent)")
+	filter := flag.String("filter", "", "only gate benchmarks matching this regex")
+	flag.Parse()
+	if *base == "" || *next == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -base and -new are required")
+		os.Exit(2)
+	}
+	var keep *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if keep, err = regexp.Compile(*filter); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate: bad -filter:", err)
+			os.Exit(2)
+		}
+	}
+	baseRuns, err := parse(*base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	newRuns, err := parse(*next)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(newRuns))
+	for name := range newRuns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	compared := 0
+	for _, name := range names {
+		if keep != nil && !keep.MatchString(name) {
+			continue
+		}
+		bv, ok := baseRuns[name]
+		if !ok {
+			fmt.Printf("new       %-40s %12.1f ns/op (no baseline, skipped)\n", name, median(newRuns[name]))
+			continue
+		}
+		compared++
+		b, n := median(bv), median(newRuns[name])
+		deltaPct := 0.0
+		if b > 0 {
+			deltaPct = (n - b) / b * 100
+		}
+		verdict := "ok"
+		if deltaPct > *threshold {
+			verdict = fmt.Sprintf("FAIL (> +%.0f%%)", *threshold)
+			failed = true
+		}
+		fmt.Printf("%-9s %-40s %12.1f -> %12.1f ns/op  %+7.1f%%\n", verdict, name, b, n, deltaPct)
+	}
+	for name := range baseRuns {
+		if _, ok := newRuns[name]; !ok && (keep == nil || keep.MatchString(name)) {
+			fmt.Printf("gone      %-40s (present in baseline only)\n", name)
+		}
+	}
+	if compared == 0 {
+		fmt.Println("benchgate: no shared benchmarks to compare")
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: benchmark regression beyond %.0f%%\n", *threshold)
+		os.Exit(1)
+	}
+}

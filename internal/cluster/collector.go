@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"repro/internal/server"
+)
+
+// NodeResult is one node's simulation outcome plus its share of the
+// fleet load.
+type NodeResult struct {
+	// Node is the index into Config.Nodes.
+	Node int
+	// RateQPS is the load the cluster dispatcher assigned to this node.
+	RateQPS float64
+	// Parked reports whether the node was quiesced (zero load under
+	// ParkDrained).
+	Parked bool
+	// Result is the node's full single-server measurement.
+	Result server.Result
+}
+
+// Result aggregates a fleet run. Per-node detail stays available in
+// Nodes; the fleet-level fields are what the cluster experiment and the
+// datacenter cost model consume.
+type Result struct {
+	// Dispatch and RateQPS echo the fleet configuration.
+	Dispatch string
+	RateQPS  float64
+
+	// Nodes holds every node's result, indexed like Config.Nodes.
+	Nodes []NodeResult
+
+	// FleetPowerW is the total package power across nodes — the
+	// measured quantity Table 5 extrapolates from a single server.
+	FleetPowerW float64
+	// FleetEnergyJ is the total package energy over the measured window.
+	FleetEnergyJ float64
+	// CompletedPerSec is the fleet throughput.
+	CompletedPerSec float64
+	// QPSPerWatt is the fleet's energy-proportionality figure of merit:
+	// completions per joule. A perfectly proportional fleet holds it
+	// constant across load; idle-heavy fleets see it collapse at low QPS.
+	QPSPerWatt float64
+
+	// ActiveNodes/IdleNodes count nodes with and without assigned load.
+	ActiveNodes int
+	IdleNodes   int
+
+	// Server and EndToEnd aggregate the node latency distributions. The
+	// mean is exact (completion-weighted); quantiles are
+	// completion-weighted averages of the node quantiles — exact when
+	// one node carries the load, an approximation when several do (the
+	// underlying histograms are not retained in server.Result). Max is
+	// exact.
+	Server   server.LatencySummary
+	EndToEnd server.LatencySummary
+	// WorstP99US is the largest per-node server p99 — the node a
+	// fleet-wide SLO is judged against.
+	WorstP99US float64
+}
+
+// combineSummaries merges per-node latency summaries as documented on
+// Result.Server.
+func combineSummaries(parts []server.LatencySummary) server.LatencySummary {
+	loaded := parts[:0:0]
+	for _, p := range parts {
+		if p.Count > 0 {
+			loaded = append(loaded, p)
+		}
+	}
+	if len(loaded) == 0 {
+		return server.LatencySummary{}
+	}
+	if len(loaded) == 1 {
+		return loaded[0]
+	}
+	var out server.LatencySummary
+	var total float64
+	for _, p := range loaded {
+		w := float64(p.Count)
+		out.Count += p.Count
+		out.AvgUS += w * p.AvgUS
+		out.P50US += w * p.P50US
+		out.P95US += w * p.P95US
+		out.P99US += w * p.P99US
+		out.P999US += w * p.P999US
+		if p.MaxUS > out.MaxUS {
+			out.MaxUS = p.MaxUS
+		}
+		total += w
+	}
+	out.AvgUS /= total
+	out.P50US /= total
+	out.P95US /= total
+	out.P99US /= total
+	out.P999US /= total
+	return out
+}
+
+// aggregate folds the per-node results into the fleet Result.
+func aggregate(c Config, nodes []NodeResult) Result {
+	out := Result{Dispatch: c.Dispatch, RateQPS: c.RateQPS, Nodes: nodes}
+	srv := make([]server.LatencySummary, len(nodes))
+	e2e := make([]server.LatencySummary, len(nodes))
+	for i, n := range nodes {
+		out.FleetPowerW += n.Result.PackagePowerW
+		out.FleetEnergyJ += n.Result.PackagePowerW * n.Result.MeasuredDuration.Seconds()
+		out.CompletedPerSec += n.Result.CompletedPerSec
+		if n.RateQPS > 0 {
+			out.ActiveNodes++
+		} else {
+			out.IdleNodes++
+		}
+		if n.Result.Server.P99US > out.WorstP99US {
+			out.WorstP99US = n.Result.Server.P99US
+		}
+		srv[i] = n.Result.Server
+		e2e[i] = n.Result.EndToEnd
+	}
+	out.Server = combineSummaries(srv)
+	out.EndToEnd = combineSummaries(e2e)
+	if out.FleetPowerW > 0 {
+		out.QPSPerWatt = out.CompletedPerSec / out.FleetPowerW
+	}
+	return out
+}

@@ -44,6 +44,19 @@ func (m CostModel) YearlySavingsFleetM(deltaW float64) float64 {
 	return m.YearlySavingsPerServer(deltaW) * float64(m.Servers) / 1e6
 }
 
+// YearlySavingsMeasuredFleetM converts a measured fleet power delta —
+// total watts saved across a simulated fleet of nodes servers — to the
+// Table 5 metric by scaling the measured per-server average to the
+// model's fleet size. Unlike Table5, which extrapolates a single
+// server's delta, the input here already contains cluster-level effects
+// (consolidation, heterogeneous nodes, parked-node package idle).
+func (m CostModel) YearlySavingsMeasuredFleetM(fleetDeltaW float64, nodes int) (float64, error) {
+	if nodes <= 0 {
+		return 0, fmt.Errorf("datacenter: measured fleet of %d nodes", nodes)
+	}
+	return m.YearlySavingsFleetM(fleetDeltaW / float64(nodes)), nil
+}
+
 // Table5Row is one column of Table 5.
 type Table5Row struct {
 	QPS             float64

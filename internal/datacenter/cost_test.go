@@ -58,3 +58,78 @@ func TestTable5(t *testing.T) {
 		t.Fatal("mismatched lengths accepted")
 	}
 }
+
+func TestTable5MismatchedLengths(t *testing.T) {
+	m := NewCostModel()
+	qps := []float64{10e3, 50e3}
+	two := []float64{10, 20}
+	one := []float64{10}
+	cases := []struct {
+		name          string
+		qps, base, aw []float64
+	}{
+		{"short baseline", qps, one, two},
+		{"short aw", qps, two, one},
+		{"short qps", one, two, two},
+		{"empty qps only", nil, two, two},
+	}
+	for _, c := range cases {
+		if _, err := m.Table5(c.qps, c.base, c.aw); err == nil {
+			t.Errorf("%s: mismatched series accepted", c.name)
+		}
+	}
+	// All-empty series are consistent: zero rows, no error.
+	rows, err := m.Table5(nil, nil, nil)
+	if err != nil || len(rows) != 0 {
+		t.Errorf("empty series: rows=%d err=%v", len(rows), err)
+	}
+}
+
+func TestTable5ZeroAndNegativeDeltas(t *testing.T) {
+	m := NewCostModel()
+	qps := []float64{10e3, 50e3, 100e3}
+	base := []float64{10, 10, 10}
+	aw := []float64{10, 12, 7} // zero, negative, positive deltas
+	rows, err := m.Table5(qps, base, aw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].DeltaW != 0 || rows[0].SavingsPerYearM != 0 {
+		t.Errorf("zero delta row: %+v", rows[0])
+	}
+	// A regression (AW drawing more) reports the negative delta honestly
+	// but never books negative savings.
+	if rows[1].DeltaW != -2 {
+		t.Errorf("negative delta = %v, want -2", rows[1].DeltaW)
+	}
+	if rows[1].SavingsPerYearM != 0 {
+		t.Errorf("negative delta booked savings %v", rows[1].SavingsPerYearM)
+	}
+	if rows[2].SavingsPerYearM <= 0 {
+		t.Errorf("positive delta booked no savings: %+v", rows[2])
+	}
+}
+
+func TestMeasuredFleetMatchesExtrapolationWhenHomogeneous(t *testing.T) {
+	// For a homogeneous fleet, measuring N identical servers and scaling
+	// must agree exactly with extrapolating one server (Table 5's method):
+	// the measured path divides the fleet delta by N before scaling.
+	m := NewCostModel()
+	const perServerDeltaW = 4.2
+	for _, n := range []int{1, 3, 100} {
+		measured, err := m.YearlySavingsMeasuredFleetM(perServerDeltaW*float64(n), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		extrapolated := m.YearlySavingsFleetM(perServerDeltaW)
+		if math.Abs(measured-extrapolated) > 1e-12 {
+			t.Errorf("n=%d: measured %v != extrapolated %v", n, measured, extrapolated)
+		}
+	}
+	if _, err := m.YearlySavingsMeasuredFleetM(10, 0); err == nil {
+		t.Error("zero-node fleet accepted")
+	}
+	if _, err := m.YearlySavingsMeasuredFleetM(10, -3); err == nil {
+		t.Error("negative-node fleet accepted")
+	}
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/datacenter"
+	"repro/internal/governor"
+	"repro/internal/report"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// ClusterSLOP99US is the fleet latency SLO the cluster study reports
+// against: worst-node server-side p99 at most 500 us — loose enough for
+// every spread point, tight enough that over-aggressive consolidation
+// would show up as a violation.
+const ClusterSLOP99US = 500.0
+
+// ClusterResult extends the paper's Table 5 framing from one server to a
+// simulated fleet: N-node clusters run under each cluster dispatch
+// policy across the QPS sweep, and the datacenter cost model is fed the
+// measured fleet power delta between Baseline and AW fleets instead of a
+// single server's extrapolation.
+type ClusterResult struct {
+	// NodesPerFleet is the simulated fleet size per point.
+	NodesPerFleet int
+	// Policies are the cluster dispatch policies compared.
+	Policies []string
+	// CostPolicy is the policy under which the Baseline-vs-AW cost
+	// comparison fleets ran.
+	CostPolicy string
+	// Points holds one entry per load level; Fleets is parallel to
+	// Policies.
+	Points []ClusterPoint
+	// Cost holds the measured fleet savings per load level.
+	Cost []ClusterCostRow
+}
+
+// ClusterPoint is one aggregate load level.
+type ClusterPoint struct {
+	RateQPS float64
+	Fleets  []cluster.Result
+}
+
+// ClusterCostRow feeds the cost model with measured fleet deltas.
+type ClusterCostRow struct {
+	QPS             float64
+	BaselineFleetW  float64
+	AWFleetW        float64
+	DeltaPerServerW float64
+	SavingsPerYearM float64
+}
+
+// Cluster runs the fleet study: every cluster dispatch policy over the
+// QPS sweep on Baseline fleets, plus a Baseline-vs-AW fleet pair (under
+// o.ClusterDispatch, default spread) for the measured cost rows.
+//
+// Fleet points run sequentially here — each cluster.Run already fans its
+// nodes out through the shared runner's worker pool, and runner.Each
+// does not nest.
+func Cluster(o Options) (ClusterResult, error) {
+	o = o.normalize()
+	out := ClusterResult{
+		NodesPerFleet: o.Nodes,
+		Policies:      cluster.Policies(),
+		CostPolicy:    o.ClusterDispatch,
+	}
+	if out.CostPolicy == "" {
+		out.CostPolicy = cluster.DispatchSpread
+	}
+	profile := workload.Memcached()
+	node := func(platform governor.Config) server.Config {
+		return server.Config{
+			Platform: platform,
+			Profile:  profile,
+			Duration: o.Duration,
+			Warmup:   o.Warmup,
+			Seed:     o.Seed,
+			Dispatch: o.Dispatch,
+			LoadGen:  o.LoadGen,
+		}
+	}
+	fleet := func(platform governor.Config, policy string, rate float64) (cluster.Result, error) {
+		res, err := cluster.Run(cluster.Config{
+			Nodes:       cluster.Homogeneous(o.Nodes, node(platform)),
+			RateQPS:     rate,
+			Dispatch:    policy,
+			ParkDrained: policy == cluster.DispatchConsolidate,
+		})
+		if err != nil {
+			return cluster.Result{}, fmt.Errorf("experiments: cluster %s/%s @ %.0f QPS: %w",
+				platform.Name, policy, rate, err)
+		}
+		return res, nil
+	}
+	model := datacenter.NewCostModel()
+	for _, rate := range o.Rates {
+		point := ClusterPoint{RateQPS: rate, Fleets: make([]cluster.Result, len(out.Policies))}
+		for pi, policy := range out.Policies {
+			res, err := fleet(governor.Baseline, policy, rate)
+			if err != nil {
+				return out, err
+			}
+			point.Fleets[pi] = res
+		}
+		out.Points = append(out.Points, point)
+
+		base, err := fleet(governor.Baseline, out.CostPolicy, rate)
+		if err != nil {
+			return out, err
+		}
+		aw, err := fleet(governor.AW, out.CostPolicy, rate)
+		if err != nil {
+			return out, err
+		}
+		deltaFleet := base.FleetPowerW - aw.FleetPowerW
+		savings, err := model.YearlySavingsMeasuredFleetM(deltaFleet, o.Nodes)
+		if err != nil {
+			return out, err
+		}
+		out.Cost = append(out.Cost, ClusterCostRow{
+			QPS:             rate,
+			BaselineFleetW:  base.FleetPowerW,
+			AWFleetW:        aw.FleetPowerW,
+			DeltaPerServerW: deltaFleet / float64(o.Nodes),
+			SavingsPerYearM: savings,
+		})
+	}
+	return out, nil
+}
+
+// slo renders the SLO verdict cell.
+func slo(worstP99US float64) string {
+	if worstP99US <= ClusterSLOP99US {
+		return "ok"
+	}
+	return "VIOLATED"
+}
+
+// Table renders the policy power/tail comparison.
+func (r ClusterResult) Table() *report.Table {
+	t := &report.Table{
+		Title: fmt.Sprintf("Cluster study: fleet power vs tail across dispatch policies (%d nodes, Baseline, Memcached)", r.NodesPerFleet),
+		Headers: []string{"Rate (KQPS)", "Policy", "Fleet W", "W/node", "Idle nodes",
+			"Worst p99", fmt.Sprintf("SLO<=%.0fus", ClusterSLOP99US), "QPS/W"},
+	}
+	for _, p := range r.Points {
+		for i, f := range p.Fleets {
+			t.AddRow(fmt.Sprintf("%.0f", p.RateQPS/1000), r.Policies[i],
+				report.W(f.FleetPowerW),
+				report.W(f.FleetPowerW/float64(r.NodesPerFleet)),
+				fmt.Sprintf("%d", f.IdleNodes),
+				report.US(f.WorstP99US), slo(f.WorstP99US),
+				fmt.Sprintf("%.0f", f.QPSPerWatt))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"spread is the round-robin fleet analogue; consolidate packs load onto",
+		"few nodes and parks the rest into package deep idle (measured, not modeled)")
+	return t
+}
+
+// CostTable renders the measured-fleet Table 5 counterpart.
+func (r ClusterResult) CostTable() *report.Table {
+	t := &report.Table{
+		Title: fmt.Sprintf("Cluster cost: measured %d-node fleet savings, Baseline vs AW (%s policy)",
+			r.NodesPerFleet, r.CostPolicy),
+		Headers: []string{"QPS", "Baseline fleet W", "AW fleet W", "Delta W/server", "Savings ($M/yr)"},
+	}
+	for _, row := range r.Cost {
+		t.AddRow(fmt.Sprintf("%.0fK", row.QPS/1000),
+			report.W(row.BaselineFleetW), report.W(row.AWFleetW),
+			report.W(row.DeltaPerServerW), fmt.Sprintf("%.2f", row.SavingsPerYearM))
+	}
+	t.Notes = append(t.Notes,
+		"unlike Table 5, the per-server delta here is measured on a simulated",
+		"fleet (per-node package power summed), then scaled to 100K servers")
+	return t
+}

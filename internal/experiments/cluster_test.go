@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestClusterExperiment(t *testing.T) {
+	o := QuickOptions()
+	o.Rates = []float64{10e3, 100e3}
+	o.Nodes = 3
+	r, err := Cluster(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NodesPerFleet != 3 || len(r.Points) != 2 || len(r.Cost) != 2 {
+		t.Fatalf("shape: nodes=%d points=%d cost=%d", r.NodesPerFleet, len(r.Points), len(r.Cost))
+	}
+	idx := func(policy string) int {
+		for i, p := range r.Policies {
+			if p == policy {
+				return i
+			}
+		}
+		t.Fatalf("policy %s missing", policy)
+		return -1
+	}
+	// The acceptance claim: at low QPS, consolidate beats spread on fleet
+	// watts while staying inside the latency SLO.
+	low := r.Points[0]
+	spread := low.Fleets[idx(cluster.DispatchSpread)]
+	cons := low.Fleets[idx(cluster.DispatchConsolidate)]
+	if cons.FleetPowerW >= spread.FleetPowerW {
+		t.Errorf("low-QPS consolidate fleet %vW not below spread %vW",
+			cons.FleetPowerW, spread.FleetPowerW)
+	}
+	if cons.WorstP99US > ClusterSLOP99US {
+		t.Errorf("low-QPS consolidate p99 %vus violates the %vus SLO",
+			cons.WorstP99US, ClusterSLOP99US)
+	}
+	if cons.IdleNodes == 0 {
+		t.Error("low-QPS consolidate parked no nodes")
+	}
+	// Measured fleet savings must be positive at every point (AW saves
+	// power at these loads) and finite.
+	for _, row := range r.Cost {
+		if row.DeltaPerServerW <= 0 {
+			t.Errorf("%0.fK: measured per-server delta %v not positive", row.QPS/1000, row.DeltaPerServerW)
+		}
+		if row.SavingsPerYearM <= 0 {
+			t.Errorf("%0.fK: measured savings %v not positive", row.QPS/1000, row.SavingsPerYearM)
+		}
+	}
+}
+
+func TestClusterTablesRender(t *testing.T) {
+	o := QuickOptions()
+	o.Rates = []float64{100e3}
+	o.Nodes = 2
+	r, err := Cluster(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := r.Table().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CostTable().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"spread", "consolidate", "least-loaded", "SLO", "measured"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered cluster report missing %q", want)
+		}
+	}
+	// Every point must satisfy the SLO column contract: ok or VIOLATED.
+	if !strings.Contains(out, "ok") {
+		t.Error("no SLO verdicts rendered")
+	}
+}

@@ -49,6 +49,12 @@ type Options struct {
 	// LoadGen is closed-loop (each experiment's rate points then only
 	// vary the memo key, not the offered load).
 	Connections int
+	// Nodes is the fleet size of the cluster experiment (default 4).
+	Nodes int
+	// ClusterDispatch is the cluster-level load partitioning policy the
+	// cluster experiment's cost comparison runs under (default spread;
+	// see cluster.Policies). The policy table always sweeps all policies.
+	ClusterDispatch string
 }
 
 // DefaultOptions returns full-fidelity settings.
@@ -83,6 +89,9 @@ func (o Options) normalize() Options {
 	}
 	if len(o.Rates) == 0 {
 		o.Rates = d.Rates
+	}
+	if o.Nodes <= 0 {
+		o.Nodes = 4
 	}
 	return o
 }

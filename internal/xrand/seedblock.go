@@ -1,0 +1,30 @@
+package xrand
+
+import "sync/atomic"
+
+// SeedBlockBits sizes the seed blocks handed out by SeedBlocks: each
+// block spans 2^SeedBlockBits consecutive seeds. Callers deriving
+// per-iteration seeds base+i*stride stay collision-free as long as
+// i*stride stays below 2^SeedBlockBits — at the benchmark harness's
+// stride of 16 that is 2^16 iterations, far beyond any realistic b.N.
+const SeedBlockBits = 20
+
+// SeedBlocks hands out disjoint seed ranges to concurrent consumers.
+// The benchmark harness uses it to keep the process-wide memoizing
+// runner from short-circuiting measurements: seeds must be unique per
+// iteration AND per benchmark, because benchmarks whose sweeps overlap
+// (Fig. 8/10, Table 5, the proportionality and cluster studies all
+// share the Baseline Memcached curve) would otherwise hit each other's
+// cached simulations.
+//
+// The zero value is ready to use. Safe for concurrent use.
+type SeedBlocks struct {
+	ctr atomic.Uint64
+}
+
+// Next returns the base of the next unused block above start: start +
+// k*2^SeedBlockBits for a k unique to this call. Seeds base..base+2^20-1
+// are the caller's alone (per SeedBlocks value and common start).
+func (s *SeedBlocks) Next(start uint64) uint64 {
+	return start + s.ctr.Add(1)<<SeedBlockBits
+}

@@ -1,0 +1,59 @@
+package xrand
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSeedBlocksDisjoint(t *testing.T) {
+	var s SeedBlocks
+	const start = 2022
+	a := s.Next(start)
+	b := s.Next(start)
+	if a == b {
+		t.Fatal("two blocks share a base")
+	}
+	// Blocks are start-relative multiples of the block size.
+	if (a-start)%(1<<SeedBlockBits) != 0 || (b-start)%(1<<SeedBlockBits) != 0 {
+		t.Fatalf("bases %d/%d not aligned to 2^%d above start", a, b, SeedBlockBits)
+	}
+	// Per-iteration seeds from different blocks never collide as long as
+	// each caller stays below the block size.
+	span := uint64(1) << SeedBlockBits
+	if a+span-1 >= b && b+span-1 >= a {
+		t.Fatalf("blocks [%d,+%d) and [%d,+%d) overlap", a, span, b, span)
+	}
+}
+
+func TestSeedBlocksZeroValueAndStartOffset(t *testing.T) {
+	var s SeedBlocks
+	base := s.Next(7)
+	if base <= 7 {
+		t.Fatalf("block base %d not above start", base)
+	}
+	if got := base - 7; got != 1<<SeedBlockBits {
+		t.Fatalf("first block offset %d, want 2^%d", got, SeedBlockBits)
+	}
+}
+
+func TestSeedBlocksConcurrent(t *testing.T) {
+	var s SeedBlocks
+	const n = 64
+	bases := make([]uint64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bases[i] = s.Next(1)
+		}(i)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool, n)
+	for _, b := range bases {
+		if seen[b] {
+			t.Fatalf("base %d handed out twice", b)
+		}
+		seen[b] = true
+	}
+}

@@ -2,41 +2,57 @@
 // when any benchmark regressed beyond a threshold. CI uses it as the
 // enforcement half of the benchmark comparison (benchstat renders the
 // human-readable report; benchgate decides pass/fail), guarding the
-// internal/sim and internal/stats microbenchmarks against silent
-// slowdowns.
+// internal/sim, internal/stats, internal/server and internal/cluster
+// microbenchmarks against silent slowdowns.
 //
 // Usage:
 //
-//	benchgate -base old.txt -new new.txt [-threshold 20] [-filter REGEX]
+//	benchgate -new new.txt [-base old.txt] [-threshold 20] [-filter REGEX]
+//	          [-emit BENCH_2026-01-02.json]
 //
 // Each file may contain multiple runs of the same benchmark (-count=N);
 // the median ns/op per benchmark is compared, which tolerates scheduler
 // noise far better than single samples. Benchmarks present in only one
 // file are reported and skipped. Exit status is 1 when any shared
 // benchmark's median slowed down by more than threshold percent.
+//
+// -emit writes a machine-readable JSON snapshot of the -new medians
+// (ns/op, allocs/op when the run used -benchmem, sample counts, and —
+// when -base is given — the baseline median and speedup factor). The CI
+// bench job emits one per run as the repo's recorded perf trajectory.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"regexp"
 	"sort"
 	"strconv"
+	"time"
 )
 
-// benchLine matches "BenchmarkName-8   1234   567.8 ns/op ..." output.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?\d+)?) ns/op`)
+// benchLine matches "BenchmarkName-8  1234  567.8 ns/op [ 99 B/op  3 allocs/op ]".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?\d+)?) ns/op(?:\s+([0-9.]+) B/op\s+(\d+) allocs/op)?`)
 
-// parse returns benchmark name -> ns/op samples.
-func parse(path string) (map[string][]float64, error) {
+// sample is one benchmark line's measurements.
+type sample struct {
+	nsOp   float64
+	bOp    float64
+	allocs float64
+	hasMem bool
+}
+
+// parse returns benchmark name -> samples.
+func parse(path string) (map[string][]sample, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	out := make(map[string][]float64)
+	out := make(map[string][]sample)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -48,12 +64,18 @@ func parse(path string) (map[string][]float64, error) {
 		if err != nil {
 			continue
 		}
-		out[m[1]] = append(out[m[1]], v)
+		s := sample{nsOp: v}
+		if m[3] != "" {
+			s.bOp, _ = strconv.ParseFloat(m[3], 64)
+			s.allocs, _ = strconv.ParseFloat(m[4], 64)
+			s.hasMem = true
+		}
+		out[m[1]] = append(out[m[1]], s)
 	}
 	return out, sc.Err()
 }
 
-func median(v []float64) float64 {
+func medianOf(v []float64) float64 {
 	s := append([]float64(nil), v...)
 	sort.Float64s(s)
 	n := len(s)
@@ -63,14 +85,70 @@ func median(v []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
+func median(ss []sample) float64 {
+	v := make([]float64, len(ss))
+	for i, s := range ss {
+		v[i] = s.nsOp
+	}
+	return medianOf(v)
+}
+
+// emitEntry is one benchmark's snapshot in the emitted JSON.
+type emitEntry struct {
+	NsOp     float64  `json:"ns_op"`
+	Samples  int      `json:"samples"`
+	AllocsOp *float64 `json:"allocs_op,omitempty"`
+	BytesOp  *float64 `json:"bytes_op,omitempty"`
+	BaseNsOp *float64 `json:"base_ns_op,omitempty"`
+	Speedup  *float64 `json:"speedup,omitempty"`
+}
+
+// emit writes the JSON perf snapshot.
+func emit(path string, newRuns, baseRuns map[string][]sample) error {
+	type doc struct {
+		Date       string               `json:"date"`
+		Benchmarks map[string]emitEntry `json:"benchmarks"`
+	}
+	d := doc{Date: time.Now().UTC().Format("2006-01-02"), Benchmarks: map[string]emitEntry{}}
+	for name, ss := range newRuns {
+		e := emitEntry{NsOp: median(ss), Samples: len(ss)}
+		var allocs, bytes []float64
+		for _, s := range ss {
+			if s.hasMem {
+				allocs = append(allocs, s.allocs)
+				bytes = append(bytes, s.bOp)
+			}
+		}
+		if len(allocs) > 0 {
+			a, by := medianOf(allocs), medianOf(bytes)
+			e.AllocsOp, e.BytesOp = &a, &by
+		}
+		if bv, ok := baseRuns[name]; ok {
+			b := median(bv)
+			e.BaseNsOp = &b
+			if e.NsOp > 0 {
+				sp := b / e.NsOp
+				e.Speedup = &sp
+			}
+		}
+		d.Benchmarks[name] = e
+	}
+	buf, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
 func main() {
-	base := flag.String("base", "", "baseline bench output file")
+	base := flag.String("base", "", "baseline bench output file (optional with -emit)")
 	next := flag.String("new", "", "new bench output file")
 	threshold := flag.Float64("threshold", 20, "max allowed regression (percent)")
 	filter := flag.String("filter", "", "only gate benchmarks matching this regex")
+	emitPath := flag.String("emit", "", "write a JSON perf snapshot of -new (BENCH_<date>.json)")
 	flag.Parse()
-	if *base == "" || *next == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: -base and -new are required")
+	if *next == "" || (*base == "" && *emitPath == "") {
+		fmt.Fprintln(os.Stderr, "benchgate: -new and at least one of -base/-emit are required")
 		os.Exit(2)
 	}
 	var keep *regexp.Regexp
@@ -81,15 +159,27 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	baseRuns, err := parse(*base)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
-	}
 	newRuns, err := parse(*next)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
+	}
+	baseRuns := map[string][]sample{}
+	if *base != "" {
+		if baseRuns, err = parse(*base); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+	}
+	if *emitPath != "" {
+		if err := emit(*emitPath, newRuns, baseRuns); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate: emit:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *emitPath, len(newRuns))
+	}
+	if *base == "" {
+		return
 	}
 
 	names := make([]string, 0, len(newRuns))

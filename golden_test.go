@@ -1,0 +1,155 @@
+package agilewatts
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// The pipeline-stability goldens pin the simulator's observable output
+// bit-for-bit: every optimization of the event pipeline, histograms, or
+// queues must reproduce these exact float64 values (captured before the
+// zero-allocation rework landed). The cases cover every event kind the
+// hot path dispatches: open-loop, bursty and closed-loop generators; all
+// four dispatch policies; snoop traffic; Turbo; and the AW states.
+//
+// Regenerate with:
+//
+//	GOLDEN_PRINT=1 go test -run TestGoldenPipelineStability -v .
+//
+// but only when an intentional model change alters the output — never to
+// absorb an optimization's drift.
+
+// goldenCases must produce the exact fingerprints in goldenWant.
+var goldenCases = []struct {
+	name string
+	run  ServiceRun
+}{
+	{"baseline-memcached-200k", ServiceRun{
+		Platform: Baseline, RateQPS: 200e3,
+		DurationNS: 50_000_000, WarmupNS: 10_000_000, Seed: 1,
+	}},
+	{"aw-memcached-200k", ServiceRun{
+		Platform: AW, RateQPS: 200e3,
+		DurationNS: 50_000_000, WarmupNS: 10_000_000, Seed: 1,
+	}},
+	{"tc6a-kafka-100k-snoop", ServiceRun{
+		Platform: TC6ANoC6NoC1E, Service: Kafka(), RateQPS: 100e3,
+		DurationNS: 40_000_000, WarmupNS: 8_000_000, Seed: 7,
+		SnoopRatePerSec: 50e3,
+	}},
+	{"ntnoc6-mysql-50k-packed", ServiceRun{
+		Platform: NTNoC6, Service: MySQL(), RateQPS: 50e3,
+		DurationNS: 40_000_000, WarmupNS: 8_000_000, Seed: 3,
+		Dispatch: DispatchPacked,
+	}},
+	{"baseline-memcached-150k-least-loaded", ServiceRun{
+		Platform: Baseline, RateQPS: 150e3,
+		DurationNS: 40_000_000, WarmupNS: 8_000_000, Seed: 11,
+		Dispatch: DispatchLeastLoaded,
+	}},
+	{"baseline-memcached-150k-random-bursty", ServiceRun{
+		Platform: Baseline, RateQPS: 150e3,
+		DurationNS: 40_000_000, WarmupNS: 8_000_000, Seed: 13,
+		Dispatch: DispatchRandom, LoadGen: LoadBursty,
+	}},
+	{"aw-memcached-closed-loop-64conn", ServiceRun{
+		Platform: AW, DurationNS: 40_000_000, WarmupNS: 8_000_000,
+		Seed: 17, Connections: 64,
+	}},
+}
+
+// goldenWant maps case name to the exact pre-optimization fingerprint.
+// Populated below by a GOLDEN_PRINT capture run of the unoptimized tree.
+var goldenWant = map[string]string{
+	"baseline-memcached-200k":               "res0=0x1.8072ac810e18bp-03 res1=0x1.5b2e2c96bf7d3p-12 res2=0x0p+00 res3=0x1.9fb7ef1a29a1ep-01 res4=0x0p+00 res5=0x0p+00 tps0=0x1.a7d4p+17 tps1=0x1.9p+06 tps2=0x0p+00 tps3=0x1.a766p+17 tps4=0x0p+00 tps5=0x0p+00 corew=0x1.4f3533bbcd2b1p+00 pkgw=0x1.c1814055603aep+05 energy=0x1.4f3533bbcd2b1p+00 qps=0x1.8d58p+17 turbo=0x1p+00 uncore=0x1.ep+04 snoops=0 maxq=9 srv.n=10172 srv.avg=0x1.1ff2610fe9496p+04 srv.p50=0x1.e1p+03 srv.p95=0x1.03p+05 srv.p99=0x1.d5p+05 srv.p999=0x1.81p+07 srv.max=0x1.c29cccccccccdp+09 e2e.n=10172 e2e.avg=0x1.0e1e6d3fa976ep+07 e2e.p50=0x1.03p+07 e2e.p95=0x1.97p+07 e2e.p99=0x1.e5p+07 e2e.p999=0x1.55p+08 e2e.max=0x1.13af3b645a1cbp+10 wake.n=10176 wake.avg=0x1.3a468d8e85c38p+03 wake.p50=0x1.3fp+03 wake.p95=0x1.3fp+03 wake.p99=0x1.3fp+03 wake.p999=0x1.3fp+03 wake.max=0x1.3f5c28f5c28f6p+03 queue.n=10176 queue.avg=0x1.1bc6f3c6c250cp-01 queue.p50=0x1p-08 queue.p95=0x1p-08 queue.p99=0x1.75p+02 queue.p999=0x1.a9p+06 queue.max=0x1.8bf020c49ba5ep+09 service.n=10176 service.avg=0x1.e7be06ac0eca7p+02 service.p50=0x1.45p+02 service.p95=0x1.63p+04 service.p99=0x1.69p+05 service.p999=0x1.fdp+06 service.max=0x1.bd9f5c28f5c29p+09",
+	"aw-memcached-200k":                     "res0=0x1.814ffa9cc7542p-03 res1=0x0p+00 res2=0x1.793a3131d9ca7p-12 res3=0x0p+00 res4=0x1.9f7cda12a7efcp-01 res5=0x0p+00 tps0=0x1.a7d4p+17 tps1=0x0p+00 tps2=0x1.ep+06 tps3=0x0p+00 tps4=0x1.a75cp+17 tps5=0x0p+00 corew=0x1.8dda58358b7ccp-01 pkgw=0x1.6c543b90bb97p+05 energy=0x1.8dda58358b7ccp-01 qps=0x1.8d58p+17 turbo=0x1p+00 uncore=0x1.ep+04 snoops=0 maxq=9 srv.n=10172 srv.avg=0x1.20aba4b725545p+04 srv.p50=0x1.e3p+03 srv.p95=0x1.05p+05 srv.p99=0x1.d7p+05 srv.p999=0x1.83p+07 srv.max=0x1.c4f999999999ap+09 e2e.n=10172 e2e.avg=0x1.0e3595b490f61p+07 e2e.p50=0x1.03p+07 e2e.p95=0x1.97p+07 e2e.p99=0x1.e5p+07 e2e.p999=0x1.57p+08 e2e.max=0x1.14dda1cac0831p+10 wake.n=10176 wake.avg=0x1.3a381417f51dbp+03 wake.p50=0x1.3fp+03 wake.p95=0x1.3fp+03 wake.p99=0x1.3fp+03 wake.p999=0x1.3fp+03 wake.max=0x1.3f5c28f5c28f6p+03 queue.n=10176 queue.avg=0x1.1f268d250174ap-01 queue.p50=0x1p-08 queue.p95=0x1p-08 queue.p99=0x1.77p+02 queue.p999=0x1.adp+06 queue.max=0x1.8e4ced916872bp+09 service.n=10176 service.avg=0x1.ea540988151e8p+02 service.p50=0x1.47p+02 service.p95=0x1.65p+04 service.p99=0x1.6bp+05 service.p999=0x1.01p+07 service.max=0x1.bffc28f5c28f6p+09",
+	"tc6a-kafka-100k-snoop":                 "res0=0x1.42e85dcce4caap-03 res1=0x0p+00 res2=0x1.af45e88cc6cd6p-01 res3=0x0p+00 res4=0x0p+00 res5=0x0p+00 tps0=0x1.db32p+16 tps1=0x0p+00 tps2=0x1.db7dp+16 tps3=0x0p+00 tps4=0x0p+00 tps5=0x0p+00 corew=0x1.2f9db39f1119fp+00 pkgw=0x1.adc290436ab04p+05 energy=0x1.e5c91f64e8299p-01 qps=0x1.b43bp+16 turbo=0x1p+00 uncore=0x1.ep+04 snoops=39132 maxq=9 srv.n=4467 srv.avg=0x1.f5fa95a2b57e8p+04 srv.p50=0x1.3bp+04 srv.p95=0x1.5fp+06 srv.p99=0x1.b7p+07 srv.p999=0x1.29p+09 srv.max=0x1.6a316872b020cp+09 e2e.n=4467 e2e.avg=0x1.2988527c1e68ep+07 e2e.p50=0x1.15p+07 e2e.p95=0x1.d3p+07 e2e.p99=0x1.63p+08 e2e.p999=0x1.5bp+09 e2e.max=0x1.a3eced916872bp+09 wake.n=4465 wake.avg=0x1.df855e20b2c59p+00 wake.p50=0x1.fae147ae147aep+00 wake.p95=0x1.fae147ae147aep+00 wake.p99=0x1.fae147ae147aep+00 wake.p999=0x1.fae147ae147aep+00 wake.max=0x1.fae147ae147aep+00 queue.n=4465 queue.avg=0x1.eecc282cbbe7dp+01 queue.p50=0x1p-08 queue.p95=0x1.5bp+00 queue.p99=0x1.dbp+06 queue.p999=0x1.c7p+08 queue.max=0x1.441df3b645a1dp+09 service.n=4465 service.avg=0x1.9e39dbcfa9297p+04 service.p50=0x1.11p+04 service.p95=0x1.2bp+06 service.p99=0x1.1bp+07 service.p999=0x1.1dp+09 service.max=0x1.0f747ae147ae1p+10",
+	"ntnoc6-mysql-50k-packed":               "res0=0x1.0e274f39cf03bp-01 res1=0x1.4b07bb354aba9p-13 res2=0x0p+00 res3=0x1.e3880094fb4f4p-02 res4=0x0p+00 res5=0x0p+00 tps0=0x1.b58p+13 tps1=0x1.9p+06 tps2=0x0p+00 tps3=0x1.b648p+13 tps4=0x0p+00 tps5=0x0p+00 corew=0x1.40d103c9d5c35p+01 pkgw=0x1.4082a25e259a1p+06 energy=0x1.00a7363b11691p+01 qps=0x1.84dep+15 turbo=0x0p+00 uncore=0x1.ep+04 snoops=0 maxq=4 srv.n=1991 srv.avg=0x1.3d61997a00226p+09 srv.p50=0x1.f9p+08 srv.p95=0x1.7bp+10 srv.p99=0x1.4bp+11 srv.p999=0x1.afp+13 srv.max=0x1.b8f583126e979p+13 e2e.n=1991 e2e.avg=0x1.780788c93977ep+09 e2e.p50=0x1.37p+09 e2e.p95=0x1.9dp+10 e2e.p99=0x1.5dp+11 e2e.p999=0x1.b3p+13 e2e.max=0x1.bcb847ae147aep+13 wake.n=1986 wake.avg=0x1.a2d99b9476ec3p-01 wake.p50=0x1p-08 wake.p95=0x1.3fp+03 wake.p99=0x1.3fp+03 wake.p999=0x1.3fp+03 wake.max=0x1.3f5c28f5c28f6p+03 queue.n=1986 queue.avg=0x1.a8ec30275e28bp+08 queue.p50=0x1.3dp+08 queue.p95=0x1.1bp+10 queue.p99=0x1.ffp+10 queue.p999=0x1.8dp+12 queue.max=0x1.abab7ae147ae1p+13 service.n=1986 service.avg=0x1.9c1399d3ada11p+07 service.p50=0x1.fdp+06 service.p95=0x1.2fp+09 service.p99=0x1.3bp+10 service.p999=0x1.87p+12 service.max=0x1.ac6d5c28f5c29p+13",
+	"baseline-memcached-150k-least-loaded":  "res0=0x1.358736c0866d7p-03 res1=0x1.07dd04a85b536p-04 res2=0x0p+00 res3=0x1.bda7b2b6f6f7ap-02 res4=0x0p+00 res5=0x1.659d70beaefcep-02 tps0=0x1.49268p+17 tps1=0x1.bb8ep+16 tps2=0x0p+00 tps3=0x1.66fcp+15 tps4=0x0p+00 tps5=0x1.1a08p+13 corew=0x1.2d732399a4ac6p+00 pkgw=0x1.ac67f64006ebcp+05 energy=0x1.e251d28f6de0bp-01 qps=0x1.2511p+17 turbo=0x1p+00 uncore=0x1.ep+04 snoops=0 maxq=1 srv.n=6002 srv.avg=0x1.763f9c8cac2adp+03 srv.p50=0x1.1dp+03 srv.p95=0x1.a7p+04 srv.p99=0x1.93p+05 srv.p999=0x1.79p+06 srv.max=0x1.ca7851eb851ecp+08 e2e.n=6002 e2e.avg=0x1.02b9858d7b8c6p+07 e2e.p50=0x1.f1p+06 e2e.p95=0x1.8bp+07 e2e.p99=0x1.e9p+07 e2e.p999=0x1.4fp+08 e2e.max=0x1.3eb020c49ba5ep+09 wake.n=6003 wake.avg=0x1.079da64c4eb77p+02 wake.p50=0x1.fbp+00 wake.p95=0x1.3fp+03 wake.p99=0x1.3fp+03 wake.p999=0x1.7p+05 wake.max=0x1.7p+05 queue.n=6003 queue.avg=0x1.22a8e535a29ddp-17 queue.p50=0x1p-08 queue.p95=0x1p-08 queue.p99=0x1p-08 queue.p999=0x1p-08 queue.max=0x1.eb851eb851eb8p-07 service.n=6003 service.avg=0x1.e79e39067d9b4p+02 service.p50=0x1.4bp+02 service.p95=0x1.67p+04 service.p99=0x1.51p+05 service.p999=0x1.bbp+06 service.max=0x1.c87d70a3d70a4p+08",
+	"baseline-memcached-150k-random-bursty": "res0=0x1.9feaf830fea59p-04 res1=0x1.95173fb7a5f42p-06 res2=0x0p+00 res3=0x1.982737872ad72p-01 res4=0x0p+00 res5=0x1.39957ba7c124ap-04 tps0=0x1.284ap+16 tps1=0x1.9c8p+12 tps2=0x0p+00 tps3=0x1.f72p+15 tps4=0x0p+00 tps5=0x1.275p+12 corew=0x1.28b1375b87d42p+00 pkgw=0x1.a96ec29934e49p+05 energy=0x1.dab5255f3fb9cp-01 qps=0x1.9514p+16 turbo=0x1p+00 uncore=0x1.ep+04 snoops=0 maxq=11 srv.n=4148 srv.avg=0x1.989fb29534adfp+04 srv.p50=0x1.ffp+03 srv.p95=0x1.67p+06 srv.p99=0x1.0fp+07 srv.p999=0x1.f5p+07 srv.max=0x1.61ef9db22d0e5p+08 e2e.n=4148 e2e.avg=0x1.1e24e6ca409ap+07 e2e.p50=0x1.0dp+07 e2e.p95=0x1.c7p+07 e2e.p99=0x1.1dp+08 e2e.p999=0x1.91p+08 e2e.max=0x1.283e560418937p+09 wake.n=4153 wake.avg=0x1.88ef4a3fce8d5p+02 wake.p50=0x1.3fp+03 wake.p95=0x1.3fp+03 wake.p99=0x1.7p+05 wake.p999=0x1.7p+05 wake.max=0x1.7p+05 queue.n=4153 queue.avg=0x1.77625d19740abp+03 queue.p50=0x1p-08 queue.p95=0x1.1bp+06 queue.p99=0x1.e1p+06 queue.p999=0x1.7bp+07 queue.max=0x1.38f1eb851eb85p+08 service.n=4153 service.avg=0x1.eab215b37549ap+02 service.p50=0x1.4bp+02 service.p95=0x1.6dp+04 service.p99=0x1.6fp+05 service.p999=0x1.fdp+06 service.max=0x1.55126e978d4fep+08",
+	"aw-memcached-closed-loop-64conn":       "res0=0x1.0f61d633d3c21p-04 res1=0x0p+00 res2=0x0p+00 res3=0x0p+00 res4=0x1.de13c5398587cp-01 res5=0x0p+00 tps0=0x1.352ep+16 tps1=0x0p+00 tps2=0x0p+00 tps3=0x0p+00 tps4=0x1.3592p+16 tps5=0x0p+00 corew=0x1.a99619a5d6786p-02 pkgw=0x1.327f7401e982dp+05 energy=0x1.54781484ab938p-02 qps=0x1.e302p+15 turbo=0x1p+00 uncore=0x1.ep+04 snoops=0 maxq=2 srv.n=2473 srv.avg=0x1.202230d51400ap+04 srv.p50=0x1.e9p+03 srv.p95=0x1.17p+05 srv.p99=0x1.dbp+05 srv.p999=0x1.afp+06 srv.max=0x1.0df604189374cp+08 e2e.n=2473 e2e.avg=0x1.0d35ee645a52ep+07 e2e.p50=0x1.03p+07 e2e.p95=0x1.95p+07 e2e.p99=0x1.e1p+07 e2e.p999=0x1.2bp+08 e2e.max=0x1.5e3b22d0e5604p+08 wake.n=2471 wake.avg=0x1.3b5a7c5d135dbp+03 wake.p50=0x1.3fp+03 wake.p95=0x1.3fp+03 wake.p99=0x1.3fp+03 wake.p999=0x1.3fp+03 wake.max=0x1.3f5c28f5c28f6p+03 queue.n=2471 queue.avg=0x1.3c964f78c032fp-04 queue.p50=0x1p-08 queue.p95=0x1p-08 queue.p99=0x1.29p+02 queue.p999=0x1.57p+03 queue.max=0x1.6d2f1a9fbe76dp+03 service.n=2471 service.avg=0x1.027c3e85be109p+03 service.p50=0x1.57p+02 service.p95=0x1.8fp+04 service.p99=0x1.8bp+05 service.p999=0x1.87p+06 service.max=0x1.03fb22d0e5604p+08",
+}
+
+// hexF formats a float64 exactly (hex mantissa/exponent, no rounding).
+func hexF(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+
+// fingerprint serializes every float-valued observable of a Result into
+// an exact, human-diffable string.
+func fingerprint(res Result) string {
+	var b strings.Builder
+	f := func(k string, v float64) { fmt.Fprintf(&b, "%s=%s ", k, hexF(v)) }
+	u := func(k string, v uint64) { fmt.Fprintf(&b, "%s=%d ", k, v) }
+	for id, r := range res.Residency {
+		f(fmt.Sprintf("res%d", id), r)
+	}
+	for id, tr := range res.TransitionsPerSec {
+		f(fmt.Sprintf("tps%d", id), tr)
+	}
+	f("corew", res.AvgCorePowerW)
+	f("pkgw", res.PackagePowerW)
+	f("energy", res.EnergyJ)
+	f("qps", res.CompletedPerSec)
+	f("turbo", res.TurboFraction)
+	f("uncore", res.UncoreAvgW)
+	u("snoops", res.SnoopsServed)
+	fmt.Fprintf(&b, "maxq=%d ", res.MaxQueueDepth)
+	sum := func(k string, s server.LatencySummary) {
+		u(k+".n", s.Count)
+		f(k+".avg", s.AvgUS)
+		f(k+".p50", s.P50US)
+		f(k+".p95", s.P95US)
+		f(k+".p99", s.P99US)
+		f(k+".p999", s.P999US)
+		f(k+".max", s.MaxUS)
+	}
+	sum("srv", res.Server)
+	sum("e2e", res.EndToEnd)
+	sum("wake", res.Breakdown.Wake)
+	sum("queue", res.Breakdown.Queue)
+	sum("service", res.Breakdown.Service)
+	return strings.TrimSpace(b.String())
+}
+
+func TestGoldenPipelineStability(t *testing.T) {
+	printMode := os.Getenv("GOLDEN_PRINT") != ""
+	for _, tc := range goldenCases {
+		res, err := RunService(tc.run)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		got := fingerprint(res)
+		if printMode {
+			fmt.Printf("\t%q: %q,\n", tc.name, got)
+			continue
+		}
+		want, ok := goldenWant[tc.name]
+		if !ok {
+			t.Fatalf("%s: no golden recorded", tc.name)
+		}
+		if got != want {
+			t.Errorf("%s: output drifted from pre-optimization golden\n got: %s\nwant: %s",
+				tc.name, diffFields(got, want), diffFields(want, got))
+		}
+	}
+}
+
+// diffFields returns only the space-separated fields of a that differ
+// from their positional counterpart in b, keeping failures readable.
+func diffFields(a, b string) string {
+	af, bf := strings.Fields(a), strings.Fields(b)
+	var out []string
+	for i, fa := range af {
+		if i >= len(bf) || fa != bf[i] {
+			out = append(out, fa)
+		}
+	}
+	if len(af) != len(bf) {
+		out = append(out, fmt.Sprintf("(field count %d vs %d)", len(af), len(bf)))
+	}
+	return strings.Join(out, " ")
+}

@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/governor"
+	"repro/internal/runner"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// benchFleetCfg is the BenchmarkClusterRun configuration: a 4-node
+// homogeneous Baseline fleet under spread dispatch. Each iteration uses
+// a fresh private Runner so memoization never short-circuits the
+// measurement; the per-node seeds differ, so all four nodes simulate.
+func benchFleetCfg(r *runner.Runner) Config {
+	template := server.Config{
+		Platform: governor.Baseline,
+		Profile:  workload.Memcached(),
+		Duration: 20 * sim.Millisecond,
+		Warmup:   5 * sim.Millisecond,
+		Seed:     1,
+	}
+	return Config{
+		Nodes:   Homogeneous(4, template),
+		RateQPS: 400e3,
+		Runner:  r,
+	}
+}
+
+// BenchmarkClusterRun measures a full fleet simulation: cluster dispatch,
+// parallel node fan-out through the runner, and fleet aggregation.
+func BenchmarkClusterRun(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(benchFleetCfg(runner.New(4))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"repro/internal/server"
+	"repro/internal/stats"
 )
 
 // NodeResult is one node's simulation outcome plus its share of the
@@ -56,6 +57,12 @@ type Result struct {
 	// WorstP99US is the largest per-node server p99 — the node a
 	// fleet-wide SLO is judged against.
 	WorstP99US float64
+	// MedianP99US / P90P99US summarize the spread of per-node server
+	// p99s across nodes that carried load: a wide median-to-p90 gap
+	// means the dispatch policy is concentrating tail pain on a few
+	// nodes rather than degrading uniformly.
+	MedianP99US float64
+	P90P99US    float64
 }
 
 // combineSummaries merges per-node latency summaries as documented on
@@ -120,6 +127,18 @@ func aggregate(c Config, nodes []NodeResult) Result {
 	out.EndToEnd = combineSummaries(e2e)
 	if out.FleetPowerW > 0 {
 		out.QPSPerWatt = out.CompletedPerSec / out.FleetPowerW
+	}
+	// One sort serves both spread quantiles (stats.SortedSeries).
+	p99s := make([]float64, 0, len(nodes))
+	for _, n := range nodes {
+		if n.Result.Server.Count > 0 {
+			p99s = append(p99s, n.Result.Server.P99US)
+		}
+	}
+	if len(p99s) > 0 {
+		sorted := stats.NewSortedSeries(p99s)
+		out.MedianP99US = sorted.Percentile(0.5)
+		out.P90P99US = sorted.Percentile(0.9)
 	}
 	return out
 }

@@ -212,6 +212,34 @@ func (c *Catalog) Params(id ID) Params {
 	return c.params[id]
 }
 
+// EntryLatency, ExitLatency and ResidentPower return single Params
+// fields without copying the full parameter record — the per-transition
+// hot path reads exactly one field per call.
+
+// EntryLatency returns the hardware entry flow duration of state id.
+func (c *Catalog) EntryLatency(id ID) sim.Time {
+	if id < 0 || id >= NumStates {
+		panic(fmt.Sprintf("cstate: invalid state %d", int(id)))
+	}
+	return c.params[id].HWEntryLatency
+}
+
+// ExitLatency returns the hardware exit flow duration of state id.
+func (c *Catalog) ExitLatency(id ID) sim.Time {
+	if id < 0 || id >= NumStates {
+		panic(fmt.Sprintf("cstate: invalid state %d", int(id)))
+	}
+	return c.params[id].HWExitLatency
+}
+
+// ResidentPower returns the per-core power while resident in state id.
+func (c *Catalog) ResidentPower(id ID) float64 {
+	if id < 0 || id >= NumStates {
+		panic(fmt.Sprintf("cstate: invalid state %d", int(id)))
+	}
+	return c.params[id].PowerWatts
+}
+
 // SetPower overrides the resident power of a state; used by sensitivity
 // (ablation) studies.
 func (c *Catalog) SetPower(id ID, watts float64) {
@@ -243,18 +271,22 @@ func (c *Catalog) DeepestByResidency(menu []ID, predictedIdle sim.Time) (ID, boo
 	shallowest := ID(-1)
 	shallowestPower := -1.0
 	for _, id := range menu {
-		p := c.Params(id)
+		if id < 0 || id >= NumStates {
+			panic(fmt.Sprintf("cstate: invalid state %d", int(id)))
+		}
 		if id == C0 {
 			continue
 		}
-		if shallowest == -1 || p.PowerWatts > shallowestPower {
+		// Field reads, not a Params copy: this runs on every idle entry.
+		pw := c.params[id].PowerWatts
+		if shallowest == -1 || pw > shallowestPower {
 			shallowest = id
-			shallowestPower = p.PowerWatts
+			shallowestPower = pw
 		}
-		if p.TargetResidency <= predictedIdle {
-			if best == -1 || p.PowerWatts < bestPower {
+		if c.params[id].TargetResidency <= predictedIdle {
+			if best == -1 || pw < bestPower {
 				best = id
-				bestPower = p.PowerWatts
+				bestPower = pw
 			}
 		}
 	}

@@ -90,7 +90,7 @@ func (m *Machine) Enter(id ID, now sim.Time) sim.Time {
 	m.phase = PhaseEntering
 	m.state = id
 	m.wakePending = false
-	return m.catalog.Params(id).HWEntryLatency
+	return m.catalog.EntryLatency(id)
 }
 
 // EntryComplete marks the end of the entry flow. It returns true if an
@@ -106,7 +106,7 @@ func (m *Machine) EntryComplete(now sim.Time) (mustExit bool, exitLatency sim.Ti
 		// transition into it and immediately start exiting.
 		m.res.Switch(int(m.state), int64(now))
 		m.phase = PhaseExiting
-		return true, m.catalog.Params(m.state).HWExitLatency
+		return true, m.catalog.ExitLatency(m.state)
 	}
 	m.phase = PhaseIdle
 	m.res.Switch(int(m.state), int64(now))
@@ -127,7 +127,7 @@ func (m *Machine) Wake(now sim.Time) (sim.Time, bool) {
 	case PhaseIdle:
 		m.phase = PhaseExiting
 		m.res.Switch(int(C0), int64(now))
-		return m.catalog.Params(m.state).HWExitLatency, true
+		return m.catalog.ExitLatency(m.state), true
 	case PhaseEntering:
 		m.wakePending = true
 		return 0, false
@@ -155,7 +155,7 @@ func (m *Machine) ExitComplete(now sim.Time) {
 // them to C0).
 func (m *Machine) ResidentPower(c0Power float64) float64 {
 	if m.phase == PhaseIdle {
-		return m.catalog.Params(m.state).PowerWatts
+		return m.catalog.ResidentPower(m.state)
 	}
 	return c0Power
 }

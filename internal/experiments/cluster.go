@@ -143,7 +143,7 @@ func (r ClusterResult) Table() *report.Table {
 	t := &report.Table{
 		Title: fmt.Sprintf("Cluster study: fleet power vs tail across dispatch policies (%d nodes, Baseline, Memcached)", r.NodesPerFleet),
 		Headers: []string{"Rate (KQPS)", "Policy", "Fleet W", "W/node", "Idle nodes",
-			"Worst p99", fmt.Sprintf("SLO<=%.0fus", ClusterSLOP99US), "QPS/W"},
+			"p99 med/p90", "Worst p99", fmt.Sprintf("SLO<=%.0fus", ClusterSLOP99US), "QPS/W"},
 	}
 	for _, p := range r.Points {
 		for i, f := range p.Fleets {
@@ -151,6 +151,7 @@ func (r ClusterResult) Table() *report.Table {
 				report.W(f.FleetPowerW),
 				report.W(f.FleetPowerW/float64(r.NodesPerFleet)),
 				fmt.Sprintf("%d", f.IdleNodes),
+				fmt.Sprintf("%.0f/%.0fus", f.MedianP99US, f.P90P99US),
 				report.US(f.WorstP99US), slo(f.WorstP99US),
 				fmt.Sprintf("%.0f", f.QPSPerWatt))
 		}

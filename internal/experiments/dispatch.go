@@ -8,6 +8,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/server"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -73,17 +74,27 @@ func deepResidency(res server.Result) float64 {
 		res.Residency[cstate.C6A] + res.Residency[cstate.C6AE]
 }
 
-// Table renders the power/tail-latency trade-off.
+// Table renders the power/tail-latency trade-off. The per-core power
+// p10/p90 column quantifies how evenly each policy spreads work: one
+// sorted copy of the per-core powers serves both quantiles
+// (stats.SortedSeries).
 func (r DispatchResult) Table() *report.Table {
 	t := &report.Table{
 		Title: "Dispatch policy study: power vs tail latency (Baseline, Memcached)",
-		Headers: []string{"Rate (KQPS)", "Policy", "Core power", "Package",
-			"Avg server", "p99 server", "Max queue"},
+		Headers: []string{"Rate (KQPS)", "Policy", "Core power", "Core W p10/p90",
+			"Package", "Avg server", "p99 server", "Max queue"},
 	}
 	for _, p := range r.Points {
 		for i, res := range p.Results {
+			perCore := make([]float64, len(res.PerCore))
+			for j, cs := range res.PerCore {
+				perCore[j] = cs.AvgPowerW
+			}
+			sorted := stats.NewSortedSeries(perCore)
 			t.AddRow(fmt.Sprintf("%.0f", p.RateQPS/1000), r.Policies[i],
-				report.W(res.AvgCorePowerW), report.W(res.PackagePowerW),
+				report.W(res.AvgCorePowerW),
+				fmt.Sprintf("%.2f/%.2f", sorted.Percentile(0.10), sorted.Percentile(0.90)),
+				report.W(res.PackagePowerW),
 				report.US(res.Server.AvgUS), report.US(res.Server.P99US),
 				fmt.Sprintf("%d", res.MaxQueueDepth))
 		}

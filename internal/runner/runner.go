@@ -25,13 +25,29 @@ import (
 	"repro/internal/turbo"
 )
 
+// cacheShards is the number of independently locked cache segments. The
+// memoization map doubles as the single-flight registry, so under
+// parallel fleet fan-out every node lookup used to serialize on one
+// mutex; FNV-sharding the key space makes concurrent lookups of
+// different configs contention-free. A power of two keeps the shard
+// pick a mask instead of a modulo.
+const cacheShards = 16
+
+// cacheShard is one lock + map segment.
+type cacheShard struct {
+	mu    sync.Mutex
+	cache map[string]*entry
+	// Pad the 16-byte mutex+map pair to a full 64-byte cache line so
+	// per-shard mutexes do not false-share under fan-out.
+	_ [48]byte
+}
+
 // Runner executes simulations with bounded parallelism and memoization.
 // The zero value is not usable; construct with New.
 type Runner struct {
 	sem chan struct{}
 
-	mu    sync.Mutex
-	cache map[string]*entry
+	shards [cacheShards]cacheShard
 
 	hits, misses atomic.Uint64
 }
@@ -48,10 +64,21 @@ func New(parallelism int) *Runner {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{
-		sem:   make(chan struct{}, parallelism),
-		cache: make(map[string]*entry),
+	r := &Runner{sem: make(chan struct{}, parallelism)}
+	for i := range r.shards {
+		r.shards[i].cache = make(map[string]*entry)
 	}
+	return r
+}
+
+// shardOf maps a memoization key to its cache segment (FNV-1a).
+func (r *Runner) shardOf(key string) *cacheShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return &r.shards[h&(cacheShards-1)]
 }
 
 var defaultRunner = New(0)
@@ -150,13 +177,14 @@ func (r *Runner) Run(cfg server.Config) (server.Result, error) {
 		r.misses.Add(1)
 		return server.RunConfig(cfg)
 	}
-	r.mu.Lock()
-	e, hit := r.cache[key]
+	s := r.shardOf(key)
+	s.mu.Lock()
+	e, hit := s.cache[key]
 	if !hit {
 		e = &entry{}
-		r.cache[key] = e
+		s.cache[key] = e
 	}
-	r.mu.Unlock()
+	s.mu.Unlock()
 	if hit {
 		r.hits.Add(1)
 	} else {

@@ -1,0 +1,15 @@
+package runner
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// The shard padding exists to give each mutex its own cache line; pin
+// the struct size so a field change cannot silently reintroduce false
+// sharing.
+func TestCacheShardIsOneCacheLine(t *testing.T) {
+	if s := unsafe.Sizeof(cacheShard{}); s != 64 {
+		t.Fatalf("cacheShard is %d bytes, want 64", s)
+	}
+}

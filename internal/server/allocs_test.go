@@ -1,0 +1,38 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestSteadyStateZeroAllocs pins the zero-allocation property of the
+// server hot path: once a simulation is warm (rings sized, histograms
+// grown, event free list populated), advancing simulated time must not
+// allocate at all — requests live in per-core rings, events are recycled
+// typed-kind structs, and the collector hooks append nothing. A nonzero
+// value here means a future change reintroduced per-event garbage.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	cfg := benchServiceCfg()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.gen.Start(s)
+	s.eng.RunUntil(cfg.Warmup)
+	s.eng.AdvanceTo(cfg.Warmup)
+	s.col.begin(s)
+	// Let the measured phase run long enough that every latency
+	// histogram has seen its tail buckets.
+	horizon := cfg.Warmup + 40*sim.Millisecond
+	s.eng.RunUntil(horizon)
+	s.eng.AdvanceTo(horizon)
+	avg := testing.AllocsPerRun(20, func() {
+		horizon += sim.Millisecond
+		s.eng.RunUntil(horizon)
+		s.eng.AdvanceTo(horizon)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state hot path allocates %v allocs per simulated ms, want 0", avg)
+	}
+}

@@ -74,7 +74,7 @@ const defaultPackQueueCap = 4
 // Load reports the number of requests the core currently owns: the
 // backlog plus the one in execution.
 func (c *coreRuntime) Load() int {
-	n := len(c.queue)
+	n := c.queue.len()
 	if c.busy {
 		n++
 	}

@@ -89,6 +89,98 @@ func TestPropertyServerInvariants(t *testing.T) {
 	}
 }
 
+// TestPropertyDispatchLoadGenInvariants fuzzes the full dispatch x
+// load-generator matrix against the ring-buffer request queues: every
+// combination must terminate (no deadlock or stall between generator,
+// dispatcher and per-core rings), conserve requests (every summary
+// counts the same completions, and throughput never exceeds the offered
+// burst ceiling), and keep the latency decomposition consistent.
+func TestPropertyDispatchLoadGenInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz run skipped in -short")
+	}
+	dispatches := DispatchPolicies()
+	loadgens := []string{LoadOpenLoop, LoadBursty, LoadClosedLoop}
+	f := func(dispIdx, lgIdx uint8, rateK uint16, conns uint8, seed uint64) bool {
+		cfg := Config{
+			Platform:   governor.Baseline,
+			Profile:    workload.Memcached(),
+			Duration:   25 * sim.Millisecond,
+			Warmup:     5 * sim.Millisecond,
+			Seed:       seed,
+			Dispatch:   dispatches[int(dispIdx)%len(dispatches)],
+			LoadGen:    loadgens[int(lgIdx)%len(loadgens)],
+			RatePerSec: float64(rateK%500)*1000 + 1000,
+		}
+		if cfg.LoadGen == LoadClosedLoop {
+			cfg.ClosedLoopConnections = int(conns)%96 + 1
+		}
+		res, err := RunConfig(cfg)
+		if err != nil {
+			t.Logf("run error: %v", err)
+			return false
+		}
+		// Conservation: server, end-to-end and the completion counter
+		// must all describe the same set of foreground requests.
+		if res.Server.Count != res.EndToEnd.Count {
+			t.Logf("server count %d != e2e count %d", res.Server.Count, res.EndToEnd.Count)
+			return false
+		}
+		window := res.MeasuredDuration.Seconds()
+		completed := res.CompletedPerSec * window
+		if float64(res.Server.Count) < completed-0.5 || float64(res.Server.Count) > completed+0.5 {
+			t.Logf("summary count %d inconsistent with throughput %v over %vs",
+				res.Server.Count, res.CompletedPerSec, window)
+			return false
+		}
+		// The latency decomposition sees every started foreground
+		// request exactly once per component.
+		bd := res.Breakdown
+		if bd.Wake.Count != bd.Queue.Count || bd.Queue.Count != bd.Service.Count {
+			t.Logf("breakdown counts diverge: %d/%d/%d",
+				bd.Wake.Count, bd.Queue.Count, bd.Service.Count)
+			return false
+		}
+		// Open-loop generators cannot complete more than the offered
+		// burst ceiling (bursty boosts its in-burst rate by the on/off
+		// duty-cycle factor, default 4x; short windows can land inside a
+		// burst). Closed loops are bounded by connections per think+RTT.
+		if cfg.LoadGen != LoadClosedLoop && cfg.RatePerSec > 0 {
+			if res.CompletedPerSec > cfg.RatePerSec*5+1000 {
+				t.Logf("throughput %v exceeds offered ceiling for %v", res.CompletedPerSec, cfg.RatePerSec)
+				return false
+			}
+		}
+		// Per-request identity wake+queue+service == server latency means
+		// the component means must track the server mean closely (the
+		// sets differ only by requests in flight across the window
+		// edges).
+		if res.Server.Count > 100 {
+			sum := bd.Wake.AvgUS + bd.Queue.AvgUS + bd.Service.AvgUS
+			if sum > res.Server.AvgUS*1.2+1 || sum < res.Server.AvgUS*0.8-1 {
+				t.Logf("decomposition %v+%v+%v far from server avg %v",
+					bd.Wake.AvgUS, bd.Queue.AvgUS, bd.Service.AvgUS, res.Server.AvgUS)
+				return false
+			}
+		}
+		// Every latency summary must be internally ordered.
+		for _, s := range []LatencySummary{res.Server, res.EndToEnd, bd.Wake, bd.Queue, bd.Service} {
+			if s.Count == 0 {
+				continue
+			}
+			if s.P50US > s.P95US+1e-9 || s.P95US > s.P99US+1e-9 ||
+				s.P99US > s.P999US+1e-9 || s.P999US > s.MaxUS+1e-9 {
+				t.Logf("quantiles out of order: %+v", s)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSnoopEventsServedAndCounted(t *testing.T) {
 	cfg := quickCfg(governor.TC6ANoC6NoC1E, 10e3)
 	cfg.SnoopRatePerSec = 100e3

@@ -35,6 +35,9 @@ func LoadGens() []string {
 type LoadGen interface {
 	// Name identifies the generator.
 	Name() string
+	// register installs the generator's typed event kinds on the Sim's
+	// engine (called once from Sim construction, before Start).
+	register(s *Sim)
 	// Start schedules the generator's initial events on the engine.
 	Start(s *Sim)
 	// OnComplete is invoked when the foreground request of connection
@@ -74,12 +77,18 @@ type openLoopGen struct{}
 
 func (openLoopGen) Name() string { return LoadOpenLoop }
 
+func (openLoopGen) register(s *Sim) {
+	s.kArrival = s.eng.RegisterKind(func(now sim.Time, _, _ uint64) {
+		s.openLoopArrival(now)
+	})
+}
+
 func (openLoopGen) Start(s *Sim) {
 	if s.cfg.RatePerSec <= 0 {
 		return
 	}
 	gap := s.cfg.Profile.Arrivals.NextGap(s.arrRand, s.cfg.RatePerSec)
-	s.eng.ScheduleAt(gap, func(t sim.Time) { s.openLoopArrival(t) })
+	s.eng.ScheduleKindAt(gap, s.kArrival, 0, 0)
 }
 
 func (openLoopGen) OnComplete(*Sim, int, sim.Time) {}
@@ -89,7 +98,7 @@ func (s *Sim) openLoopArrival(now sim.Time) {
 	s.dispatch(now, -1)
 	gap := s.cfg.Profile.Arrivals.NextGap(s.arrRand, s.cfg.RatePerSec)
 	if gap < sim.MaxTime-now {
-		s.eng.Schedule(gap, func(t sim.Time) { s.openLoopArrival(t) })
+		s.eng.ScheduleKind(gap, s.kArrival, 0, 0)
 	}
 }
 
@@ -99,12 +108,17 @@ type closedLoopGen struct{}
 
 func (closedLoopGen) Name() string { return LoadClosedLoop }
 
+func (closedLoopGen) register(s *Sim) {
+	s.kConn = s.eng.RegisterKind(func(now sim.Time, conn, _ uint64) {
+		s.dispatch(now, int(conn))
+	})
+}
+
 func (closedLoopGen) Start(s *Sim) {
 	for i := 0; i < s.cfg.ClosedLoopConnections; i++ {
-		conn := i
 		// Stagger connection starts across one think time.
 		start := sim.Time(s.arrRand.Exp(float64(s.cfg.ThinkTime))) + 1
-		s.eng.ScheduleAt(start, func(t sim.Time) { s.dispatch(t, conn) })
+		s.eng.ScheduleKindAt(start, s.kConn, uint64(i), 0)
 	}
 }
 
@@ -113,7 +127,7 @@ func (closedLoopGen) OnComplete(s *Sim, conn int, now sim.Time) {
 	if think < 1 {
 		think = 1
 	}
-	s.eng.Schedule(think, func(t sim.Time) { s.dispatch(t, conn) })
+	s.eng.ScheduleKind(think, s.kConn, uint64(conn), 0)
 }
 
 // burstyGen alternates exponentially distributed ON bursts (Poisson
@@ -126,8 +140,20 @@ type burstyGen struct {
 
 func (*burstyGen) Name() string { return LoadBursty }
 
+func (g *burstyGen) register(s *Sim) {
+	s.kBurst = s.eng.RegisterKind(func(now sim.Time, _, _ uint64) {
+		g.burst(s, now)
+	})
+	// a0 carries the ON-window end so in-window arrivals need no state
+	// beyond the generator itself.
+	s.kBurstArrive = s.eng.RegisterKind(func(now sim.Time, end, _ uint64) {
+		s.dispatch(now, -1)
+		g.arrive(s, now, sim.Time(end))
+	})
+}
+
 func (g *burstyGen) Start(s *Sim) {
-	s.eng.ScheduleAt(1, func(t sim.Time) { g.burst(s, t) })
+	s.eng.ScheduleKindAt(1, s.kBurst, 0, 0)
 }
 
 func (*burstyGen) OnComplete(*Sim, int, sim.Time) {}
@@ -146,7 +172,7 @@ func (g *burstyGen) burst(s *Sim, now sim.Time) {
 		gap = 1
 	}
 	if end < sim.MaxTime-gap {
-		s.eng.ScheduleAt(end+gap, func(t sim.Time) { g.burst(s, t) })
+		s.eng.ScheduleKindAt(end+gap, s.kBurst, 0, 0)
 	}
 }
 
@@ -160,8 +186,5 @@ func (g *burstyGen) arrive(s *Sim, from, end sim.Time) {
 	if t > end {
 		return
 	}
-	s.eng.ScheduleAt(t, func(now sim.Time) {
-		s.dispatch(now, -1)
-		g.arrive(s, now, end)
-	})
+	s.eng.ScheduleKindAt(t, s.kBurstArrive, uint64(end), 0)
 }

@@ -229,11 +229,12 @@ type BreakdownSummary struct {
 }
 
 func summarize(h *stats.Histogram) LatencySummary {
+	q := h.Quantiles(0.50, 0.95, 0.99, 0.999)
 	return LatencySummary{
 		Count: h.Count(),
-		AvgUS: h.Mean(), P50US: h.Quantile(0.50),
-		P95US: h.Quantile(0.95), P99US: h.Quantile(0.99),
-		P999US: h.Quantile(0.999), MaxUS: h.Max(),
+		AvgUS: h.Mean(), P50US: q[0],
+		P95US: q[1], P99US: q[2],
+		P999US: q[3], MaxUS: h.Max(),
 	}
 }
 
@@ -308,13 +309,68 @@ type request struct {
 	conn int
 }
 
+// reqRing is a growable power-of-two circular FIFO of requests. Requests
+// live in the ring by value, so the steady-state request flow — enqueue
+// at dispatch, dequeue at service start — recycles the same backing
+// storage forever: the ring is the per-core request freelist, and after
+// warmup the hot path performs no request allocation at all.
+type reqRing struct {
+	buf  []request
+	head uint32 // free-running; position = head & (len(buf)-1)
+	tail uint32
+}
+
+func (r *reqRing) len() int { return int(r.tail - r.head) }
+
+func (r *reqRing) push(req request) {
+	if int(r.tail-r.head) == len(r.buf) {
+		r.grow()
+	}
+	r.buf[r.tail&uint32(len(r.buf)-1)] = req
+	r.tail++
+}
+
+// front returns the oldest queued request in place (for wake attribution).
+func (r *reqRing) front() *request {
+	return &r.buf[r.head&uint32(len(r.buf)-1)]
+}
+
+func (r *reqRing) pop() request {
+	i := r.head & uint32(len(r.buf)-1)
+	req := r.buf[i]
+	r.buf[i] = request{}
+	r.head++
+	return req
+}
+
+// grow doubles the ring, unwrapping the live window to the front.
+func (r *reqRing) grow() {
+	n := len(r.buf)
+	if n == 0 {
+		r.buf = make([]request, 8)
+		r.head, r.tail = 0, 0
+		return
+	}
+	grown := make([]request, 2*n)
+	count := int(r.tail - r.head)
+	for i := 0; i < count; i++ {
+		grown[i] = r.buf[(r.head+uint32(i))&uint32(n-1)]
+	}
+	r.buf = grown
+	r.head, r.tail = 0, uint32(count)
+}
+
 type coreRuntime struct {
 	idx     int
 	machine *cstate.Machine
 	gov     governor.Governor
 	meter   *stats.EnergyMeter
-	queue   []request
-	busy    bool
+	queue   reqRing
+	// cur is the request in execution (valid while busy); completion
+	// events carry only the core index, so the in-flight request never
+	// escapes to the heap.
+	cur  request
+	busy bool
 	// idleStart is when the core last became idle (for governor feedback).
 	idleStart sim.Time
 	// curPowerW is the core's current draw, mirrored into the package
@@ -327,6 +383,9 @@ type coreRuntime struct {
 	// snoopGen invalidates in-flight snoop-service timers when the core
 	// leaves its idle episode.
 	snoopGen uint64
+	// noiseRng / snoopRng drive this core's background processes.
+	noiseRng *xrand.Rand
+	snoopRng *xrand.Rand
 }
 
 // Sim is a fully constructed simulation run: the core/C-state model plus
@@ -358,6 +417,37 @@ type Sim struct {
 	pkgIdleStart sim.Time
 	pkgIdleTotal sim.Time
 	uncoreMeter  *stats.EnergyMeter
+
+	// Typed event kinds (see newKinds): the per-event hot path schedules
+	// (kind, core, extra) tuples instead of closures.
+	kEntryDone   sim.Kind
+	kExitDone    sim.Kind
+	kComplete    sim.Kind
+	kSnoopRet    sim.Kind
+	kSnoopNext   sim.Kind
+	kNoise       sim.Kind
+	kPkgIdle     sim.Kind
+	kArrival     sim.Kind // open-loop next arrival
+	kConn        sim.Kind // closed-loop connection dispatch (a0 = conn)
+	kBurst       sim.Kind // bursty ON-window start
+	kBurstArrive sim.Kind // bursty arrival (a0 = window end)
+
+	// Precomputed hot-path constants. All are exactly the values the
+	// unoptimized model recomputed per event (same expressions, same
+	// inputs), hoisted to construction time so the event loop runs free
+	// of math.Pow/table lookups.
+	baseFreqHz   float64
+	turboFreqHz  float64
+	pwrActive    float64 // AtFreq(baseFreq)
+	pwrTurbo     float64 // AtFreq(turbo serviceFreq)
+	spBase       float64 // Speedup(scalability, refFreq, baseFreq)
+	spTurbo      float64 // Speedup(scalability, refFreq, turboFreq)
+	snoopGapMean float64 // 1e9 / SnoopRatePerSec
+	idlePowerW   [cstate.NumStates]float64
+	snoopPowerW  [cstate.NumStates]float64
+	exitPowerW   [cstate.NumStates]float64
+	swExitNS     [cstate.NumStates]sim.Time
+	snoopCohere  [cstate.NumStates]bool
 }
 
 // uncorePower returns the current uncore draw.
@@ -374,14 +464,7 @@ func (s *Sim) coreBecameIdle(now sim.Time) {
 	if !s.cfg.PkgIdleEnabled || s.idleCores < len(s.cores) || s.pkgActive || s.pkgEvent != nil {
 		return
 	}
-	s.pkgEvent = s.eng.Schedule(s.cfg.PkgEntryDelay, func(t sim.Time) {
-		s.pkgEvent = nil
-		if s.idleCores == len(s.cores) && !s.pkgActive {
-			s.pkgActive = true
-			s.pkgIdleStart = t
-			s.uncoreMeter.SetPower(int64(t), s.cfg.PkgUncoreLowW)
-		}
-	})
+	s.pkgEvent = s.eng.ScheduleKind(s.cfg.PkgEntryDelay, s.kPkgIdle, 0, 0)
 }
 
 // coreLeftIdle is called when an idle core starts waking.
@@ -457,6 +540,8 @@ func New(cfg Config) (*Sim, error) {
 	}
 	s.disp = disp
 	s.uncoreMeter = stats.NewEnergyMeter(0, cfg.UncoreW)
+	s.precompute()
+	s.newKinds()
 	for i := 0; i < cfg.Cores; i++ {
 		gov, err := governor.New(cfg.GovernorPolicy, cfg.Catalog)
 		if err != nil {
@@ -476,6 +561,80 @@ func New(cfg Config) (*Sim, error) {
 		s.enterIdle(c, 0)
 	}
 	return s, nil
+}
+
+// precompute hoists the per-event constants out of the hot path. Every
+// value is produced by exactly the expression the per-event code used to
+// evaluate, so results are bit-for-bit unchanged.
+func (s *Sim) precompute() {
+	s.baseFreqHz = s.baseFreq()
+	f := s.cfg.Freq.TurboHz
+	if s.cfg.Platform.AgileWatts {
+		f *= 1 - s.cfg.AWFreqLossFraction
+	}
+	s.turboFreqHz = f
+	s.pwrActive = s.cpower.AtFreq(s.baseFreqHz)
+	s.pwrTurbo = s.cpower.AtFreq(s.turboFreqHz)
+	s.spBase = turbo.Speedup(s.cfg.Profile.FreqScalability, s.cfg.Profile.RefFreqHz, s.baseFreqHz)
+	s.spTurbo = turbo.Speedup(s.cfg.Profile.FreqScalability, s.cfg.Profile.RefFreqHz, s.turboFreqHz)
+	if s.cfg.SnoopRatePerSec > 0 {
+		s.snoopGapMean = 1e9 / s.cfg.SnoopRatePerSec
+	}
+	pwrMin := s.cpower.AtFreq(s.cfg.Freq.MinHz)
+	for id := cstate.ID(0); id < cstate.NumStates; id++ {
+		p := s.cfg.Catalog.Params(id)
+		s.idlePowerW[id] = p.PowerWatts
+		s.snoopPowerW[id] = p.SnoopPowerWatts
+		s.snoopCohere[id] = cstate.ComponentsOf(id).Caches == cstate.CacheCoherent
+		if sw := p.TransitionTime - p.HWEntryLatency - p.HWExitLatency; sw > 0 {
+			s.swExitNS[id] = sw
+		}
+		if p.PStateOnEntry == cstate.Pn {
+			s.exitPowerW[id] = pwrMin
+		} else {
+			s.exitPowerW[id] = s.pwrActive
+		}
+	}
+}
+
+// newKinds registers the typed event handlers — the devirtualized
+// replacements for the per-event closures the model used to allocate.
+// Each handler is one closure over the Sim, created once per run;
+// payload word a0 is the core index, a1 the handler-specific extra.
+func (s *Sim) newKinds() {
+	eng := s.eng
+	s.kEntryDone = eng.RegisterKind(func(now sim.Time, a0, _ uint64) {
+		s.entryDone(s.cores[a0], now)
+	})
+	s.kExitDone = eng.RegisterKind(func(now sim.Time, a0, _ uint64) {
+		s.exitDone(s.cores[a0], now)
+	})
+	s.kComplete = eng.RegisterKind(func(now sim.Time, a0, _ uint64) {
+		s.complete(s.cores[a0], now)
+	})
+	s.kSnoopRet = eng.RegisterKind(func(now sim.Time, a0, gen uint64) {
+		// Return to sleep power only if the core is still resident in
+		// the same idle episode.
+		c := s.cores[a0]
+		if c.snoopGen == gen && c.machine.Phase() == cstate.PhaseIdle {
+			s.setCorePower(c, now, s.idlePowerW[c.machine.State()])
+		}
+	})
+	s.kSnoopNext = eng.RegisterKind(func(now sim.Time, a0, _ uint64) {
+		s.snoopArrive(s.cores[a0], now)
+	})
+	s.kNoise = eng.RegisterKind(func(now sim.Time, a0, _ uint64) {
+		s.noise(s.cores[a0], now)
+	})
+	s.kPkgIdle = eng.RegisterKind(func(now sim.Time, _, _ uint64) {
+		s.pkgEvent = nil
+		if s.idleCores == len(s.cores) && !s.pkgActive {
+			s.pkgActive = true
+			s.pkgIdleStart = now
+			s.uncoreMeter.SetPower(int64(now), s.cfg.PkgUncoreLowW)
+		}
+	})
+	s.gen.register(s)
 }
 
 // traceSwitch reports a residency change to the trace hook, suppressing
@@ -500,16 +659,13 @@ func (s *Sim) baseFreq() float64 {
 	return f
 }
 
-// serviceFreq decides the frequency for a service slice starting now.
-func (s *Sim) serviceFreq() float64 {
+// serviceFreq decides the frequency for a service slice starting now,
+// returning the precomputed active power and speedup factor alongside.
+func (s *Sim) serviceFreq() (freqHz, powerW, speedup float64) {
 	if s.cfg.Platform.Turbo && s.budget.BoostAllowed() {
-		f := s.cfg.Freq.TurboHz
-		if s.cfg.Platform.AgileWatts {
-			f *= 1 - s.cfg.AWFreqLossFraction
-		}
-		return f
+		return s.turboFreqHz, s.pwrTurbo, s.spTurbo
 	}
-	return s.baseFreq()
+	return s.baseFreqHz, s.pwrActive, s.spBase
 }
 
 // setCorePower accounts a power change on core c at time now, updating
@@ -521,40 +677,26 @@ func (s *Sim) setCorePower(c *coreRuntime, now sim.Time, watts float64) {
 	c.meter.SetPower(int64(now), watts)
 }
 
-// idlePower returns the resident power of an idle state (snoop service
-// is accounted event-wise; see snoopArrive).
-func (s *Sim) idlePower(id cstate.ID) float64 {
-	return s.cfg.Catalog.Params(id).PowerWatts
-}
-
 // snoopArrive models one coherence request hitting core c (Sec. 4.2):
 // if the core is resident in a cache-coherent idle state, the CCSM wakes
 // the cache domain for SnoopServiceTime at the state's snoop power, then
 // returns it to sleep. Cores in C6 flushed their caches — the snoop is
 // answered by the uncore snoop filter at no core cost. Active cores
 // serve snoops within their normal operation.
-func (s *Sim) snoopArrive(c *coreRuntime, rng *xrand.Rand, now sim.Time) {
+func (s *Sim) snoopArrive(c *coreRuntime, now sim.Time) {
 	if c.machine.Phase() == cstate.PhaseIdle {
 		st := c.machine.State()
-		if cstate.ComponentsOf(st).Caches == cstate.CacheCoherent {
+		if s.snoopCohere[st] {
 			s.snoopsServed++
-			p := s.cfg.Catalog.Params(st)
-			s.setCorePower(c, now, p.SnoopPowerWatts)
-			gen := c.snoopGen
-			s.eng.Schedule(s.cfg.SnoopServiceTime, func(t sim.Time) {
-				// Return to sleep power only if the core is still resident
-				// in the same idle episode.
-				if c.snoopGen == gen && c.machine.Phase() == cstate.PhaseIdle {
-					s.setCorePower(c, t, s.idlePower(c.machine.State()))
-				}
-			})
+			s.setCorePower(c, now, s.snoopPowerW[st])
+			s.eng.ScheduleKind(s.cfg.SnoopServiceTime, s.kSnoopRet, uint64(c.idx), c.snoopGen)
 		}
 	}
-	gap := sim.Time(rng.Exp(1e9 / s.cfg.SnoopRatePerSec))
+	gap := sim.Time(c.snoopRng.Exp(s.snoopGapMean))
 	if gap < 1 {
 		gap = 1
 	}
-	s.eng.Schedule(gap, func(t sim.Time) { s.snoopArrive(c, rng, t) })
+	s.eng.ScheduleKind(gap, s.kSnoopNext, uint64(c.idx), 0)
 }
 
 // enterIdle runs the governor and starts the entry flow on core c.
@@ -563,13 +705,13 @@ func (s *Sim) enterIdle(c *coreRuntime, now sim.Time) {
 	id := c.gov.Select(now, s.cfg.Platform.Menu)
 	if id == cstate.C0 {
 		// Empty menu: the core polls in C0 at active power.
-		s.setCorePower(c, now, s.cpower.AtFreq(s.baseFreq()))
+		s.setCorePower(c, now, s.pwrActive)
 		return
 	}
 	entry := c.machine.Enter(id, now)
 	// Entry flows burn roughly active power.
-	s.setCorePower(c, now, s.cpower.AtFreq(s.baseFreq()))
-	s.eng.Schedule(entry, func(t sim.Time) { s.entryDone(c, t) })
+	s.setCorePower(c, now, s.pwrActive)
+	s.eng.ScheduleKind(entry, s.kEntryDone, uint64(c.idx), 0)
 }
 
 func (s *Sim) entryDone(c *coreRuntime, now sim.Time) {
@@ -578,42 +720,26 @@ func (s *Sim) entryDone(c *coreRuntime, now sim.Time) {
 	if mustExit {
 		// An arrival landed during entry; the wake penalty also includes
 		// the software exit path.
-		s.setCorePower(c, now, s.exitPower(c.machine.State()))
-		penalty := exitLat + s.swExitOverhead(c.machine.State())
-		if len(c.queue) > 0 {
-			c.queue[0].wake = penalty
+		st := c.machine.State()
+		s.setCorePower(c, now, s.exitPowerW[st])
+		penalty := exitLat + s.swExitNS[st]
+		if c.queue.len() > 0 {
+			c.queue.front().wake = penalty
 		}
-		s.eng.Schedule(penalty, func(t sim.Time) { s.exitDone(c, t) })
+		s.eng.ScheduleKind(penalty, s.kExitDone, uint64(c.idx), 0)
 		return
 	}
-	s.setCorePower(c, now, s.idlePower(c.machine.State()))
+	s.setCorePower(c, now, s.idlePowerW[c.machine.State()])
 	s.coreBecameIdle(now)
 }
 
-// swExitOverhead is the software share of the OS-visible transition time:
-// Table 1's worst case minus the hardware entry+exit flows.
-func (s *Sim) swExitOverhead(id cstate.ID) sim.Time {
-	p := s.cfg.Catalog.Params(id)
-	sw := p.TransitionTime - p.HWEntryLatency - p.HWExitLatency
-	if sw < 0 {
-		return 0
-	}
-	return sw
-}
-
-// exitPower returns the power burned during the wake-up flow from state
-// id: states that idle at the Pn operating point (C1E/C6AE) execute
+// wake is called when work arrives at an idle core. The exit power and
+// software exit overhead come from the per-state tables precompute
+// filled: states that idle at the Pn operating point (C1E/C6AE) execute
 // their exit path — IRQ entry, scheduler, DVFS ramp — at the minimum
 // frequency's active power (~1 W), while P1 states exit at full active
-// power.
-func (s *Sim) exitPower(id cstate.ID) float64 {
-	if s.cfg.Catalog.Params(id).PStateOnEntry == cstate.Pn {
-		return s.cpower.AtFreq(s.cfg.Freq.MinHz)
-	}
-	return s.cpower.AtFreq(s.baseFreq())
-}
-
-// wake is called when work arrives at an idle core.
+// power; the software share is Table 1's worst case minus the hardware
+// entry+exit flows.
 func (s *Sim) wake(c *coreRuntime, now sim.Time) {
 	switch c.machine.Phase() {
 	case cstate.PhaseIdle:
@@ -623,12 +749,12 @@ func (s *Sim) wake(c *coreRuntime, now sim.Time) {
 		c.snoopGen++
 		s.coreLeftIdle(now)
 		s.traceSwitch(c, now, cstate.C0)
-		s.setCorePower(c, now, s.exitPower(state))
-		penalty := exitLat + s.swExitOverhead(state)
-		if len(c.queue) > 0 {
-			c.queue[0].wake = penalty
+		s.setCorePower(c, now, s.exitPowerW[state])
+		penalty := exitLat + s.swExitNS[state]
+		if c.queue.len() > 0 {
+			c.queue.front().wake = penalty
 		}
-		s.eng.Schedule(penalty, func(t sim.Time) { s.exitDone(c, t) })
+		s.eng.ScheduleKind(penalty, s.kExitDone, uint64(c.idx), 0)
 	case cstate.PhaseEntering:
 		c.gov.Observe(now - c.idleStart)
 		c.machine.Wake(now) // deferred until entryDone
@@ -645,7 +771,7 @@ func (s *Sim) wake(c *coreRuntime, now sim.Time) {
 func (s *Sim) exitDone(c *coreRuntime, now sim.Time) {
 	c.machine.ExitComplete(now)
 	s.traceSwitch(c, now, cstate.C0)
-	if len(c.queue) > 0 {
+	if c.queue.len() > 0 {
 		s.startNext(c, now)
 		return
 	}
@@ -655,28 +781,29 @@ func (s *Sim) exitDone(c *coreRuntime, now sim.Time) {
 }
 
 func (s *Sim) startNext(c *coreRuntime, now sim.Time) {
-	req := c.queue[0]
-	c.queue = c.queue[1:]
+	req := c.queue.pop()
+	c.cur = req
 	c.busy = true
-	freq := s.serviceFreq()
-	dur := turbo.ScaleServiceTime(req.demand, s.cfg.Profile.FreqScalability, s.cfg.Profile.RefFreqHz, freq)
+	freq, pwr, sp := s.serviceFreq()
+	dur := sim.Time(float64(req.demand) / sp)
 	if dur < 1 {
 		dur = 1
 	}
-	s.setCorePower(c, now, s.cpower.AtFreq(freq))
+	s.setCorePower(c, now, pwr)
 	if s.col.measuring {
 		c.busyTime += dur
-		if freq > s.baseFreq()+1 {
+		if freq > s.baseFreqHz+1 {
 			c.turboBusyTime += dur
 		}
 		if !req.background {
 			s.col.noteStart(req, now, dur)
 		}
 	}
-	s.eng.Schedule(dur, func(t sim.Time) { s.complete(c, req, t) })
+	s.eng.ScheduleKind(dur, s.kComplete, uint64(c.idx), 0)
 }
 
-func (s *Sim) complete(c *coreRuntime, req request, now sim.Time) {
+func (s *Sim) complete(c *coreRuntime, now sim.Time) {
+	req := c.cur
 	c.busy = false
 	if s.col.measuring && !req.background {
 		s.col.noteComplete(req, now, s.cfg.Profile.SampleNetwork(s.netRand))
@@ -684,7 +811,7 @@ func (s *Sim) complete(c *coreRuntime, req request, now sim.Time) {
 	if req.conn >= 0 {
 		s.gen.OnComplete(s, req.conn, now)
 	}
-	if len(c.queue) > 0 {
+	if c.queue.len() > 0 {
 		s.startNext(c, now)
 		return
 	}
@@ -694,8 +821,7 @@ func (s *Sim) complete(c *coreRuntime, req request, now sim.Time) {
 // dispatch places one request on a core chosen by the dispatch policy.
 func (s *Sim) dispatch(now sim.Time, conn int) {
 	c := s.cores[s.disp.Pick(now, s.cores)]
-	req := request{arrival: now, demand: s.cfg.Profile.Service.Sample(s.svcRand), conn: conn}
-	c.queue = append(c.queue, req)
+	c.queue.push(request{arrival: now, demand: s.cfg.Profile.Service.Sample(s.svcRand), conn: conn})
 	s.col.noteDispatch(c)
 	if !c.busy {
 		s.wake(c, now)
@@ -703,16 +829,16 @@ func (s *Sim) dispatch(now sim.Time, conn int) {
 }
 
 // noise injects one background OS wake-up on core c and reschedules.
-func (s *Sim) noise(c *coreRuntime, rng *xrand.Rand, now sim.Time) {
-	c.queue = append(c.queue, request{arrival: now, demand: s.cfg.OSNoiseDemand, background: true, conn: -1})
+func (s *Sim) noise(c *coreRuntime, now sim.Time) {
+	c.queue.push(request{arrival: now, demand: s.cfg.OSNoiseDemand, background: true, conn: -1})
 	if !c.busy {
 		s.wake(c, now)
 	}
-	gap := sim.Time(rng.Exp(float64(s.cfg.OSNoisePeriod)))
+	gap := sim.Time(c.noiseRng.Exp(float64(s.cfg.OSNoisePeriod)))
 	if gap < sim.Microsecond {
 		gap = sim.Microsecond
 	}
-	s.eng.Schedule(gap, func(t sim.Time) { s.noise(c, rng, t) })
+	s.eng.ScheduleKind(gap, s.kNoise, uint64(c.idx), 0)
 }
 
 // Run executes the configured warmup + measurement and returns results.
@@ -720,18 +846,16 @@ func (s *Sim) Run() Result {
 	s.gen.Start(s)
 	if s.cfg.OSNoisePeriod > 0 {
 		for i, c := range s.cores {
-			rng := xrand.NewStream(s.cfg.Seed, fmt.Sprintf("osnoise/%d", i))
-			first := sim.Time(rng.Exp(float64(s.cfg.OSNoisePeriod)))
-			c := c
-			s.eng.ScheduleAt(first+1, func(t sim.Time) { s.noise(c, rng, t) })
+			c.noiseRng = xrand.NewStream(s.cfg.Seed, fmt.Sprintf("osnoise/%d", i))
+			first := sim.Time(c.noiseRng.Exp(float64(s.cfg.OSNoisePeriod)))
+			s.eng.ScheduleKindAt(first+1, s.kNoise, uint64(c.idx), 0)
 		}
 	}
 	if s.cfg.SnoopRatePerSec > 0 {
 		for i, c := range s.cores {
-			rng := xrand.NewStream(s.cfg.Seed, fmt.Sprintf("snoop/%d", i))
-			first := sim.Time(rng.Exp(1e9/s.cfg.SnoopRatePerSec)) + 1
-			c := c
-			s.eng.ScheduleAt(first, func(t sim.Time) { s.snoopArrive(c, rng, t) })
+			c.snoopRng = xrand.NewStream(s.cfg.Seed, fmt.Sprintf("snoop/%d", i))
+			first := sim.Time(c.snoopRng.Exp(1e9/s.cfg.SnoopRatePerSec)) + 1
+			s.eng.ScheduleKindAt(first, s.kSnoopNext, uint64(c.idx), 0)
 		}
 	}
 	// Warmup.

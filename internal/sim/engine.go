@@ -14,6 +14,14 @@
 // container/heap interface dispatch, shallower than a binary heap for the
 // same size), and fired or canceled Event structs are recycled through a
 // free list, so steady-state scheduling performs no allocation.
+//
+// Hot-path callers avoid closure events entirely: they register a fixed
+// set of typed handlers once (RegisterKind) and schedule events as a
+// (kind, payload) pair (ScheduleKind). Dispatch is then one index into
+// the registration-order jump table — no per-event closure allocation
+// and nothing for the garbage collector to trace per event. RunUntil
+// additionally drains same-timestamp events as a batch, paying the clock
+// bookkeeping once per instant instead of once per event.
 package sim
 
 import (
@@ -52,6 +60,15 @@ func (t Time) String() string { return fmt.Sprintf("%.3fus", t.Micros()) }
 // current simulation time (equal to the event's scheduled time).
 type Handler func(now Time)
 
+// Kind identifies a typed event handler registered with RegisterKind.
+// The zero Kind is reserved for closure events.
+type Kind uint32
+
+// KindHandler is a typed event callback: the fire time plus the two
+// payload words given to ScheduleKind (a core index, a request slot, a
+// generation counter — whatever the registrant packed).
+type KindHandler func(now Time, a0, a1 uint64)
+
 // Event is a scheduled callback. The zero value is invalid; events are
 // created through Engine.Schedule and friends.
 //
@@ -63,10 +80,12 @@ type Handler func(now Time)
 // package-idle timer.
 type Event struct {
 	when     Time
-	priority int
 	seq      uint64
+	a0, a1   uint64 // typed-event payload words
 	fn       Handler
-	index    int // heap index; -1 when not queued
+	priority int32
+	kind     Kind  // 0 = closure event dispatched through fn
+	index    int32 // heap index; -1 when not queued
 	canceled bool
 }
 
@@ -97,25 +116,57 @@ const heapArity = 4
 
 // push appends e and restores the heap property.
 func (q *eventQueue) push(e *Event) {
-	e.index = len(*q)
+	e.index = int32(len(*q))
 	*q = append(*q, e)
-	q.up(e.index)
+	q.up(int(e.index))
 }
 
-// popMin removes and returns the minimum event.
+// popMin removes and returns the minimum event. Instead of moving the
+// last leaf to the root and sifting it all the way down (it almost
+// always belongs near the bottom), the hole left by the root cascades
+// down along minimum-child links — one 4-way comparison per level — and
+// the displaced leaf sifts up from there, which is usually zero moves.
 func (q *eventQueue) popMin() *Event {
 	h := *q
 	min := h[0]
 	last := len(h) - 1
-	h[0] = h[last]
-	h[0].index = 0
+	x := h[last]
 	h[last] = nil
 	*q = h[:last]
 	if last > 0 {
-		q.down(0)
+		(*q).cascade(x)
 	}
 	min.index = -1
 	return min
+}
+
+// cascade fills the hole at the root with minimum children down to a
+// leaf, places x in the final hole, and restores the heap upward.
+func (q eventQueue) cascade(x *Event) {
+	n := len(q)
+	i := 0
+	for {
+		first := i*heapArity + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + heapArity
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if q[c].before(q[min]) {
+				min = c
+			}
+		}
+		q[i] = q[min]
+		q[i].index = int32(i)
+		i = min
+	}
+	q[i] = x
+	x.index = int32(i)
+	q.up(i)
 }
 
 // remove deletes the event at heap index i.
@@ -125,7 +176,7 @@ func (q *eventQueue) remove(i int) {
 	removed := h[i]
 	if i != last {
 		h[i] = h[last]
-		h[i].index = i
+		h[i].index = int32(i)
 	}
 	h[last] = nil
 	*q = h[:last]
@@ -149,12 +200,12 @@ func (q eventQueue) up(i int) bool {
 			break
 		}
 		q[i] = p
-		p.index = i
+		p.index = int32(i)
 		i = parent
 		moved = true
 	}
 	q[i] = e
-	e.index = i
+	e.index = int32(i)
 	return moved
 }
 
@@ -181,11 +232,11 @@ func (q eventQueue) down(i int) {
 			break
 		}
 		q[i] = q[min]
-		q[i].index = i
+		q[i].index = int32(i)
 		i = min
 	}
 	q[i] = e
-	e.index = i
+	e.index = int32(i)
 }
 
 // Engine is a single-threaded discrete-event simulator.
@@ -198,11 +249,28 @@ type Engine struct {
 	// free recycles fired/canceled events so steady-state scheduling does
 	// not allocate.
 	free []*Event
+	// table is the typed-event jump table; index 0 is reserved so a zero
+	// kind always means "closure event".
+	table []KindHandler
+	// batch is the reusable same-timestamp drain buffer (see RunUntil).
+	batch []*Event
 }
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{table: make([]KindHandler, 1, 16)}
+}
+
+// RegisterKind adds fn to the engine's jump table and returns its Kind.
+// Registration is meant to happen once at model construction: the point
+// of typed events is that the per-fire cost is a table index instead of
+// a freshly allocated closure. Registering a nil handler panics.
+func (e *Engine) RegisterKind(fn KindHandler) Kind {
+	if fn == nil {
+		panic("sim: nil kind handler")
+	}
+	e.table = append(e.table, fn)
+	return Kind(len(e.table) - 1)
 }
 
 // Now returns the current simulation time.
@@ -231,16 +299,10 @@ func (e *Engine) ScheduleAtPriority(when Time, priority int, fn Handler) *Event 
 	if fn == nil {
 		panic("sim: nil handler")
 	}
-	e.seq++
-	var ev *Event
-	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
-		e.free[n-1] = nil
-		e.free = e.free[:n-1]
-		*ev = Event{when: when, priority: priority, seq: e.seq, fn: fn, index: -1}
-	} else {
-		ev = &Event{when: when, priority: priority, seq: e.seq, fn: fn, index: -1}
-	}
+	ev := e.alloc()
+	ev.when = when
+	ev.priority = int32(priority)
+	ev.fn = fn
 	e.queue.push(ev)
 	return ev
 }
@@ -253,6 +315,47 @@ func (e *Engine) Schedule(delay Time, fn Handler) *Event {
 	return e.ScheduleAt(e.now+delay, fn)
 }
 
+// ScheduleKindAt queues a typed event at absolute time when. The payload
+// words a0/a1 are handed back to the registered handler verbatim.
+func (e *Engine) ScheduleKindAt(when Time, k Kind, a0, a1 uint64) *Event {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", when, e.now))
+	}
+	if k == 0 || int(k) >= len(e.table) {
+		panic(fmt.Sprintf("sim: unregistered event kind %d", k))
+	}
+	ev := e.alloc()
+	ev.when = when
+	ev.kind = k
+	ev.a0, ev.a1 = a0, a1
+	e.queue.push(ev)
+	return ev
+}
+
+// ScheduleKind queues a typed event after the given delay from now.
+func (e *Engine) ScheduleKind(delay Time, k Kind, a0, a1 uint64) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.ScheduleKindAt(e.now+delay, k, a0, a1)
+}
+
+// alloc returns a zeroed Event (recycled when possible) with the next
+// sequence number and index -1, ready for the caller to fill and push.
+func (e *Engine) alloc() *Event {
+	e.seq++
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = Event{seq: e.seq, index: -1}
+	} else {
+		ev = &Event{seq: e.seq, index: -1}
+	}
+	return ev
+}
+
 // Cancel marks ev as canceled and removes it from the queue. Canceling an
 // already-canceled event is a no-op. Cancel must not be called on an
 // event that has already fired (see the Event lifetime note).
@@ -262,7 +365,7 @@ func (e *Engine) Cancel(ev *Event) {
 	}
 	ev.canceled = true
 	if ev.index >= 0 {
-		e.queue.remove(ev.index)
+		e.queue.remove(int(ev.index))
 		e.recycle(ev)
 	}
 }
@@ -278,6 +381,20 @@ func (e *Engine) recycle(ev *Event) {
 // Stop makes the current Run return after the in-flight handler finishes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// fire dispatches one dequeued event: typed events jump through the
+// table, closure events call fn. The Event is recycled before the
+// handler runs, exactly as the pre-jump-table engine did.
+func (e *Engine) fire(ev *Event) {
+	e.fired++
+	kind, a0, a1, fn := ev.kind, ev.a0, ev.a1, ev.fn
+	e.recycle(ev)
+	if kind != 0 {
+		e.table[kind](e.now, a0, a1)
+	} else {
+		fn(e.now)
+	}
+}
+
 // Step executes the single next event, advancing the clock to its time.
 // It reports false when the queue is empty.
 func (e *Engine) Step() bool {
@@ -289,11 +406,79 @@ func (e *Engine) Step() bool {
 		panic("sim: time went backwards")
 	}
 	e.now = ev.when
-	e.fired++
-	fn := ev.fn
-	e.recycle(ev)
-	fn(e.now)
+	e.fire(ev)
 	return true
+}
+
+// drainBatch executes every event scheduled for the next pending
+// instant. A lone event at the instant — the overwhelmingly common case
+// — takes a short path; otherwise the same-timestamp run is popped into
+// a reusable buffer up front: one clock update and one backwards-check
+// cover the whole run, and the heap repairs happen before handlers push
+// replacement events on top. Events the run's own handlers schedule for
+// the same instant are merged back in priority/sequence order, so the
+// firing order is identical to popping one event at a time.
+func (e *Engine) drainBatch() {
+	q := &e.queue
+	ev := q.popMin()
+	if ev.when < e.now {
+		panic("sim: time went backwards")
+	}
+	e.now = ev.when
+	t := ev.when
+	if len(*q) == 0 || (*q)[0].when != t {
+		e.fire(ev)
+		return
+	}
+	batch := append(e.batch[:0], ev)
+	for len(*q) > 0 && (*q)[0].when == t {
+		batch = append(batch, q.popMin())
+	}
+	for i := 0; i < len(batch); i++ {
+		ev := batch[i]
+		if ev.canceled {
+			// Canceled while waiting in the batch (index -1, so Cancel
+			// could not remove it from the queue itself).
+			e.recycle(ev)
+			continue
+		}
+		// A handler fired earlier in this batch may have scheduled a
+		// new event at this instant that orders before ev.
+		for len(*q) > 0 && (*q)[0].when == t && (*q)[0].before(ev) {
+			e.fire(q.popMin())
+			if e.stopped {
+				break
+			}
+		}
+		if e.stopped {
+			e.requeue(batch[i:])
+			break
+		}
+		if ev.canceled {
+			// A merged event fired just above may have canceled ev.
+			e.recycle(ev)
+			continue
+		}
+		e.fire(ev)
+		if e.stopped {
+			e.requeue(batch[i+1:])
+			break
+		}
+	}
+	e.batch = batch[:0]
+}
+
+// requeue restores unfired batch events to the queue (after Stop). Their
+// original sequence numbers put them back in exactly the order they
+// would have fired.
+func (e *Engine) requeue(rest []*Event) {
+	for _, ev := range rest {
+		if ev.canceled {
+			e.recycle(ev)
+			continue
+		}
+		e.queue.push(ev)
+	}
 }
 
 // RunUntil executes events until the queue is exhausted, Stop is called,
@@ -306,14 +491,15 @@ func (e *Engine) RunUntil(horizon Time) {
 		if len(e.queue) == 0 || e.queue[0].when > horizon {
 			return
 		}
-		e.Step()
+		e.drainBatch()
 	}
 }
 
 // Run executes events until the queue is empty or Stop is called.
 func (e *Engine) Run() {
 	e.stopped = false
-	for !e.stopped && e.Step() {
+	for !e.stopped && len(e.queue) > 0 {
+		e.drainBatch()
 	}
 }
 

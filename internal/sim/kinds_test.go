@@ -1,0 +1,198 @@
+package sim
+
+import "testing"
+
+// --- Typed event kinds ------------------------------------------------------
+
+func TestKindDispatch(t *testing.T) {
+	e := NewEngine()
+	var got []uint64
+	k := e.RegisterKind(func(now Time, a0, a1 uint64) {
+		got = append(got, a0, a1)
+	})
+	e.ScheduleKind(5, k, 7, 9)
+	e.ScheduleKindAt(10, k, 1, 2)
+	e.Run()
+	if len(got) != 4 || got[0] != 7 || got[1] != 9 || got[2] != 1 || got[3] != 2 {
+		t.Fatalf("kind payloads = %v", got)
+	}
+	if e.Fired() != 2 {
+		t.Fatalf("fired = %d", e.Fired())
+	}
+}
+
+func TestKindAndClosureInterleaveInScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	k := e.RegisterKind(func(Time, uint64, uint64) { order = append(order, "kind") })
+	e.ScheduleKind(5, k, 0, 0)
+	e.Schedule(5, func(Time) { order = append(order, "closure") })
+	e.ScheduleKind(5, k, 0, 0)
+	e.Run()
+	want := []string{"kind", "closure", "kind"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestUnregisteredKindPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling an unregistered kind did not panic")
+		}
+	}()
+	e.ScheduleKind(1, Kind(3), 0, 0)
+}
+
+func TestCancelKindEvent(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	k := e.RegisterKind(func(Time, uint64, uint64) { fired = true })
+	ev := e.ScheduleKind(5, k, 0, 0)
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("canceled kind event fired")
+	}
+}
+
+// --- Same-timestamp batch drain ---------------------------------------------
+
+// A handler that schedules another event at the same instant must see it
+// fire after the already queued same-instant events (sequence order), and
+// a lower-priority event scheduled mid-batch must jump ahead.
+func TestBatchMergePreservesTotalOrder(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Schedule(10, func(now Time) {
+		order = append(order, "a")
+		e.ScheduleAt(10, func(Time) { order = append(order, "late") })
+		e.ScheduleAtPriority(10, -1, func(Time) { order = append(order, "urgent") })
+	})
+	e.Schedule(10, func(Time) { order = append(order, "b") })
+	e.Schedule(10, func(Time) { order = append(order, "c") })
+	e.Run()
+	want := []string{"a", "urgent", "b", "c", "late"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// Canceling a same-instant event from an earlier handler in the batch
+// must suppress it even though it was already dequeued.
+func TestCancelWithinBatch(t *testing.T) {
+	e := NewEngine()
+	var victim *Event
+	fired := false
+	e.Schedule(10, func(Time) { e.Cancel(victim) })
+	victim = e.Schedule(10, func(Time) { fired = true })
+	e.Run()
+	if fired {
+		t.Fatal("event canceled within its own batch still fired")
+	}
+	if e.Fired() != 1 {
+		t.Fatalf("fired = %d, want 1", e.Fired())
+	}
+}
+
+// An event canceled by a MERGED same-instant event (scheduled mid-batch
+// with a priority that jumps ahead of the victim) must not fire either:
+// the cancel flag has to be re-checked after the merge loop runs.
+func TestCancelFromMergedEvent(t *testing.T) {
+	e := NewEngine()
+	var victim *Event
+	fired := false
+	e.Schedule(10, func(Time) {
+		// Urgent same-instant event that fires before the victim and
+		// cancels it.
+		e.ScheduleAtPriority(10, -1, func(Time) { e.Cancel(victim) })
+	})
+	victim = e.Schedule(10, func(Time) { fired = true })
+	e.Run()
+	if fired {
+		t.Fatal("event canceled by a merged same-instant event still fired")
+	}
+	if e.Fired() != 2 {
+		t.Fatalf("fired = %d, want 2", e.Fired())
+	}
+}
+
+// Stop mid-batch must leave the unfired remainder queued, in order.
+func TestStopWithinBatch(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(10, func(Time) {
+			order = append(order, i)
+			if i == 1 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if len(order) != 2 {
+		t.Fatalf("fired %v before stop, want [0 1]", order)
+	}
+	if e.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", e.Pending())
+	}
+	e.Run()
+	if len(order) != 5 {
+		t.Fatalf("resume fired %v", order)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("resumed order = %v", order)
+		}
+	}
+}
+
+// --- Allocation regression --------------------------------------------------
+
+// Steady-state event churn must not allocate: the free list recycles
+// Event structs and typed kinds avoid closure captures. A regression
+// here silently reintroduces GC pressure on every simulated event.
+func TestEngineChurnZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	var k Kind
+	k = e.RegisterKind(func(now Time, a0, a1 uint64) {
+		e.ScheduleKind(64, k, a0, a1)
+	})
+	for i := 0; i < 64; i++ {
+		e.ScheduleKind(Time(i), k, 1, 2)
+	}
+	// Warm the queue and free list.
+	for i := 0; i < 256; i++ {
+		e.Step()
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		e.Step()
+	})
+	if avg != 0 {
+		t.Fatalf("event churn allocates %v allocs/op, want 0", avg)
+	}
+}
+
+// Schedule+cancel pairs must also run allocation-free once warm.
+func TestScheduleCancelZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	noop := func(Time) {}
+	for i := 0; i < 64; i++ {
+		e.Cancel(e.Schedule(1000, noop))
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		e.Cancel(e.Schedule(1000, noop))
+	})
+	if avg != 0 {
+		t.Fatalf("schedule+cancel allocates %v allocs/op, want 0", avg)
+	}
+}

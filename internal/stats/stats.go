@@ -21,22 +21,24 @@ type Stream struct {
 	min, max float64
 }
 
-// Add records one sample.
+// Add records one sample. The moment update runs first so the common
+// case (sample inside the seen range) falls through two untaken
+// branches; the first-sample fixup is the cold path.
 func (s *Stream) Add(x float64) {
 	s.n++
-	if s.n == 1 {
-		s.min, s.max = x, x
-	} else {
-		if x < s.min {
-			s.min = x
-		}
-		if x > s.max {
-			s.max = x
-		}
-	}
 	d := x - s.mean
 	s.mean += d / float64(s.n)
 	s.m2 += d * (x - s.mean)
+	if s.n == 1 {
+		s.min, s.max = x, x
+		return
+	}
+	if x < s.min {
+		s.min = x
+	}
+	if x > s.max {
+		s.max = x
+	}
 }
 
 // Count returns the number of samples recorded.
@@ -68,27 +70,44 @@ func (s *Stream) Max() float64 { return s.max }
 // accurate without storing samples.
 type Histogram struct {
 	// subBuckets per power of two; relative error is 1/subBuckets.
+	// Always a power of two, so bucket indexing reduces to float64 bit
+	// surgery (see bucketOf).
 	subBuckets int
-	counts     []uint64
-	n          uint64
-	sum        float64
-	max        float64
-	min        float64
+	// subShift is 52 - log2(subBuckets): shifting a float64's bit
+	// pattern right by subShift leaves the top log2(subBuckets) mantissa
+	// bits — the linear sub-bucket — in the low bits.
+	subShift uint
+	counts   []uint64
+	n        uint64
+	sum      float64
+	max      float64
+	min      float64
 }
 
 // NewHistogram returns a histogram with ~0.8% relative value error.
 func NewHistogram() *Histogram {
-	return &Histogram{subBuckets: 128, min: math.Inf(1)}
+	return &Histogram{subBuckets: 128, subShift: 45, min: math.Inf(1)}
 }
 
+// bucketOf indexes v by pulling the exponent and the top mantissa bits
+// straight out of the float64 representation. For v >= 1 this computes
+// what the previous Floor(Log2(v)) / Pow(2, exp) formulation computed —
+// for v in [2^e, 2^(e+1)) the fraction (v-2^e)/2^e is exact (Sterbenz
+// subtraction, power-of-two division), and truncating it to subBuckets
+// steps selects precisely the top mantissa bits — without the ~50ns of
+// transcendental math per sample. The lone divergence: for the last few
+// ulps below a power of two, Log2 rounded up to the integer and the old
+// code placed the sample one bucket high; the bit trick buckets such
+// values correctly. Hitting one requires a sample within ~2^-50 of a
+// power of two, which no pinned golden (and no realistic run) does.
 func (h *Histogram) bucketOf(v float64) int {
 	if v < 1 {
-		return int(v * float64(h.subBuckets) / 1)
+		return int(v * float64(h.subBuckets))
 	}
-	exp := math.Floor(math.Log2(v))
-	base := math.Pow(2, exp)
-	frac := (v - base) / base // [0,1)
-	return (int(exp)+1)*h.subBuckets + int(frac*float64(h.subBuckets))
+	bits := math.Float64bits(v)
+	exp := int(bits>>52) - 1023
+	sub := int(bits>>h.subShift) & (h.subBuckets - 1)
+	return (exp+1)*h.subBuckets + sub
 }
 
 // valueOf returns a representative (upper-edge midpoint) value for bucket i.
@@ -98,7 +117,7 @@ func (h *Histogram) valueOf(i int) float64 {
 	}
 	exp := i/h.subBuckets - 1
 	sub := i % h.subBuckets
-	base := math.Pow(2, float64(exp))
+	base := math.Ldexp(1, exp)
 	return base * (1 + (float64(sub)+0.5)/float64(h.subBuckets))
 }
 
@@ -109,9 +128,7 @@ func (h *Histogram) Add(v float64) {
 	}
 	b := h.bucketOf(v)
 	if b >= len(h.counts) {
-		grown := make([]uint64, b+1)
-		copy(grown, h.counts)
-		h.counts = grown
+		h.growTo(b)
 	}
 	h.counts[b]++
 	h.n++
@@ -122,6 +139,14 @@ func (h *Histogram) Add(v float64) {
 	if v < h.min {
 		h.min = v
 	}
+}
+
+// growTo extends counts to cover bucket b (outlined to keep Add small
+// enough to inline).
+func (h *Histogram) growTo(b int) {
+	grown := make([]uint64, b+1)
+	copy(grown, h.counts)
+	h.counts = grown
 }
 
 // Count returns the number of recorded samples.
@@ -153,6 +178,8 @@ func (h *Histogram) Min() float64 {
 
 // Quantile returns the value at quantile q in [0,1], approximated to the
 // histogram's relative error. Quantile(0.99) is the paper's tail latency.
+// Callers that need several quantiles of one distribution should use
+// Quantiles, which serves them all from a single bucket scan.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.n == 0 {
 		return 0
@@ -174,6 +201,43 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 	}
 	return h.max
+}
+
+// Quantiles returns the value at each quantile in qs, answering all of
+// them from one cumulative scan of the buckets instead of one scan per
+// quantile. qs must be sorted in non-decreasing order (the natural order
+// every caller already uses: p50, p95, p99, ...); it panics otherwise.
+// Each returned value is bit-identical to Quantile(q).
+func (h *Histogram) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	for i := 1; i < len(qs); i++ {
+		if qs[i] < qs[i-1] {
+			panic("stats: Quantiles input not sorted")
+		}
+	}
+	if h.n == 0 {
+		return out
+	}
+	k := 0
+	for k < len(qs) && qs[k] <= 0 {
+		out[k] = h.Min()
+		k++
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		if k >= len(qs) || qs[k] >= 1 {
+			break
+		}
+		cum += c
+		for k < len(qs) && qs[k] < 1 && cum >= uint64(math.Ceil(qs[k]*float64(h.n))) {
+			out[k] = math.Min(math.Max(h.valueOf(i), h.min), h.max)
+			k++
+		}
+	}
+	for ; k < len(qs); k++ {
+		out[k] = h.Max()
+	}
+	return out
 }
 
 // CDFPoint is one point of a cumulative distribution.
@@ -244,14 +308,16 @@ func NewResidency(labels []string, initial int, start int64) *Residency {
 // previous state. Switching to the current state is a no-op (no
 // transition counted).
 func (r *Residency) Switch(next int, now int64) {
-	if next < 0 || next >= len(r.labels) {
-		panic(fmt.Sprintf("stats: state %d out of range", next))
-	}
 	if now < r.since {
 		panic("stats: residency time went backwards")
 	}
 	if next == r.current {
+		// No-op switches exit before the bounds check: the current state
+		// is always in range, so equality proves next is too.
 		return
+	}
+	if uint(next) >= uint(len(r.labels)) {
+		panic(fmt.Sprintf("stats: state %d out of range", next))
 	}
 	r.timeIn[r.current] += now - r.since
 	r.current = next
@@ -345,35 +411,58 @@ func (m *EnergyMeter) AveragePower(now int64) float64 {
 }
 
 func (m *EnergyMeter) advance(now int64) {
-	if now < m.since {
+	if now <= m.since {
+		if now == m.since {
+			// Repeated updates at one instant (power-change chains at a
+			// single event time) integrate nothing; skip the FP work.
+			return
+		}
 		panic("stats: energy meter time went backwards")
 	}
 	m.joules += m.power * float64(now-m.since) / 1e9
 	m.since = now
 }
 
-// Percentile returns the q-quantile of xs using linear interpolation.
-// It sorts a copy; intended for small offline series in reports/tests.
-func Percentile(xs []float64, q float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
+// SortedSeries is a sorted copy of a data series that serves any number
+// of quantile queries from one sort. Build it once per series instead of
+// calling Percentile repeatedly, which used to copy and re-sort the
+// input on every call.
+type SortedSeries []float64
+
+// NewSortedSeries copies and sorts xs.
+func NewSortedSeries(xs []float64) SortedSeries {
 	cp := append([]float64(nil), xs...)
 	sort.Float64s(cp)
+	return cp
+}
+
+// Percentile returns the q-quantile of the series using linear
+// interpolation (0 for an empty series).
+func (s SortedSeries) Percentile(q float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
 	if q <= 0 {
-		return cp[0]
+		return s[0]
 	}
 	if q >= 1 {
-		return cp[len(cp)-1]
+		return s[len(s)-1]
 	}
-	pos := q * float64(len(cp)-1)
+	pos := q * float64(len(s)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	if lo == hi {
-		return cp[lo]
+		return s[lo]
 	}
 	frac := pos - float64(lo)
-	return cp[lo]*(1-frac) + cp[hi]*frac
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Percentile returns the q-quantile of xs using linear interpolation.
+// It sorts a copy per call; callers needing several quantiles of one
+// series should build a SortedSeries and query it instead.
+func Percentile(xs []float64, q float64) float64 {
+	return NewSortedSeries(xs).Percentile(q)
 }
 
 // MeanOf returns the arithmetic mean of xs (0 for empty input).

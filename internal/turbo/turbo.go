@@ -97,7 +97,12 @@ func NewBudget(sustainedW, capacityJ float64) *Budget {
 // Update advances the integrator to now (ns) with the package power that
 // was drawn since the last update.
 func (b *Budget) Update(nowNS int64, packageW float64) {
-	if nowNS < b.lastNS {
+	if nowNS <= b.lastNS {
+		if nowNS == b.lastNS {
+			// Power-change chains within one event instant integrate
+			// nothing; skip the FP work.
+			return
+		}
 		panic("turbo: budget time went backwards")
 	}
 	dt := float64(nowNS-b.lastNS) / 1e9

@@ -26,6 +26,13 @@ func splitmix64(x uint64) (uint64, uint64) {
 // Rand is a deterministic 64-bit PRNG (xoshiro256**).
 type Rand struct {
 	s [4]uint64
+	// Single-entry memo for LogNormalMeanCV's derived (mu, sigma): a
+	// stream samples one distribution in practice, so the two Logs and
+	// the Sqrt per sample reduce to one comparison. Cache state does not
+	// affect the generated sequence.
+	lnMean, lnCV   float64
+	lnMu, lnSigma  float64
+	lnParamsPrimed bool
 }
 
 // New returns a generator seeded from seed via splitmix64.
@@ -72,7 +79,10 @@ func (r *Rand) Uint64() uint64 {
 
 // Float64 returns a uniform sample in [0, 1).
 func (r *Rand) Float64() float64 {
-	return float64(r.Uint64()>>11) / (1 << 53)
+	// Scaling by 2^-53 instead of dividing by 2^53 is exact either way
+	// (the 53-bit integer scales by a power of two without rounding),
+	// and the multiply is several cycles cheaper.
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
 }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
@@ -121,9 +131,14 @@ func (r *Rand) LogNormalMeanCV(mean, cv float64) float64 {
 	if cv <= 0 {
 		return mean
 	}
-	sigma2 := math.Log(1 + cv*cv)
-	mu := math.Log(mean) - sigma2/2
-	return r.LogNormal(mu, math.Sqrt(sigma2))
+	if !r.lnParamsPrimed || mean != r.lnMean || cv != r.lnCV {
+		sigma2 := math.Log(1 + cv*cv)
+		r.lnMu = math.Log(mean) - sigma2/2
+		r.lnSigma = math.Sqrt(sigma2)
+		r.lnMean, r.lnCV = mean, cv
+		r.lnParamsPrimed = true
+	}
+	return r.LogNormal(r.lnMu, r.lnSigma)
 }
 
 // Pareto returns a bounded Pareto sample with the given shape alpha and

@@ -29,6 +29,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/governor"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -158,6 +159,11 @@ type ServiceRun struct {
 	Connections int
 	// ThinkTimeNS is the mean closed-loop think time (default 1ms).
 	ThinkTimeNS Duration
+	// Schedule, when set, makes the offered load time-varying within the
+	// single run: the open-loop/bursty generator follows the schedule's
+	// phases instead of holding RateQPS. A constant schedule reproduces
+	// the stationary run bit-for-bit.
+	Schedule *Schedule
 }
 
 // RunService simulates the paper's 20-CPU server under the given run
@@ -182,6 +188,7 @@ func RunService(r ServiceRun) (Result, error) {
 		SnoopRatePerSec: r.SnoopRatePerSec,
 		Dispatch:        r.Dispatch,
 		LoadGen:         r.LoadGen,
+		Schedule:        r.Schedule,
 
 		ClosedLoopConnections: r.Connections,
 		ThinkTime:             r.ThinkTimeNS,
@@ -232,11 +239,13 @@ type ClusterRun struct {
 	NodeOverride func(i int, cfg NodeConfig) NodeConfig
 }
 
-// RunCluster simulates a fleet of per-node server simulations behind a
-// cluster-level dispatcher and aggregates the results.
-func RunCluster(r ClusterRun) (ClusterResult, error) {
+// buildFleet applies the fleet defaults and expands the per-node
+// configurations — the shared front half of RunCluster and RunScenario,
+// so scenario fleets can never drift from static fleets for the same
+// ClusterRun. The returned ClusterRun carries the defaulted fields.
+func buildFleet(r ClusterRun) (ClusterRun, []NodeConfig, error) {
 	if r.Nodes < 0 {
-		return ClusterResult{}, fmt.Errorf("agilewatts: negative cluster size %d", r.Nodes)
+		return r, nil, fmt.Errorf("agilewatts: negative cluster size %d", r.Nodes)
 	}
 	if r.Nodes == 0 {
 		r.Nodes = 1
@@ -272,12 +281,121 @@ func RunCluster(r ClusterRun) (ClusterResult, error) {
 			nodes[i] = r.NodeOverride(i, nodes[i])
 		}
 	}
+	return r, nodes, nil
+}
+
+// RunCluster simulates a fleet of per-node server simulations behind a
+// cluster-level dispatcher and aggregates the results.
+func RunCluster(r ClusterRun) (ClusterResult, error) {
+	r, nodes, err := buildFleet(r)
+	if err != nil {
+		return ClusterResult{}, err
+	}
 	return cluster.Run(cluster.Config{
 		Nodes:       nodes,
 		RateQPS:     r.RateQPS,
 		Dispatch:    r.ClusterDispatch,
 		TargetUtil:  r.TargetUtil,
 		ParkDrained: r.ParkDrained,
+	})
+}
+
+// Schedule is a piecewise-linear time-varying load timeline; Phase is
+// one of its segments. See the scenario package constructors re-exported
+// below.
+type (
+	Schedule = scenario.Schedule
+	Phase    = scenario.Phase
+)
+
+// Named scenario shapes accepted by NamedSchedule and ScenarioRun.Scenario.
+const (
+	ScenarioConstant = scenario.NameConstant
+	ScenarioDiurnal  = scenario.NameDiurnal
+	ScenarioSpike    = scenario.NameSpike
+	ScenarioRamp     = scenario.NameRamp
+)
+
+// ScenarioNames lists the named scenario shapes.
+func ScenarioNames() []string { return scenario.Names() }
+
+// NamedSchedule builds a named scenario shape around a base rate:
+// constant, diurnal (compressed sine day, trough first), spike (4x step
+// over the middle fifth), or ramp (0.25x to 1.75x).
+func NamedSchedule(name string, baseQPS float64, total Duration) (*Schedule, error) {
+	return scenario.ByName(name, baseQPS, total)
+}
+
+// NewSchedule assembles a schedule from explicit phases (trace-like
+// piecewise load).
+func NewSchedule(name string, phases ...Phase) (*Schedule, error) {
+	return scenario.New(name, phases...)
+}
+
+// ScenarioResult is a time-varying fleet measurement: per-epoch detail,
+// per-phase aggregation, park/unpark timeline and whole-run totals.
+type ScenarioResult = cluster.ScenarioResult
+
+// ScenarioRun describes one time-varying fleet simulation: the embedded
+// ClusterRun supplies the fleet (nodes, platform, service, policy), and
+// the schedule replaces its static RateQPS. Every EpochNS the cluster
+// dispatcher re-partitions the current window's mean rate, parking and
+// unparking nodes as the load moves.
+type ScenarioRun struct {
+	ClusterRun
+	// Scenario names a built-in shape built around RateQPS as the base
+	// rate (see ScenarioNames). Ignored when Schedule is set.
+	Scenario string
+	// Schedule, when non-nil, is the explicit load timeline.
+	Schedule *Schedule
+	// TotalNS is the scenario length for named shapes (default: the
+	// node measurement window, DurationNS).
+	TotalNS Duration
+	// EpochNS is the re-dispatch interval (default: one epoch spanning
+	// the whole schedule).
+	EpochNS Duration
+	// UnparkLatencyNS / UnparkPowerW parameterize the penalty a parked
+	// node pays when load returns to it (defaults 1ms / 30W).
+	UnparkLatencyNS Duration
+	UnparkPowerW    float64
+}
+
+// RunScenario simulates a fleet under time-varying load with
+// epoch-stepped re-dispatch.
+func RunScenario(r ScenarioRun) (ScenarioResult, error) {
+	run, nodes, err := buildFleet(r.ClusterRun)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	sched := r.Schedule
+	if sched == nil {
+		name := r.Scenario
+		if name == "" {
+			name = ScenarioDiurnal
+		}
+		total := r.TotalNS
+		if total == 0 {
+			total = run.DurationNS
+		}
+		if total == 0 {
+			total = 500 * sim.Millisecond // server.Config default duration
+		}
+		sched, err = scenario.ByName(name, run.RateQPS, total)
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+	}
+	// The template's Duration is irrelevant here: the scenario engine
+	// assigns every node its epoch window length per epoch.
+	return cluster.RunScenario(cluster.ScenarioConfig{
+		Nodes:         nodes,
+		Schedule:      sched,
+		Epoch:         r.EpochNS,
+		Dispatch:      run.ClusterDispatch,
+		TargetUtil:    run.TargetUtil,
+		ParkDrained:   run.ParkDrained,
+		UnparkLatency: r.UnparkLatencyNS,
+		UnparkPowerW:  r.UnparkPowerW,
 	})
 }
 
@@ -310,6 +428,7 @@ const (
 	ExpProportion     = "proportionality" // Sec. 7.1 energy-proportionality framing
 	ExpDispatch       = "dispatch"        // dispatch-policy power/tail trade-off
 	ExpCluster        = "cluster"         // fleet spread-vs-consolidate study
+	ExpScenario       = "scenario"        // time-varying load: diurnal/spike fleet study
 )
 
 // Experiments returns all experiment names in stable order.
@@ -321,7 +440,7 @@ func Experiments() []string {
 		ExpValidation, ExpSnoop,
 		ExpAMD, ExpAblateGovernor, ExpAblateZones, ExpAblatePower, ExpAblateNoise,
 		ExpRaceToHalt, ExpPkgIdle, ExpBreakdown, ExpProportion, ExpDispatch,
-		ExpCluster,
+		ExpCluster, ExpScenario,
 	}
 	sort.Strings(names)
 	return names
@@ -461,6 +580,12 @@ func RunExperiment(name string, o Options, w io.Writer) error {
 			return err
 		}
 		return render(r.Table(), r.CostTable())
+	case ExpScenario:
+		r, err := experiments.Scenario(o)
+		if err != nil {
+			return err
+		}
+		return render(r.PhaseTable(), r.EpochTable())
 	default:
 		return fmt.Errorf("agilewatts: unknown experiment %q (known: %v)", name, Experiments())
 	}

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	awsim [-quick] [-seed N] [-dispatch POLICY] [-loadgen GEN]
-//	      [-nodes N] [-cluster-dispatch POLICY] [experiment ...]
+//	      [-nodes N] [-cluster-dispatch POLICY]
+//	      [-scenario SHAPE] [-epoch-ms N] [experiment ...]
 //
 // With no experiment arguments it runs the full evaluation section
 // (figures 8-13, table 5, validation). -dispatch and -loadgen override
@@ -15,6 +16,12 @@
 // parameterize the fleet-level cluster experiment:
 //
 //	awsim -nodes 8 -cluster-dispatch consolidate cluster
+//
+// -scenario and -epoch-ms parameterize the time-varying scenario
+// experiment (diurnal day by default), which steps the fleet dispatcher
+// every epoch and compares Baseline against AW phase by phase:
+//
+//	awsim -nodes 8 -scenario diurnal -epoch-ms 30 scenario
 package main
 
 import (
@@ -41,6 +48,11 @@ func main() {
 	clusterDispatch := flag.String("cluster-dispatch", "",
 		"cluster load-partitioning policy for the cluster experiment's cost rows: "+
 			strings.Join(agilewatts.ClusterPolicies(), "|"))
+	scenarioName := flag.String("scenario", "",
+		"time-varying load shape for the scenario experiment: "+
+			strings.Join(agilewatts.ScenarioNames(), "|"))
+	epochMS := flag.Int("epoch-ms", 0,
+		"scenario experiment re-dispatch interval in ms (default: schedule/12)")
 	flag.Parse()
 
 	if *list {
@@ -68,6 +80,8 @@ func main() {
 	opts.Connections = *connections
 	opts.Nodes = *nodes
 	opts.ClusterDispatch = *clusterDispatch
+	opts.Scenario = *scenarioName
+	opts.Epoch = agilewatts.Duration(*epochMS) * 1_000_000
 
 	names := flag.Args()
 	if len(names) == 0 {

@@ -11,6 +11,12 @@
 // columns instead:
 //
 //	awsweep -nodes 8 -cluster-dispatch consolidate -rates 10000,100000
+//
+// With -scenario set, each rate point becomes the base rate of a
+// time-varying schedule stepped in -epoch-ms intervals, and the output
+// is the per-epoch fleet timeline (one row per epoch per rate):
+//
+//	awsweep -nodes 8 -scenario diurnal -epoch-ms 30 -rates 800000
 package main
 
 import (
@@ -42,6 +48,11 @@ func main() {
 			strings.Join(agilewatts.ClusterPolicies(), "|"))
 	park := flag.Bool("park-drained", true,
 		"park nodes the cluster policy drains (package deep idle)")
+	scenarioName := flag.String("scenario", "",
+		"time-varying load shape (implies a scenario sweep): "+
+			strings.Join(agilewatts.ScenarioNames(), "|"))
+	epochMS := flag.Int("epoch-ms", 0,
+		"scenario re-dispatch interval in ms (default: one epoch per schedule)")
 	configs := flag.Bool("configs", false, "list configuration names and exit")
 	flag.Parse()
 
@@ -70,8 +81,11 @@ func main() {
 		fatal(err)
 	}
 
+	scenarioMode := *scenarioName != ""
 	clustered := *nodes > 1 || *clusterDispatch != ""
-	if clustered {
+	if scenarioMode {
+		fmt.Println("base_qps,epoch,start_ms,end_ms,phase,rate_qps,active_nodes,parked_nodes,unparks,fleet_w,fleet_qps,qps_per_w,worst_p99_us")
+	} else if clustered {
 		fmt.Println("rate_qps,nodes,active_nodes,idle_nodes,fleet_w,w_per_node,fleet_qps,qps_per_w,server_avg_us,server_p99_us,worst_p99_us,e2e_p99_us")
 	} else {
 		fmt.Println("rate_qps,avg_core_w,package_w,server_avg_us,server_p99_us,e2e_avg_us,e2e_p99_us,c0,c1,c6a,c1e,c6ae,c6,turbo_fraction")
@@ -91,6 +105,31 @@ func main() {
 			Dispatch:        *dispatch,
 			LoadGen:         *loadgen,
 			Connections:     *connections,
+		}
+		if scenarioMode {
+			res, err := agilewatts.RunScenario(agilewatts.ScenarioRun{
+				ClusterRun: agilewatts.ClusterRun{
+					ServiceRun:      run,
+					Nodes:           *nodes,
+					ClusterDispatch: *clusterDispatch,
+					ParkDrained:     *park,
+				},
+				Scenario: *scenarioName,
+				EpochNS:  agilewatts.Duration(*epochMS) * 1_000_000,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			for _, ep := range res.Epochs {
+				fmt.Printf("%.0f,%d,%.1f,%.1f,%s,%.0f,%d,%d,%d,%.2f,%.0f,%.1f,%.2f\n",
+					rate, ep.Epoch,
+					float64(ep.Start)/1e6, float64(ep.End)/1e6,
+					ep.Phase, ep.RateQPS,
+					ep.Fleet.ActiveNodes, ep.Parked, ep.Unparked,
+					ep.Fleet.FleetPowerW, ep.Fleet.CompletedPerSec,
+					ep.Fleet.QPSPerWatt, ep.Fleet.WorstP99US)
+			}
+			continue
 		}
 		if clustered {
 			res, err := agilewatts.RunCluster(agilewatts.ClusterRun{

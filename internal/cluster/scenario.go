@@ -1,0 +1,336 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/runner"
+	"repro/internal/scenario"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+// ScenarioConfig describes a time-varying fleet simulation: the schedule
+// replaces the static RateQPS, and the one-shot load partition becomes
+// an epoch-stepped loop — every Epoch the dispatcher re-partitions the
+// current phase's mean rate across the nodes, so consolidation parks
+// newly drained nodes as load falls and unparks them (paying a
+// configurable latency/power penalty) as it returns.
+type ScenarioConfig struct {
+	// Nodes are the per-node server configurations (see Config.Nodes).
+	// Each node's Duration is overridden per epoch; Warmup is honored per
+	// epoch (re-dispatch reconvergence), and node i's epoch e runs with a
+	// seed mixed from (Seed_i, e) so epochs see independent randomness
+	// while epoch 0 reproduces the node's own seed exactly.
+	Nodes []server.Config
+	// Schedule is the offered-load timeline partitioned across the fleet.
+	Schedule *scenario.Schedule
+	// Epoch is the re-dispatch interval (default: the whole schedule in
+	// one epoch — the degenerate case that reproduces the static Run).
+	Epoch sim.Time
+	// Dispatch, TargetUtil and ParkDrained mirror Config.
+	Dispatch    string
+	TargetUtil  float64
+	ParkDrained bool
+	// UnparkLatency is the time a parked node needs to come back (OS
+	// un-quiesce, package idle exit, service re-warm); requests routed to
+	// it during that window wait at least this long, so it floors the
+	// epoch's worst p99 (default 1ms).
+	UnparkLatency sim.Time
+	// UnparkPowerW is the package power burned during the unpark flow
+	// (default 30W, the full two-socket uncore: the package is awake but
+	// doing no useful work yet).
+	UnparkPowerW float64
+	// Runner executes the node simulations (default runner.Default()).
+	Runner *runner.Runner
+}
+
+// epochSeedStride mixes the epoch index into node seeds (golden-ratio
+// stride, XORed so epoch 0 keeps the node's own seed — that identity is
+// what makes the one-epoch scenario reproduce the static Run
+// bit-for-bit).
+const epochSeedStride = 0x9e3779b97f4a7c15
+
+func epochSeed(seed uint64, epoch int) uint64 {
+	return seed ^ uint64(epoch)*epochSeedStride
+}
+
+// EpochResult is one re-dispatch interval's fleet measurement.
+type EpochResult struct {
+	// Epoch indexes the interval; [Start, End) is its schedule window.
+	Epoch int
+	Start sim.Time
+	End   sim.Time
+	// Phase names the schedule phase covering the window's midpoint.
+	Phase string
+	// RateQPS is the schedule's mean offered rate over the window — what
+	// the dispatcher partitioned.
+	RateQPS float64
+	// Parked counts nodes actually parked this epoch (zero load under
+	// ParkDrained) — distinct from Fleet.IdleNodes, which counts merely
+	// drained nodes whether or not parking is enabled.
+	Parked int
+	// Unparked counts nodes that were parked last epoch and received
+	// load this epoch; UnparkEnergyJ is the penalty energy they burned
+	// (already folded into Fleet.FleetPowerW / FleetEnergyJ).
+	Unparked      int
+	UnparkEnergyJ float64
+	// Fleet is the full fleet aggregate for this window.
+	Fleet Result
+}
+
+// PhaseSummary aggregates the epochs that fell in one schedule phase.
+type PhaseSummary struct {
+	// Phase is the schedule phase name; Epochs counts its epochs.
+	Phase  string
+	Epochs int
+	// Time is the total simulated time attributed to the phase.
+	Time sim.Time
+	// AvgRateQPS is the time-weighted mean offered rate.
+	AvgRateQPS float64
+	// AvgFleetPowerW is the time-weighted mean fleet power.
+	AvgFleetPowerW float64
+	// QPSPerWatt is completions per joule over the phase.
+	QPSPerWatt float64
+	// WorstP99US is the worst per-node server p99 across the phase.
+	WorstP99US float64
+	// AvgParkedNodes is the time-weighted mean parked-node count.
+	AvgParkedNodes float64
+}
+
+// ScenarioResult is the full time-varying fleet measurement: per-epoch
+// detail, per-phase aggregation, and whole-run totals.
+type ScenarioResult struct {
+	// Schedule and Dispatch echo the configuration.
+	Schedule string
+	Dispatch string
+	// Epoch is the re-dispatch interval; TotalTime the schedule length.
+	Epoch     sim.Time
+	TotalTime sim.Time
+
+	// Epochs holds every interval in time order.
+	Epochs []EpochResult
+	// Phases aggregates epochs by schedule phase, in first-seen order.
+	Phases []PhaseSummary
+
+	// FleetEnergyJ is total fleet energy including unpark penalties.
+	FleetEnergyJ float64
+	// AvgFleetPowerW is the time-weighted mean fleet power.
+	AvgFleetPowerW float64
+	// CompletedPerSec is the time-weighted mean fleet throughput.
+	CompletedPerSec float64
+	// QPSPerWatt is completions per joule over the whole scenario.
+	QPSPerWatt float64
+	// WorstP99US is the worst per-node server p99 over any epoch.
+	WorstP99US float64
+	// Unparks counts park->active transitions over the run.
+	Unparks int
+	// ParkedTimeline is the parked-node count per epoch — the
+	// consolidation footprint over the day.
+	ParkedTimeline []int
+}
+
+// Validate rejects unusable scenario configurations.
+func (c ScenarioConfig) Validate() error {
+	if c.Schedule == nil {
+		return fmt.Errorf("cluster: scenario needs a schedule")
+	}
+	if c.Epoch < 0 {
+		return fmt.Errorf("cluster: negative epoch %d", c.Epoch)
+	}
+	if c.UnparkLatency < 0 || c.UnparkPowerW < 0 {
+		return fmt.Errorf("cluster: negative unpark penalty")
+	}
+	// The static validator covers nodes, policy name, TargetUtil and the
+	// closed-loop rejection.
+	return Config{
+		Nodes:      c.Nodes,
+		RateQPS:    0,
+		Dispatch:   c.Dispatch,
+		TargetUtil: c.TargetUtil,
+	}.Validate()
+}
+
+// RunScenario steps the schedule in epochs: each epoch re-partitions the
+// window's mean rate across the nodes under the configured policy, runs
+// every node in parallel, applies park/unpark bookkeeping, and
+// aggregates per-epoch, per-phase and whole-run views.
+func RunScenario(c ScenarioConfig) (ScenarioResult, error) {
+	if c.Dispatch == "" {
+		c.Dispatch = DispatchSpread
+	}
+	if c.TargetUtil == 0 {
+		c.TargetUtil = defaultTargetUtil
+	}
+	if c.UnparkLatency == 0 {
+		c.UnparkLatency = sim.Millisecond
+	}
+	if c.UnparkPowerW == 0 {
+		c.UnparkPowerW = 30
+	}
+	if err := c.Validate(); err != nil {
+		return ScenarioResult{}, err
+	}
+	total := c.Schedule.Duration()
+	if c.Epoch == 0 || c.Epoch > total {
+		c.Epoch = total
+	}
+	part, err := partitioner(c.Dispatch)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	r := c.Runner
+	if r == nil {
+		r = runner.Default()
+	}
+	out := ScenarioResult{
+		Schedule:  c.Schedule.Name(),
+		Dispatch:  c.Dispatch,
+		Epoch:     c.Epoch,
+		TotalTime: total,
+	}
+	parked := make([]bool, len(c.Nodes))
+	for e := 0; ; e++ {
+		t0 := c.Epoch * sim.Time(e)
+		if t0 >= total {
+			break
+		}
+		t1 := t0 + c.Epoch
+		if t1 > total {
+			t1 = total
+		}
+		window := t1 - t0
+		rate := c.Schedule.AvgRate(t0, t1)
+		phase, _ := c.Schedule.PhaseAt(t0 + window/2)
+		rates := part(Config{
+			Nodes:      c.Nodes,
+			RateQPS:    rate,
+			Dispatch:   c.Dispatch,
+			TargetUtil: c.TargetUtil,
+		})
+
+		ep := EpochResult{Epoch: e, Start: t0, End: t1, Phase: phase.Name, RateQPS: rate}
+		nodes := make([]NodeResult, len(c.Nodes))
+		err := r.Each(len(c.Nodes), func(i int) error {
+			cfg := c.Nodes[i]
+			cfg.RatePerSec = rates[i]
+			cfg.Duration = window
+			cfg.Seed = epochSeed(cfg.Seed, e)
+			isParked := false
+			if c.ParkDrained && rates[i] == 0 {
+				cfg = park(cfg)
+				isParked = true
+			}
+			res, err := r.Run(cfg)
+			if err != nil {
+				return fmt.Errorf("cluster: epoch %d node %d: %w", e, i, err)
+			}
+			nodes[i] = NodeResult{Node: i, RateQPS: rates[i], Parked: isParked, Result: res}
+			return nil
+		})
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+
+		// Park/unpark bookkeeping against the previous epoch's state.
+		for i := range nodes {
+			if nodes[i].Parked {
+				ep.Parked++
+			}
+			if parked[i] && rates[i] > 0 {
+				ep.Unparked++
+			}
+			parked[i] = nodes[i].Parked
+		}
+		ep.Fleet = aggregate(Config{
+			Nodes:       c.Nodes,
+			RateQPS:     rate,
+			Dispatch:    c.Dispatch,
+			TargetUtil:  c.TargetUtil,
+			ParkDrained: c.ParkDrained,
+		}, nodes)
+		winSec := float64(window) / 1e9
+		if ep.Unparked > 0 {
+			// The unpark flow burns UnparkPowerW for UnparkLatency per
+			// node before any request is served; fold the energy into the
+			// epoch's fleet power, and floor the epoch's worst p99 with
+			// the latency the first routed requests had to absorb.
+			ep.UnparkEnergyJ = float64(ep.Unparked) * float64(c.UnparkLatency) / 1e9 * c.UnparkPowerW
+			ep.Fleet.FleetEnergyJ += ep.UnparkEnergyJ
+			ep.Fleet.FleetPowerW += ep.UnparkEnergyJ / winSec
+			if ep.Fleet.FleetPowerW > 0 {
+				ep.Fleet.QPSPerWatt = ep.Fleet.CompletedPerSec / ep.Fleet.FleetPowerW
+			}
+			if lat := float64(c.UnparkLatency) / 1e3; ep.Fleet.WorstP99US < lat {
+				ep.Fleet.WorstP99US = lat
+			}
+		}
+
+		out.Epochs = append(out.Epochs, ep)
+		out.ParkedTimeline = append(out.ParkedTimeline, ep.Parked)
+		out.Unparks += ep.Unparked
+	}
+	out.finish()
+	return out, nil
+}
+
+// finish derives the per-phase and whole-run aggregates from the epochs.
+func (r *ScenarioResult) finish() {
+	type phaseAcc struct {
+		rateSec     float64 // rate * seconds
+		energyJ     float64
+		completions float64
+		parkedSec   float64
+	}
+	var totalSec, energy, completions float64
+	phaseIdx := map[string]int{}
+	var accs []phaseAcc
+	for ei := range r.Epochs {
+		ep := &r.Epochs[ei]
+		winSec := float64(ep.End-ep.Start) / 1e9
+		totalSec += winSec
+		energy += ep.Fleet.FleetPowerW * winSec
+		completions += ep.Fleet.CompletedPerSec * winSec
+		if ep.Fleet.WorstP99US > r.WorstP99US {
+			r.WorstP99US = ep.Fleet.WorstP99US
+		}
+
+		pi, ok := phaseIdx[ep.Phase]
+		if !ok {
+			pi = len(r.Phases)
+			phaseIdx[ep.Phase] = pi
+			r.Phases = append(r.Phases, PhaseSummary{Phase: ep.Phase})
+			accs = append(accs, phaseAcc{})
+		}
+		p, a := &r.Phases[pi], &accs[pi]
+		p.Epochs++
+		p.Time += ep.End - ep.Start
+		a.rateSec += ep.RateQPS * winSec
+		a.energyJ += ep.Fleet.FleetPowerW * winSec
+		a.completions += ep.Fleet.CompletedPerSec * winSec
+		a.parkedSec += float64(ep.Parked) * winSec
+		if ep.Fleet.WorstP99US > p.WorstP99US {
+			p.WorstP99US = ep.Fleet.WorstP99US
+		}
+	}
+	for i := range r.Phases {
+		p, a := &r.Phases[i], &accs[i]
+		sec := float64(p.Time) / 1e9
+		if sec <= 0 {
+			continue
+		}
+		p.AvgRateQPS = a.rateSec / sec
+		p.AvgFleetPowerW = a.energyJ / sec
+		p.AvgParkedNodes = a.parkedSec / sec
+		if a.energyJ > 0 {
+			p.QPSPerWatt = a.completions / a.energyJ
+		}
+	}
+	if totalSec > 0 {
+		r.FleetEnergyJ = energy
+		r.AvgFleetPowerW = energy / totalSec
+		r.CompletedPerSec = completions / totalSec
+	}
+	if energy > 0 {
+		r.QPSPerWatt = completions / energy
+	}
+}

@@ -54,7 +54,16 @@ type Options struct {
 	// ClusterDispatch is the cluster-level load partitioning policy the
 	// cluster experiment's cost comparison runs under (default spread;
 	// see cluster.Policies). The policy table always sweeps all policies.
+	// The scenario experiment also honors it (default spread there, the
+	// policy under which the trough-vs-peak savings contrast is
+	// sharpest; use consolidate to study the parking timeline).
 	ClusterDispatch string
+	// Scenario names the time-varying load shape of the scenario
+	// experiment (default diurnal; see scenario.Names).
+	Scenario string
+	// Epoch is the scenario experiment's fleet re-dispatch interval
+	// (default Duration/12 — one epoch per diurnal segment).
+	Epoch sim.Time
 }
 
 // DefaultOptions returns full-fidelity settings.

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/governor"
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// scenarioBaseQPSPerNode is the per-node base rate the named scenarios
+// swing around (multiplied by the fleet size). At 800K QPS per 20-core
+// node the diurnal day spans the whole interesting band: the trough
+// (0.4x, ~14% utilization) is deep in the idle-dominated regime where
+// AW earns its keep, the peak (1.6x, ~57%) is busy enough that idle
+// states barely matter, and under consolidate the peak overflows the
+// fill level so the day parks nodes at night and unparks them by noon.
+const scenarioBaseQPSPerNode = 800e3
+
+// ScenarioExpResult compares a Baseline fleet against an AW fleet over
+// one time-varying load scenario, epoch by epoch. It answers the
+// question the stationary sweeps cannot: how do the savings move as the
+// fleet's utilization moves through the day — is AW a trough
+// optimization, a peak optimization, or both?
+type ScenarioExpResult struct {
+	// Name is the scenario shape; Nodes the fleet size.
+	Name  string
+	Nodes int
+	// Epoch is the re-dispatch interval; Total the scenario length.
+	Epoch sim.Time
+	Total sim.Time
+	// Dispatch is the cluster policy both fleets ran under.
+	Dispatch string
+	// Baseline and AW are the two fleets' scenario measurements, epoch
+	// windows aligned.
+	Baseline cluster.ScenarioResult
+	AW       cluster.ScenarioResult
+}
+
+// Scenario runs the named time-varying scenario (default diurnal) on a
+// Baseline fleet and an AW fleet under the same schedule and epoch, so
+// every table row is a like-for-like comparison of the same load window.
+func Scenario(o Options) (ScenarioExpResult, error) {
+	o = o.normalize()
+	name := o.Scenario
+	if name == "" {
+		name = scenario.NameDiurnal
+	}
+	total := o.Duration
+	epoch := o.Epoch
+	if epoch == 0 {
+		// Default: one epoch per diurnal segment (total/12) — fine
+		// enough to follow the day, coarse enough to stay cheap.
+		epoch = total / 12
+	}
+	sched, err := scenario.ByName(name, scenarioBaseQPSPerNode*float64(o.Nodes), total)
+	if err != nil {
+		return ScenarioExpResult{}, err
+	}
+	// Default spread: every node rides the full utilization swing, which
+	// is where the trough-vs-peak AW savings contrast lives (consolidate
+	// pins active nodes near TargetUtil and flattens it — run with
+	// -cluster-dispatch consolidate to study the parking timeline
+	// instead).
+	dispatch := o.ClusterDispatch
+	if dispatch == "" {
+		dispatch = cluster.DispatchSpread
+	}
+	out := ScenarioExpResult{
+		Name:     name,
+		Nodes:    o.Nodes,
+		Epoch:    epoch,
+		Total:    total,
+		Dispatch: dispatch,
+	}
+	profile := workload.Memcached()
+	fleet := func(platform governor.Config) (cluster.ScenarioResult, error) {
+		node := server.Config{
+			Platform: platform,
+			Profile:  profile,
+			Warmup:   o.Warmup,
+			Seed:     o.Seed,
+			Dispatch: o.Dispatch,
+			LoadGen:  o.LoadGen,
+		}
+		res, err := cluster.RunScenario(cluster.ScenarioConfig{
+			Nodes:       cluster.Homogeneous(o.Nodes, node),
+			Schedule:    sched,
+			Epoch:       epoch,
+			Dispatch:    dispatch,
+			ParkDrained: dispatch == cluster.DispatchConsolidate,
+		})
+		if err != nil {
+			return cluster.ScenarioResult{}, fmt.Errorf("experiments: scenario %s/%s: %w",
+				name, platform.Name, err)
+		}
+		return res, nil
+	}
+	if out.Baseline, err = fleet(governor.Baseline); err != nil {
+		return out, err
+	}
+	if out.AW, err = fleet(governor.AW); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// PhaseTable renders the per-phase Baseline-vs-AW comparison — the
+// trough-versus-peak savings answer.
+func (r ScenarioExpResult) PhaseTable() *report.Table {
+	t := &report.Table{
+		Title: fmt.Sprintf("Scenario %q: Baseline vs AW per phase (%d nodes, %s, Memcached)",
+			r.Name, r.Nodes, r.Dispatch),
+		Headers: []string{"Phase", "Rate (KQPS)", "Base W", "AW W", "Save W", "Save %",
+			"Base p99", "AW p99", "Parked B/A"},
+	}
+	for i, b := range r.Baseline.Phases {
+		if i >= len(r.AW.Phases) {
+			break
+		}
+		a := r.AW.Phases[i]
+		save := b.AvgFleetPowerW - a.AvgFleetPowerW
+		pct := 0.0
+		if b.AvgFleetPowerW > 0 {
+			pct = save / b.AvgFleetPowerW
+		}
+		t.AddRow(b.Phase, fmt.Sprintf("%.0f", b.AvgRateQPS/1000),
+			report.W(b.AvgFleetPowerW), report.W(a.AvgFleetPowerW),
+			report.W(save), report.Pct(pct),
+			report.US(b.WorstP99US), report.US(a.WorstP99US),
+			fmt.Sprintf("%.1f/%.1f", b.AvgParkedNodes, a.AvgParkedNodes))
+	}
+	bt, at := r.Baseline, r.AW
+	save := bt.AvgFleetPowerW - at.AvgFleetPowerW
+	pct := 0.0
+	if bt.AvgFleetPowerW > 0 {
+		pct = save / bt.AvgFleetPowerW
+	}
+	t.AddRow("TOTAL", fmt.Sprintf("%.0f", avgRateOf(bt)/1000),
+		report.W(bt.AvgFleetPowerW), report.W(at.AvgFleetPowerW),
+		report.W(save), report.Pct(pct),
+		report.US(bt.WorstP99US), report.US(at.WorstP99US),
+		fmt.Sprintf("%d/%d", bt.Unparks, at.Unparks))
+	t.Notes = append(t.Notes,
+		"both fleets see the identical phase schedule; epochs re-partition the",
+		"load every "+fmt.Sprintf("%.0fms", float64(r.Epoch)/1e6)+" (TOTAL row: parked column shows unpark transitions)")
+	return t
+}
+
+// EpochTable renders the epoch timeline — the raw re-dispatch trace.
+func (r ScenarioExpResult) EpochTable() *report.Table {
+	t := &report.Table{
+		Title: fmt.Sprintf("Scenario %q: epoch timeline (%d nodes, %s)",
+			r.Name, r.Nodes, r.Dispatch),
+		Headers: []string{"Epoch", "Window (ms)", "Phase", "Rate (KQPS)",
+			"Base W", "AW W", "Base QPS/W", "AW QPS/W", "Parked B/A", "Unparks B/A"},
+	}
+	for i, b := range r.Baseline.Epochs {
+		if i >= len(r.AW.Epochs) {
+			break
+		}
+		a := r.AW.Epochs[i]
+		t.AddRow(fmt.Sprintf("%d", b.Epoch),
+			fmt.Sprintf("%.0f-%.0f", float64(b.Start)/1e6, float64(b.End)/1e6),
+			b.Phase, fmt.Sprintf("%.0f", b.RateQPS/1000),
+			report.W(b.Fleet.FleetPowerW), report.W(a.Fleet.FleetPowerW),
+			fmt.Sprintf("%.0f", b.Fleet.QPSPerWatt), fmt.Sprintf("%.0f", a.Fleet.QPSPerWatt),
+			fmt.Sprintf("%d/%d", b.Parked, a.Parked),
+			fmt.Sprintf("%d/%d", b.Unparked, a.Unparked))
+	}
+	t.Notes = append(t.Notes,
+		"parked counts are nodes the dispatcher drained into package deep idle;",
+		"unparks are park->active transitions paying the unpark latency/power penalty")
+	return t
+}
+
+// avgRateOf recovers the scenario's time-weighted mean offered rate.
+func avgRateOf(r cluster.ScenarioResult) float64 {
+	var rateSec, sec float64
+	for _, ep := range r.Epochs {
+		w := float64(ep.End-ep.Start) / 1e9
+		rateSec += ep.RateQPS * w
+		sec += w
+	}
+	if sec <= 0 {
+		return 0
+	}
+	return rateSec / sec
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// scenarioQuick keeps the fleet small and the windows short.
+func scenarioQuick() Options {
+	o := QuickOptions()
+	o.Duration = 120 * sim.Millisecond
+	o.Warmup = 5 * sim.Millisecond
+	o.Nodes = 2
+	o.Epoch = 20 * sim.Millisecond
+	return o
+}
+
+// TestScenarioDiurnalTroughVsPeakSavings is the experiment's acceptance
+// criterion: over a diurnal day, the AW-vs-Baseline savings fraction
+// must differ measurably between the trough and the peak — deep idle
+// states earn their keep when utilization is low, which is exactly what
+// the stationary sweep at one rate cannot show.
+func TestScenarioDiurnalTroughVsPeakSavings(t *testing.T) {
+	o := scenarioQuick()
+	o.Scenario = scenario.NameDiurnal
+	r, err := Scenario(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != scenario.NameDiurnal || len(r.Baseline.Phases) == 0 {
+		t.Fatalf("unexpected result shape: %+v", r)
+	}
+	if len(r.Baseline.Phases) != len(r.AW.Phases) {
+		t.Fatalf("phase lists misaligned: %d vs %d", len(r.Baseline.Phases), len(r.AW.Phases))
+	}
+	// Locate trough and peak by offered rate.
+	ti, pi := 0, 0
+	for i, p := range r.Baseline.Phases {
+		if p.AvgRateQPS < r.Baseline.Phases[ti].AvgRateQPS {
+			ti = i
+		}
+		if p.AvgRateQPS > r.Baseline.Phases[pi].AvgRateQPS {
+			pi = i
+		}
+	}
+	frac := func(i int) float64 {
+		b, a := r.Baseline.Phases[i], r.AW.Phases[i]
+		if b.AvgFleetPowerW <= 0 {
+			t.Fatalf("phase %s has no baseline power", b.Phase)
+		}
+		return (b.AvgFleetPowerW - a.AvgFleetPowerW) / b.AvgFleetPowerW
+	}
+	troughSave, peakSave := frac(ti), frac(pi)
+	if troughSave <= 0 {
+		t.Errorf("AW saves nothing at the trough (%.1f%%)", troughSave*100)
+	}
+	// "Measurably different": at least 1.2x apart in relative terms.
+	if troughSave < peakSave*1.2 {
+		t.Errorf("trough savings %.1f%% not measurably above peak savings %.1f%%",
+			troughSave*100, peakSave*100)
+	}
+}
+
+func TestScenarioSpikeRendersTables(t *testing.T) {
+	o := scenarioQuick()
+	o.Scenario = scenario.NameSpike
+	r, err := Scenario(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := r.PhaseTable().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.EpochTable().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"spike", "TOTAL", "Epoch", "Unparks"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered tables missing %q:\n%s", want, out)
+		}
+	}
+	// Epoch windows must tile the schedule.
+	if got := len(r.Baseline.Epochs); got != 6 {
+		t.Errorf("epochs = %d, want 6 (120ms / 20ms)", got)
+	}
+}
+
+func TestScenarioUnknownNameFails(t *testing.T) {
+	o := scenarioQuick()
+	o.Scenario = "heatwave"
+	if _, err := Scenario(o); err == nil {
+		t.Error("unknown scenario name accepted")
+	}
+}

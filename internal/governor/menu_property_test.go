@@ -1,0 +1,131 @@
+package governor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cstate"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// TestMenuGovernorSelectionRespectsPredictionBound is the menu
+// governor's core invariant: whatever the observation history, the
+// selected state's target residency never exceeds the governor's
+// prediction-adjusted bound — unless nothing in the menu qualifies, in
+// which case the fallback must be the menu's shallowest state. The
+// cases drive seeded random idle sequences through several menus, so
+// failures reproduce exactly.
+func TestMenuGovernorSelectionRespectsPredictionBound(t *testing.T) {
+	cat := cstate.Skylake()
+	menus := map[string][]cstate.ID{
+		"legacy": {cstate.C1, cstate.C1E, cstate.C6},
+		"aw":     {cstate.C6A, cstate.C6AE, cstate.C6},
+		"mixed":  {cstate.C1, cstate.C6A, cstate.C1E, cstate.C6AE, cstate.C6},
+		"single": {cstate.C6},
+	}
+	cases := []struct {
+		name string
+		seed uint64
+		// meanIdle shapes the observation distribution (ns).
+		meanIdle float64
+		observes int
+	}{
+		{"short-idles", 1, 2e3, 200},
+		{"medium-idles", 2, 50e3, 200},
+		{"long-idles", 3, 2e6, 200},
+		{"mixed-regime", 4, 100e3, 500},
+	}
+	shallowest := func(menu []cstate.ID) cstate.ID {
+		best := menu[0]
+		for _, id := range menu[1:] {
+			if cat.Params(id).PowerWatts > cat.Params(best).PowerWatts {
+				best = id
+			}
+		}
+		return best
+	}
+	for _, tc := range cases {
+		for menuName, menu := range menus {
+			g := NewMenuGovernor(cat)
+			r := xrand.NewStream(tc.seed, "menu-prop/"+tc.name+"/"+menuName)
+			for i := 0; i < tc.observes; i++ {
+				// Exponential idles around the regime mean, with occasional
+				// 100x outliers to stress the last-value correction.
+				idle := r.Exp(tc.meanIdle)
+				if r.Bernoulli(0.05) {
+					idle *= 100
+				}
+				g.Observe(sim.Time(idle))
+				sel := g.Select(0, menu)
+				bound := g.Predict()
+				if cat.Params(sel).TargetResidency <= bound {
+					continue // within the prediction-adjusted bound
+				}
+				// Over-bound selection is only legal as the shallowest
+				// fallback when nothing in the menu fits the prediction.
+				if sel != shallowest(menu) {
+					t.Fatalf("%s/%s obs %d: selected %v (target %v) over prediction %v, and %v is not the shallowest fallback",
+						tc.name, menuName, i, sel, cat.Params(sel).TargetResidency, bound, sel)
+				}
+				for _, id := range menu {
+					if cat.Params(id).TargetResidency <= bound {
+						t.Fatalf("%s/%s obs %d: fell back to %v although %v fits prediction %v",
+							tc.name, menuName, i, sel, id, bound)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMenuGovernorEWMAConvergence pins the estimator's dynamics:
+// observing a constant idle duration converges the EWMA to it
+// geometrically (error shrinks by 1-alpha per step), and the prediction
+// equals the observed value at convergence, from any starting history.
+func TestMenuGovernorEWMAConvergence(t *testing.T) {
+	cat := cstate.Skylake()
+	cases := []struct {
+		name    string
+		warmup  []sim.Time // pre-convergence history
+		target  sim.Time   // constant observation to converge to
+		maxObs  int        // observations allowed to converge
+		withinF float64    // relative tolerance at maxObs
+	}{
+		{"cold-to-50us", nil, 50 * sim.Microsecond, 1, 0},
+		{"short-to-long", []sim.Time{2e3, 3e3, 2e3}, 2 * sim.Millisecond, 60, 1e-6},
+		{"long-to-short", []sim.Time{5e6, 4e6, 6e6}, 10 * sim.Microsecond, 60, 1e-6},
+		{"noisy-to-medium", []sim.Time{1e3, 9e6, 2e3, 8e6}, 100 * sim.Microsecond, 80, 1e-6},
+	}
+	for _, tc := range cases {
+		g := NewMenuGovernor(cat)
+		for _, w := range tc.warmup {
+			g.Observe(w)
+		}
+		target := float64(tc.target)
+		prevErr := math.Inf(1)
+		for i := 0; i < tc.maxObs; i++ {
+			g.Observe(tc.target)
+			err := math.Abs(g.ewma - target)
+			// Monotone contraction: each constant observation must shrink
+			// the EWMA error (strictly, until it hits float resolution).
+			if err > prevErr {
+				t.Fatalf("%s: EWMA error grew at obs %d: %g -> %g", tc.name, i, prevErr, err)
+			}
+			prevErr = err
+		}
+		if rel := prevErr / target; rel > tc.withinF {
+			t.Errorf("%s: after %d constant observations EWMA off by %g (rel %g)",
+				tc.name, tc.maxObs, prevErr, rel)
+		}
+		// At convergence last == ewma == target, so the prediction is the
+		// observed idle itself.
+		if tc.withinF == 0 {
+			if got := g.Predict(); got != tc.target {
+				t.Errorf("%s: cold-start Predict = %v, want %v", tc.name, got, tc.target)
+			}
+		} else if got := g.Predict(); math.Abs(float64(got)-target)/target > 1e-3 {
+			t.Errorf("%s: converged Predict = %v, want ~%v", tc.name, got, tc.target)
+		}
+	}
+}

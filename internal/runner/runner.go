@@ -118,6 +118,7 @@ type keyData struct {
 	PkgUncoreLowW         float64
 	ClosedLoopConnections int
 	ThinkTime             sim.Time
+	Schedule              string
 }
 
 // Key returns the memoization key for cfg and whether cfg is cacheable.
@@ -135,6 +136,12 @@ func Key(cfg server.Config) (string, bool) {
 		return "", false
 	}
 	cfg = cfg.Defaults() // normalize; the injected Catalog is not keyed
+	var sched string
+	if cfg.Schedule != nil {
+		// A schedule's fingerprint fully determines its rate function, so
+		// scheduled runs stay memoizable.
+		sched = cfg.Schedule.Fingerprint()
+	}
 	return fmt.Sprintf("%+v", keyData{
 		Cores:                 cfg.Cores,
 		Platform:              cfg.Platform,
@@ -164,6 +171,7 @@ func Key(cfg server.Config) (string, bool) {
 		PkgUncoreLowW:         cfg.PkgUncoreLowW,
 		ClosedLoopConnections: cfg.ClosedLoopConnections,
 		ThinkTime:             cfg.ThinkTime,
+		Schedule:              sched,
 	}), true
 }
 

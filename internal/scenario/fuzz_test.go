@@ -1,0 +1,141 @@
+package scenario
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// decodePhases turns fuzz bytes into a phase list: 17 bytes per phase
+// (8 duration, 4+4 rates, 1 name index). The decoder intentionally
+// produces hostile values — zero/negative durations, huge rates,
+// overflowing totals — because New must either reject the list or hand
+// back a schedule whose invariants hold.
+func decodePhases(data []byte) []Phase {
+	const rec = 17
+	var phases []Phase
+	for i := 0; i+rec <= len(data) && len(phases) < 64; i += rec {
+		d := int64(binary.LittleEndian.Uint64(data[i : i+8]))
+		r0 := float64(binary.LittleEndian.Uint32(data[i+8 : i+12]))
+		r1 := float64(binary.LittleEndian.Uint32(data[i+12 : i+16]))
+		// Exercise the negative-rate rejection path too.
+		if data[i+16]&0x80 != 0 {
+			r0 = -r0
+		}
+		phases = append(phases, Phase{
+			Name:      string(rune('a' + data[i+16]%26)),
+			Duration:  sim.Time(d),
+			StartRate: r0,
+			EndRate:   r1,
+		})
+	}
+	return phases
+}
+
+// FuzzScheduleInvariants drives arbitrary phase lists through the
+// schedule and asserts the invariants the epoch-stepped cluster
+// dispatcher relies on:
+//
+//  1. Conservation: the expected request count over the full schedule
+//     equals the sum over any epoch partition of it (no requests created
+//     or lost at epoch boundaries).
+//  2. Non-negative rates everywhere.
+//  3. Phase start times strictly increasing and consistent with the
+//     phase durations (in-order, gap-free coverage).
+func FuzzScheduleInvariants(f *testing.F) {
+	seed := func(phases ...Phase) {
+		data := make([]byte, 0, len(phases)*17)
+		for _, p := range phases {
+			var buf [17]byte
+			binary.LittleEndian.PutUint64(buf[0:8], uint64(p.Duration))
+			binary.LittleEndian.PutUint32(buf[8:12], uint32(p.StartRate))
+			binary.LittleEndian.PutUint32(buf[12:16], uint32(p.EndRate))
+			data = append(data, buf[:]...)
+		}
+		f.Add(data, uint16(4))
+	}
+	seed(Phase{Duration: sim.Second, StartRate: 100e3, EndRate: 100e3})
+	seed(
+		Phase{Duration: 100 * sim.Millisecond, StartRate: 0, EndRate: 250e3},
+		Phase{Duration: 50 * sim.Millisecond, StartRate: 250e3, EndRate: 250e3},
+		Phase{Duration: 200 * sim.Millisecond, StartRate: 250e3, EndRate: 0},
+	)
+	seed(Phase{Duration: 1, StartRate: 0, EndRate: 0})
+
+	f.Fuzz(func(t *testing.T, data []byte, epochs16 uint16) {
+		phases := decodePhases(data)
+		s, err := New("fuzz", phases...)
+		if err != nil {
+			return // rejected lists are out of contract
+		}
+		total := s.Duration()
+		if total <= 0 {
+			t.Fatal("accepted schedule with non-positive duration")
+		}
+
+		// (3) Phase starts strictly increase and tile the timeline.
+		var cursor sim.Time
+		for i, p := range s.Phases() {
+			if s.PhaseStart(i) != cursor {
+				t.Fatalf("phase %d starts at %d, want %d (out-of-order or gapped)",
+					i, s.PhaseStart(i), cursor)
+			}
+			if i > 0 && s.PhaseStart(i) <= s.PhaseStart(i-1) {
+				t.Fatalf("phase starts not strictly increasing at %d", i)
+			}
+			cursor += p.Duration
+		}
+		if cursor != total {
+			t.Fatalf("durations sum to %d, Duration() says %d", cursor, total)
+		}
+
+		// (2) Non-negative, finite rates at boundaries, interior points
+		// and outside the schedule.
+		probes := []sim.Time{-1, 0, total / 3, total / 2, total - 1, total, total + 1000}
+		for i := range s.Phases() {
+			probes = append(probes, s.PhaseStart(i))
+		}
+		for _, at := range probes {
+			r := s.RateAt(at)
+			if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+				t.Fatalf("RateAt(%d) = %v", at, r)
+			}
+		}
+
+		// (1) Conservation across an arbitrary epoch partition.
+		nEpochs := int(epochs16%32) + 1
+		epoch := total / sim.Time(nEpochs)
+		if epoch <= 0 {
+			epoch = 1
+		}
+		whole := s.Requests(0, total)
+		if whole < 0 || math.IsNaN(whole) || math.IsInf(whole, 0) {
+			t.Fatalf("Requests(0,%d) = %v", total, whole)
+		}
+		var split float64
+		for t0 := sim.Time(0); t0 < total; t0 += epoch {
+			t1 := t0 + epoch
+			if t1 > total {
+				t1 = total
+			}
+			part := s.Requests(t0, t1)
+			if part < 0 {
+				t.Fatalf("negative request count %v over [%d,%d)", part, t0, t1)
+			}
+			split += part
+			// AvgRate must agree with the window integral it is defined by.
+			if want := part * 1e9 / float64(t1-t0); t1 > t0 {
+				if got := s.AvgRate(t0, t1); math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+					t.Fatalf("AvgRate(%d,%d) = %v, want %v", t0, t1, got, want)
+				}
+			}
+		}
+		tol := 1e-9 * math.Max(1, whole)
+		if math.Abs(whole-split) > tol {
+			t.Fatalf("requests not conserved across %d epochs: whole %v vs split %v",
+				nEpochs, whole, split)
+		}
+	})
+}

@@ -57,7 +57,7 @@ func newLoadGen(cfg Config) (LoadGen, error) {
 		}
 		return closedLoopGen{}, nil
 	case LoadBursty:
-		if cfg.RatePerSec <= 0 {
+		if cfg.RatePerSec <= 0 && cfg.Schedule == nil {
 			return nil, fmt.Errorf("server: bursty load needs RatePerSec > 0")
 		}
 		on, off := float64(cfg.BurstOnTime), float64(cfg.BurstOffTime)
@@ -78,12 +78,19 @@ type openLoopGen struct{}
 func (openLoopGen) Name() string { return LoadOpenLoop }
 
 func (openLoopGen) register(s *Sim) {
-	s.kArrival = s.eng.RegisterKind(func(now sim.Time, _, _ uint64) {
-		s.openLoopArrival(now)
+	// a0 != 0 marks a silent probe: the generator slept through a
+	// zero-rate schedule phase and wakes at the phase boundary without
+	// dispatching a request.
+	s.kArrival = s.eng.RegisterKind(func(now sim.Time, a0, _ uint64) {
+		s.openLoopArrival(now, a0 != 0)
 	})
 }
 
 func (openLoopGen) Start(s *Sim) {
+	if s.cfg.Schedule != nil {
+		s.openLoopNext(0)
+		return
+	}
 	if s.cfg.RatePerSec <= 0 {
 		return
 	}
@@ -93,10 +100,54 @@ func (openLoopGen) Start(s *Sim) {
 
 func (openLoopGen) OnComplete(*Sim, int, sim.Time) {}
 
-// openLoopArrival dispatches one request and schedules the next.
-func (s *Sim) openLoopArrival(now sim.Time) {
-	s.dispatch(now, -1)
-	gap := s.cfg.Profile.Arrivals.NextGap(s.arrRand, s.cfg.RatePerSec)
+// openLoopArrival dispatches one request (unless this is a zero-rate
+// phase probe) and schedules the next.
+func (s *Sim) openLoopArrival(now sim.Time, probe bool) {
+	if !probe {
+		s.dispatch(now, -1)
+	}
+	s.openLoopNext(now)
+}
+
+// zeroRateProbe bounds how far the generator sleeps through a zero-rate
+// instant: a ramp phase that *starts* at rate zero turns positive
+// immediately inside the phase, so probing only at phase boundaries
+// would skip it entirely.
+const zeroRateProbe = sim.Millisecond
+
+// openLoopNext schedules the next open-loop event after now. Without a
+// schedule the offered rate is the constant RatePerSec (the stationary
+// path, preserved bit-for-bit); with one, the rate is looked up at now —
+// a piecewise-constant-per-gap approximation of the schedule's rate
+// function. A zero rate schedules a probe (the next phase boundary or
+// zeroRateProbe, whichever is sooner) instead of an arrival; a drawn gap
+// that overshoots the next rate change is censored there and redrawn —
+// the exponential's memorylessness makes that the standard piecewise
+// non-homogeneous Poisson construction, and it keeps the generator live
+// across phases whose opening rate is tiny (a naive draw at, say,
+// 1 QPS would sleep past the whole schedule).
+func (s *Sim) openLoopNext(now sim.Time) {
+	rate := s.cfg.RatePerSec
+	if s.cfg.Schedule != nil {
+		rate = s.cfg.Schedule.RateAt(now)
+		if rate <= 0 {
+			next := s.cfg.Schedule.NextChange(now)
+			if probe := now + zeroRateProbe; probe < next {
+				next = probe
+			}
+			if next < sim.MaxTime {
+				s.eng.ScheduleKindAt(next, s.kArrival, 1, 0)
+			}
+			return
+		}
+	}
+	gap := s.cfg.Profile.Arrivals.NextGap(s.arrRand, rate)
+	if s.cfg.Schedule != nil {
+		if next := s.cfg.Schedule.NextChange(now); next < sim.MaxTime && gap > next-now {
+			s.eng.ScheduleKindAt(next, s.kArrival, 1, 0)
+			return
+		}
+	}
 	if gap < sim.MaxTime-now {
 		s.eng.ScheduleKind(gap, s.kArrival, 0, 0)
 	}
@@ -131,11 +182,16 @@ func (closedLoopGen) OnComplete(s *Sim, conn int, now sim.Time) {
 }
 
 // burstyGen alternates exponentially distributed ON bursts (Poisson
-// arrivals at onRate) with silent OFF gaps.
+// arrivals at onRate) with silent OFF gaps. Under a schedule, each ON
+// window's rate is re-derived from the schedule at burst start, so the
+// on/off texture persists while the envelope follows the phases.
 type burstyGen struct {
 	onRate  float64 // instantaneous rate during a burst (1/s)
 	onMean  float64 // mean burst length (ns)
 	offMean float64 // mean silent gap (ns)
+	// curRate is the active ON-window rate, set at each burst start
+	// (equal to onRate when no schedule modulates the run).
+	curRate float64
 }
 
 func (*burstyGen) Name() string { return LoadBursty }
@@ -159,14 +215,23 @@ func (g *burstyGen) Start(s *Sim) {
 func (*burstyGen) OnComplete(*Sim, int, sim.Time) {}
 
 // burst runs one ON window starting now and schedules the next burst
-// after an OFF gap.
+// after an OFF gap. Under a schedule the window's burst rate scales with
+// the phase rate at window start (same expression shape as the
+// stationary precompute, so a constant schedule is bit-identical);
+// zero-rate phases keep the on/off clock ticking but emit no arrivals.
 func (g *burstyGen) burst(s *Sim, now sim.Time) {
+	g.curRate = g.onRate
+	if s.cfg.Schedule != nil {
+		g.curRate = s.cfg.Schedule.RateAt(now) * (g.onMean + g.offMean) / g.onMean
+	}
 	dur := sim.Time(s.arrRand.Exp(g.onMean))
 	if dur < 1 {
 		dur = 1
 	}
 	end := now + dur
-	g.arrive(s, now, end)
+	if g.curRate > 0 {
+		g.arrive(s, now, end)
+	}
 	gap := sim.Time(s.arrRand.Exp(g.offMean))
 	if gap < 1 {
 		gap = 1
@@ -178,7 +243,7 @@ func (g *burstyGen) burst(s *Sim, now sim.Time) {
 
 // arrive schedules the next arrival within the ON window [from, end].
 func (g *burstyGen) arrive(s *Sim, from, end sim.Time) {
-	gap := sim.Time(s.arrRand.Exp(1e9 / g.onRate))
+	gap := sim.Time(s.arrRand.Exp(1e9 / g.curRate))
 	if gap < 1 {
 		gap = 1
 	}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cstate"
 	"repro/internal/governor"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/turbo"
@@ -38,6 +39,15 @@ type Config struct {
 	Profile workload.Profile
 	// RatePerSec is the aggregate offered load (QPS).
 	RatePerSec float64
+	// Schedule, when set, makes the offered load time-varying: the
+	// open-loop and bursty generators look the rate up per arrival (and
+	// per burst window) instead of holding RatePerSec, so one run sweeps
+	// through the schedule's phases. The schedule clock is the sim clock
+	// (time zero = warmup start); beyond its last phase the schedule
+	// holds its final rate. A constant schedule reproduces the stationary
+	// RatePerSec run bit-for-bit. Closed-loop load rejects schedules —
+	// its rate is an emergent property of connections and think time.
+	Schedule *scenario.Schedule
 	// Duration is the measured interval; Warmup runs before it.
 	Duration sim.Time
 	Warmup   sim.Time
@@ -206,6 +216,9 @@ func (c Config) Validate() error {
 	}
 	if c.RatePerSec < 0 {
 		return fmt.Errorf("server: negative rate")
+	}
+	if c.Schedule != nil && (c.LoadGen == LoadClosedLoop || c.ClosedLoopConnections > 0) {
+		return fmt.Errorf("server: closed-loop load cannot follow a rate schedule")
 	}
 	return c.Freq.Validate()
 }

@@ -66,6 +66,96 @@ func TestRecorderCap(t *testing.T) {
 	}
 }
 
+// TestRecorderOverflowKeepsStoredEventsIntact pins the full MaxEvents
+// overflow contract: events past capacity bump only the dropped counter,
+// the stored prefix survives byte-for-byte, queries keep working on it,
+// and the exported CSV contains exactly the stored events.
+func TestRecorderOverflowKeepsStoredEventsIntact(t *testing.T) {
+	const capEvents = 4
+	r := New(capEvents)
+	want := []Event{
+		{Core: 0, Time: 10, State: cstate.C1},
+		{Core: 1, Time: 20, State: cstate.C6},
+		{Core: 0, Time: 30, State: cstate.C0},
+		{Core: 1, Time: 40, State: cstate.C0},
+	}
+	for _, e := range want {
+		r.Record(e.Core, e.Time, e.State)
+	}
+	// Overflow with distinctive events that must leave no trace.
+	for i := 0; i < 7; i++ {
+		r.Record(9, sim.Time(999+i), cstate.C6A)
+	}
+	if r.Len() != capEvents {
+		t.Fatalf("len = %d, want %d", r.Len(), capEvents)
+	}
+	if r.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", r.Dropped())
+	}
+	got := r.Events()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stored event %d corrupted by overflow: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Queries on the surviving prefix stay consistent.
+	if tl := r.CoreTimeline(1); len(tl) != 2 || tl[0].Time != 20 || tl[1].Time != 40 {
+		t.Fatalf("core 1 timeline after overflow: %+v", tl)
+	}
+	if tl := r.CoreTimeline(9); len(tl) != 0 {
+		t.Fatalf("dropped events leaked into timeline: %+v", tl)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != capEvents+1 {
+		t.Fatalf("CSV has %d lines, want header + %d events", n, capEvents)
+	}
+	if strings.Contains(buf.String(), "999") {
+		t.Fatal("dropped event leaked into CSV")
+	}
+	// Further recording keeps dropping without disturbing state.
+	r.Record(0, 50, cstate.C1)
+	if r.Len() != capEvents || r.Dropped() != 8 {
+		t.Fatalf("post-overflow record: len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+}
+
+// TestWriteCSVGoldenTwoCoreRun pins the exact CSV export of a tiny
+// hand-written two-core trace: two cores interleaving wake/sleep, in
+// record order, with architectural state names.
+func TestWriteCSVGoldenTwoCoreRun(t *testing.T) {
+	r := New(0)
+	r.Record(0, 0, cstate.C0)
+	r.Record(1, 0, cstate.C0)
+	r.Record(0, 1500, cstate.C1)
+	r.Record(1, 2750, cstate.C6A)
+	r.Record(0, 4000, cstate.C0)
+	r.Record(1, 5125, cstate.C0)
+	r.Record(0, 6000, cstate.C6AE)
+	r.Record(1, 7250, cstate.C1E)
+	r.Record(1, 9000, cstate.C6)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `core,time_ns,state
+0,0,C0
+1,0,C0
+0,1500,C1
+1,2750,C6A
+0,4000,C0
+1,5125,C0
+0,6000,C6AE
+1,7250,C1E
+1,9000,C6
+`
+	if buf.String() != golden {
+		t.Errorf("CSV drifted from golden:\n got: %q\nwant: %q", buf.String(), golden)
+	}
+}
+
 func TestWriteCSV(t *testing.T) {
 	r := New(0)
 	r.Record(3, 42, cstate.C6A)

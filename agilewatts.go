@@ -29,6 +29,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/governor"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/server"
 	"repro/internal/sim"
@@ -166,9 +167,11 @@ type ServiceRun struct {
 	Schedule *Schedule
 }
 
-// RunService simulates the paper's 20-CPU server under the given run
-// description.
-func RunService(r ServiceRun) (Result, error) {
+// withDefaults fills the run description's defaulted fields — the one
+// place RunService, the fleet builders and NewServiceInstance share, so
+// a directly constructed instance can never simulate a different
+// machine than the one-shot API for the same ServiceRun.
+func (r ServiceRun) withDefaults() ServiceRun {
 	if r.Platform.Name == "" {
 		r.Platform = Baseline
 	}
@@ -178,7 +181,14 @@ func RunService(r ServiceRun) (Result, error) {
 	if r.Seed == 0 {
 		r.Seed = 1
 	}
-	return server.RunConfig(server.Config{
+	return r
+}
+
+// serverConfig maps the run description onto the simulator config (the
+// full mapping; callers that delegate rate/schedule/duration elsewhere
+// blank those fields).
+func (r ServiceRun) serverConfig() server.Config {
+	return server.Config{
 		Platform:        r.Platform,
 		Profile:         r.Service,
 		RatePerSec:      r.RateQPS,
@@ -192,7 +202,13 @@ func RunService(r ServiceRun) (Result, error) {
 
 		ClosedLoopConnections: r.Connections,
 		ThinkTime:             r.ThinkTimeNS,
-	})
+	}
+}
+
+// RunService simulates the paper's 20-CPU server under the given run
+// description.
+func RunService(r ServiceRun) (Result, error) {
+	return server.RunConfig(r.withDefaults().serverConfig())
 }
 
 // Cluster dispatch policy names accepted by ClusterRun.ClusterDispatch.
@@ -250,31 +266,16 @@ func buildFleet(r ClusterRun) (ClusterRun, []NodeConfig, error) {
 	if r.Nodes == 0 {
 		r.Nodes = 1
 	}
-	if r.Platform.Name == "" {
-		r.Platform = Baseline
-	}
-	if r.Service.Name == "" {
-		r.Service = Memcached()
-	}
-	if r.Seed == 0 {
-		r.Seed = 1
-	}
-	template := server.Config{
-		Platform:        r.Platform,
-		Profile:         r.Service,
-		Duration:        r.DurationNS,
-		Warmup:          r.WarmupNS,
-		Seed:            r.Seed,
-		SnoopRatePerSec: r.SnoopRatePerSec,
-		Dispatch:        r.Dispatch,
-		LoadGen:         r.LoadGen,
-
-		// Carried through so cluster.Validate rejects closed-loop runs
-		// with a clear error (the cluster dispatcher partitions open-loop
-		// rates) instead of silently simulating open-loop.
-		ClosedLoopConnections: r.Connections,
-		ThinkTime:             r.ThinkTimeNS,
-	}
+	r.ServiceRun = r.ServiceRun.withDefaults()
+	// The cluster dispatcher owns the rate (RateQPS is the aggregate it
+	// partitions) and the scenario engine owns any schedule, so neither
+	// reaches the node template. Connections/ThinkTime are carried
+	// through so cluster.Validate rejects closed-loop runs with a clear
+	// error (the cluster dispatcher partitions open-loop rates) instead
+	// of silently simulating open-loop.
+	template := r.ServiceRun.serverConfig()
+	template.RatePerSec = 0
+	template.Schedule = nil
 	nodes := cluster.Homogeneous(r.Nodes, template)
 	if r.NodeOverride != nil {
 		for i := range nodes {
@@ -354,10 +355,23 @@ type ScenarioRun struct {
 	// EpochNS is the re-dispatch interval (default: one epoch spanning
 	// the whole schedule).
 	EpochNS Duration
-	// UnparkLatencyNS / UnparkPowerW parameterize the penalty a parked
-	// node pays when load returns to it (defaults 1ms / 30W).
+	// UnparkLatencyNS / UnparkPowerW parameterize the cold path's
+	// synthetic penalty a parked node pays when load returns to it
+	// (defaults 1ms / 30W; zero means "default" — set UnparkFree for an
+	// explicitly free unpark). The warm path simulates the transition
+	// instead and ignores both.
 	UnparkLatencyNS Duration
 	UnparkPowerW    float64
+	// UnparkFree makes cold-path unparks explicitly free (both
+	// penalties zero), which the zero values above cannot express.
+	UnparkFree bool
+	// ColdEpochs selects the legacy cold-start scenario engine: every
+	// epoch re-creates every node simulation from scratch (one warmup
+	// per node per epoch, per-epoch mixed seeds, synthetic unpark
+	// penalty). The default warm path runs each node's whole timeline on
+	// one resumable instance — a single warmup per scenario, real
+	// park/unpark transitions, and one pipelined task per node.
+	ColdEpochs bool
 }
 
 // RunScenario simulates a fleet under time-varying load with
@@ -394,10 +408,39 @@ func RunScenario(r ScenarioRun) (ScenarioResult, error) {
 		Dispatch:      run.ClusterDispatch,
 		TargetUtil:    run.TargetUtil,
 		ParkDrained:   run.ParkDrained,
+		ColdEpochs:    r.ColdEpochs,
 		UnparkLatency: r.UnparkLatencyNS,
 		UnparkPowerW:  r.UnparkPowerW,
+		UnparkFree:    r.UnparkFree,
 	})
 }
+
+// ServiceInstance is a resumable single-server simulation: built once,
+// then advanced interval by interval with RunInterval(window, rate),
+// carrying engine time, C-state residency, queues, RNG streams and
+// collector state across calls — the building block of the warm
+// scenario path. IntervalResult is one interval's measurement.
+type (
+	ServiceInstance = server.Instance
+	IntervalResult  = server.IntervalResult
+)
+
+// NewServiceInstance constructs a resumable simulation from the run
+// description. RateQPS, DurationNS and Schedule are ignored — every
+// RunInterval brings its own window and rate; WarmupNS is paid once,
+// inside the first interval. parkOnZeroRate makes zero-rate intervals
+// quiesce the node into package deep idle.
+func NewServiceInstance(r ServiceRun, parkOnZeroRate bool) (*ServiceInstance, error) {
+	// NewInstance itself ignores rate/schedule/duration (every interval
+	// brings its own), so the full mapping is safe to hand over.
+	return server.NewInstance(r.withDefaults().serverConfig(), parkOnZeroRate)
+}
+
+// RunnerStats reports the shared sweep executor's memoization counters
+// (cache hits and misses; uncacheable runs count as misses). Timeline
+// runs of the warm scenario path are included alongside one-shot
+// simulations, so sweep-level memoization wins are observable.
+func RunnerStats() (hits, misses uint64) { return runner.Default().Stats() }
 
 // Experiment names accepted by RunExperiment.
 const (

@@ -53,6 +53,10 @@ func main() {
 			strings.Join(agilewatts.ScenarioNames(), "|"))
 	epochMS := flag.Int("epoch-ms", 0,
 		"scenario experiment re-dispatch interval in ms (default: schedule/12)")
+	coldEpochs := flag.Bool("cold-epochs", false,
+		"run the scenario experiment on the legacy cold-start engine "+
+			"(fresh simulations + synthetic unpark penalty per epoch) instead of "+
+			"the warm resumable-instance path")
 	flag.Parse()
 
 	if *list {
@@ -82,6 +86,7 @@ func main() {
 	opts.ClusterDispatch = *clusterDispatch
 	opts.Scenario = *scenarioName
 	opts.Epoch = agilewatts.Duration(*epochMS) * 1_000_000
+	opts.ColdEpochs = *coldEpochs
 
 	names := flag.Args()
 	if len(names) == 0 {

@@ -53,6 +53,12 @@ func main() {
 			strings.Join(agilewatts.ScenarioNames(), "|"))
 	epochMS := flag.Int("epoch-ms", 0,
 		"scenario re-dispatch interval in ms (default: one epoch per schedule)")
+	coldEpochs := flag.Bool("cold-epochs", false,
+		"run scenarios on the legacy cold-start engine (fresh simulations + "+
+			"synthetic unpark penalty per epoch) instead of the warm resumable path")
+	verbose := flag.Bool("v", false,
+		"print sweep-executor cache statistics (hits/misses, interval timeline "+
+			"runs included) to stderr after the sweep")
 	configs := flag.Bool("configs", false, "list configuration names and exit")
 	flag.Parse()
 
@@ -114,8 +120,9 @@ func main() {
 					ClusterDispatch: *clusterDispatch,
 					ParkDrained:     *park,
 				},
-				Scenario: *scenarioName,
-				EpochNS:  agilewatts.Duration(*epochMS) * 1_000_000,
+				Scenario:   *scenarioName,
+				EpochNS:    agilewatts.Duration(*epochMS) * 1_000_000,
+				ColdEpochs: *coldEpochs,
 			})
 			if err != nil {
 				fatal(err)
@@ -161,6 +168,16 @@ func main() {
 			res.Residency[agilewatts.C6A], res.Residency[agilewatts.C1E],
 			res.Residency[agilewatts.C6AE], res.Residency[agilewatts.C6],
 			res.TurboFraction)
+	}
+	if *verbose {
+		hits, misses := agilewatts.RunnerStats()
+		total := hits + misses
+		pct := 0.0
+		if total > 0 {
+			pct = float64(hits) / float64(total) * 100
+		}
+		fmt.Fprintf(os.Stderr, "awsweep: runner cache: %d hits / %d misses (%.1f%% hit rate, timeline runs included)\n",
+			hits, misses, pct)
 	}
 }
 

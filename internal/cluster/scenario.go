@@ -10,17 +10,34 @@ import (
 )
 
 // ScenarioConfig describes a time-varying fleet simulation: the schedule
-// replaces the static RateQPS, and the one-shot load partition becomes
-// an epoch-stepped loop — every Epoch the dispatcher re-partitions the
-// current phase's mean rate across the nodes, so consolidation parks
-// newly drained nodes as load falls and unparks them (paying a
-// configurable latency/power penalty) as it returns.
+// replaces the static RateQPS, and every Epoch the dispatcher
+// re-partitions the window's mean rate across the nodes, so
+// consolidation parks newly drained nodes as load falls and unparks
+// them as it returns.
+//
+// Two execution paths produce the per-epoch measurements:
+//
+//   - The warm path (default): every node runs its entire rate timeline
+//     on one resumable server.Instance — a single warmup for the whole
+//     scenario, engine/C-state/RNG state carried across epoch
+//     boundaries, and park/unpark simulated as real drain/deep-idle/
+//     exit-latency transitions. Each node's timeline is one independent
+//     pipelined runner task, so scenario wall-clock is the slowest
+//     node, not the sum of per-epoch maxima.
+//   - The cold path (ColdEpochs): the original epoch-stepped engine —
+//     every epoch re-creates every node simulation from scratch (per
+//     epoch warmup, seed mixed per epoch) and approximates unparks with
+//     the synthetic UnparkLatency/UnparkPowerW penalty. Kept bit-for-bit
+//     for reproducibility of existing goldens.
 type ScenarioConfig struct {
 	// Nodes are the per-node server configurations (see Config.Nodes).
-	// Each node's Duration is overridden per epoch; Warmup is honored per
-	// epoch (re-dispatch reconvergence), and node i's epoch e runs with a
-	// seed mixed from (Seed_i, e) so epochs see independent randomness
-	// while epoch 0 reproduces the node's own seed exactly.
+	// On the warm path each node's RatePerSec/Schedule/Duration are
+	// ignored (the epoch plan supplies them) and Warmup is paid once per
+	// scenario. On the cold path each node's Duration is overridden per
+	// epoch, Warmup is honored per epoch (re-dispatch reconvergence),
+	// and node i's epoch e runs with a seed mixed from (Seed_i, e) so
+	// epochs see independent randomness while epoch 0 reproduces the
+	// node's own seed exactly.
 	Nodes []server.Config
 	// Schedule is the offered-load timeline partitioned across the fleet.
 	Schedule *scenario.Schedule
@@ -31,17 +48,63 @@ type ScenarioConfig struct {
 	Dispatch    string
 	TargetUtil  float64
 	ParkDrained bool
-	// UnparkLatency is the time a parked node needs to come back (OS
-	// un-quiesce, package idle exit, service re-warm); requests routed to
-	// it during that window wait at least this long, so it floors the
-	// epoch's worst p99 (default 1ms).
+	// ColdEpochs selects the legacy cold-start path (see above).
+	ColdEpochs bool
+	// UnparkLatency is the cold path's synthetic unpark cost: the time a
+	// parked node needs to come back (OS un-quiesce, package idle exit,
+	// service re-warm); requests routed to it during that window wait at
+	// least this long, so it floors the epoch's worst p99 (default 1ms;
+	// zero means "use the default" — set UnparkFree for an explicit
+	// free unpark). The warm path simulates the transition instead and
+	// ignores both knobs.
 	UnparkLatency sim.Time
-	// UnparkPowerW is the package power burned during the unpark flow
-	// (default 30W, the full two-socket uncore: the package is awake but
-	// doing no useful work yet).
+	// UnparkPowerW is the package power burned during the cold path's
+	// unpark flow (default 30W, the full two-socket uncore: the package
+	// is awake but doing no useful work yet; zero means "use the
+	// default").
 	UnparkPowerW float64
+	// UnparkFree makes unparks explicitly free on the cold path: both
+	// penalties resolve to zero regardless of the fields above. Without
+	// it, a zero UnparkLatency/UnparkPowerW silently means "default", so
+	// a free unpark would be unrepresentable.
+	UnparkFree bool
 	// Runner executes the node simulations (default runner.Default()).
 	Runner *runner.Runner
+}
+
+// resolvedScenario is ScenarioConfig with every defaultable knob
+// resolved to its effective value — the zero-value-vs-default ambiguity
+// ends here, before any simulation runs.
+type resolvedScenario struct {
+	ScenarioConfig
+	unparkLatency sim.Time
+	unparkPowerW  float64
+}
+
+// resolve applies the scenario defaults.
+func (c ScenarioConfig) resolve() resolvedScenario {
+	r := resolvedScenario{
+		ScenarioConfig: c,
+		unparkLatency:  c.UnparkLatency,
+		unparkPowerW:   c.UnparkPowerW,
+	}
+	if c.Dispatch == "" {
+		r.Dispatch = DispatchSpread
+	}
+	if c.TargetUtil == 0 {
+		r.TargetUtil = defaultTargetUtil
+	}
+	if c.UnparkFree {
+		r.unparkLatency, r.unparkPowerW = 0, 0
+	} else {
+		if r.unparkLatency == 0 {
+			r.unparkLatency = sim.Millisecond
+		}
+		if r.unparkPowerW == 0 {
+			r.unparkPowerW = 30
+		}
+	}
+	return r
 }
 
 // epochSeedStride mixes the epoch index into node seeds (golden-ratio
@@ -70,8 +133,12 @@ type EpochResult struct {
 	// drained nodes whether or not parking is enabled.
 	Parked int
 	// Unparked counts nodes that were parked last epoch and received
-	// load this epoch; UnparkEnergyJ is the penalty energy they burned
-	// (already folded into Fleet.FleetPowerW / FleetEnergyJ).
+	// load this epoch; UnparkEnergyJ is the synthetic penalty energy
+	// they burned (already folded into Fleet.FleetPowerW/FleetEnergyJ).
+	// UnparkEnergyJ is a cold-path quantity: the warm path simulates the
+	// unpark (drain, deep-idle residency, real exit latency on the first
+	// post-unpark arrival), so its cost appears in the measured node
+	// results and this field stays zero.
 	Unparked      int
 	UnparkEnergyJ float64
 	// Fleet is the full fleet aggregate for this window.
@@ -150,23 +217,70 @@ func (c ScenarioConfig) Validate() error {
 	}.Validate()
 }
 
-// RunScenario steps the schedule in epochs: each epoch re-partitions the
-// window's mean rate across the nodes under the configured policy, runs
-// every node in parallel, applies park/unpark bookkeeping, and
-// aggregates per-epoch, per-phase and whole-run views.
-func RunScenario(c ScenarioConfig) (ScenarioResult, error) {
-	if c.Dispatch == "" {
-		c.Dispatch = DispatchSpread
+// epochWindow is one planned re-dispatch interval: its schedule window,
+// mean rate, covering phase, and the per-node rate partition. The plan
+// depends only on the schedule and the dispatch policy — never on
+// simulation results — which is what lets the warm path hand every node
+// its entire timeline up front.
+type epochWindow struct {
+	start, end sim.Time
+	rate       float64
+	phase      string
+	rates      []float64
+}
+
+// planEpochs partitions the schedule into epoch windows and each
+// window's mean rate across the nodes.
+func planEpochs(c resolvedScenario, part func(Config) []float64, total sim.Time) []epochWindow {
+	var plan []epochWindow
+	for e := 0; ; e++ {
+		t0 := c.Epoch * sim.Time(e)
+		if t0 >= total {
+			return plan
+		}
+		t1 := t0 + c.Epoch
+		if t1 > total {
+			t1 = total
+		}
+		window := t1 - t0
+		rate := c.Schedule.AvgRate(t0, t1)
+		phase, _ := c.Schedule.PhaseAt(t0 + window/2)
+		plan = append(plan, epochWindow{
+			start: t0,
+			end:   t1,
+			rate:  rate,
+			phase: phase.Name,
+			rates: part(Config{
+				Nodes:      c.Nodes,
+				RateQPS:    rate,
+				Dispatch:   c.Dispatch,
+				TargetUtil: c.TargetUtil,
+			}),
+		})
 	}
-	if c.TargetUtil == 0 {
-		c.TargetUtil = defaultTargetUtil
+}
+
+// fleetConfig is the static-equivalent Config an epoch's aggregation
+// runs under.
+func (c resolvedScenario) fleetConfig(rate float64) Config {
+	return Config{
+		Nodes:       c.Nodes,
+		RateQPS:     rate,
+		Dispatch:    c.Dispatch,
+		TargetUtil:  c.TargetUtil,
+		ParkDrained: c.ParkDrained,
 	}
-	if c.UnparkLatency == 0 {
-		c.UnparkLatency = sim.Millisecond
-	}
-	if c.UnparkPowerW == 0 {
-		c.UnparkPowerW = 30
-	}
+}
+
+// RunScenario simulates the fleet under the time-varying schedule with
+// epoch-stepped re-dispatch: the schedule is partitioned into an epoch
+// plan up front, every node runs its share, park/unpark bookkeeping is
+// applied, and per-epoch, per-phase and whole-run views are aggregated.
+// The warm path (default) runs each node's entire timeline as one
+// resumable pipelined task; ColdEpochs selects the legacy re-simulate-
+// every-epoch engine (see ScenarioConfig).
+func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
+	c := cfg.resolve()
 	if err := c.Validate(); err != nil {
 		return ScenarioResult{}, err
 	}
@@ -182,33 +296,86 @@ func RunScenario(c ScenarioConfig) (ScenarioResult, error) {
 	if r == nil {
 		r = runner.Default()
 	}
+	plan := planEpochs(c, part, total)
 	out := ScenarioResult{
 		Schedule:  c.Schedule.Name(),
 		Dispatch:  c.Dispatch,
 		Epoch:     c.Epoch,
 		TotalTime: total,
 	}
-	parked := make([]bool, len(c.Nodes))
-	for e := 0; ; e++ {
-		t0 := c.Epoch * sim.Time(e)
-		if t0 >= total {
-			break
-		}
-		t1 := t0 + c.Epoch
-		if t1 > total {
-			t1 = total
-		}
-		window := t1 - t0
-		rate := c.Schedule.AvgRate(t0, t1)
-		phase, _ := c.Schedule.PhaseAt(t0 + window/2)
-		rates := part(Config{
-			Nodes:      c.Nodes,
-			RateQPS:    rate,
-			Dispatch:   c.Dispatch,
-			TargetUtil: c.TargetUtil,
-		})
+	if c.ColdEpochs {
+		err = runScenarioCold(c, plan, r, &out)
+	} else {
+		err = runScenarioWarm(c, plan, r, &out)
+	}
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	out.finish()
+	return out, nil
+}
 
-		ep := EpochResult{Epoch: e, Start: t0, End: t1, Phase: phase.Name, RateQPS: rate}
+// runScenarioWarm executes the epoch plan on resumable instances: one
+// independent timeline task per node (pipelined through the runner, no
+// per-epoch fleet barrier), then a per-epoch pass over the aligned
+// interval results for park/unpark bookkeeping and fleet aggregation.
+// Unpark costs are simulated — drained requests, deep-idle residency,
+// real exit latencies — so no synthetic penalty is folded in and
+// EpochResult.UnparkEnergyJ stays zero.
+func runScenarioWarm(c resolvedScenario, plan []epochWindow, r *runner.Runner, out *ScenarioResult) error {
+	perNode := make([][]server.IntervalResult, len(c.Nodes))
+	err := r.Each(len(c.Nodes), func(i int) error {
+		intervals := make([]runner.Interval, len(plan))
+		for e, ep := range plan {
+			intervals[e] = runner.Interval{Window: ep.end - ep.start, Rate: ep.rates[i]}
+		}
+		res, err := r.RunTimeline(runner.TimelineSpec{
+			Node:      c.Nodes[i],
+			Park:      c.ParkDrained,
+			Intervals: intervals,
+		})
+		if err != nil {
+			return fmt.Errorf("cluster: node %d timeline: %w", i, err)
+		}
+		perNode[i] = res
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	parked := make([]bool, len(c.Nodes))
+	for e, pw := range plan {
+		ep := EpochResult{Epoch: e, Start: pw.start, End: pw.end, Phase: pw.phase, RateQPS: pw.rate}
+		nodes := make([]NodeResult, len(c.Nodes))
+		for i := range c.Nodes {
+			iv := perNode[i][e]
+			nodes[i] = NodeResult{Node: i, RateQPS: pw.rates[i], Parked: iv.Parked, Result: iv.Result}
+			if iv.Parked {
+				ep.Parked++
+			}
+			if parked[i] && pw.rates[i] > 0 {
+				ep.Unparked++
+			}
+			parked[i] = iv.Parked
+		}
+		ep.Fleet = aggregate(c.fleetConfig(pw.rate), nodes)
+		out.Epochs = append(out.Epochs, ep)
+		out.ParkedTimeline = append(out.ParkedTimeline, ep.Parked)
+		out.Unparks += ep.Unparked
+	}
+	return nil
+}
+
+// runScenarioCold executes the epoch plan with the legacy cold-start
+// engine: a fleet barrier per epoch, a fresh simulation (and warmup) per
+// node per epoch, and the synthetic unpark penalty. Preserved bit-for-
+// bit — TestGoldenScenarioStability pins its fingerprints.
+func runScenarioCold(c resolvedScenario, plan []epochWindow, r *runner.Runner, out *ScenarioResult) error {
+	parked := make([]bool, len(c.Nodes))
+	for e, pw := range plan {
+		window := pw.end - pw.start
+		rates := pw.rates
+		ep := EpochResult{Epoch: e, Start: pw.start, End: pw.end, Phase: pw.phase, RateQPS: pw.rate}
 		nodes := make([]NodeResult, len(c.Nodes))
 		err := r.Each(len(c.Nodes), func(i int) error {
 			cfg := c.Nodes[i]
@@ -228,7 +395,7 @@ func RunScenario(c ScenarioConfig) (ScenarioResult, error) {
 			return nil
 		})
 		if err != nil {
-			return ScenarioResult{}, err
+			return err
 		}
 
 		// Park/unpark bookkeeping against the previous epoch's state.
@@ -241,26 +408,20 @@ func RunScenario(c ScenarioConfig) (ScenarioResult, error) {
 			}
 			parked[i] = nodes[i].Parked
 		}
-		ep.Fleet = aggregate(Config{
-			Nodes:       c.Nodes,
-			RateQPS:     rate,
-			Dispatch:    c.Dispatch,
-			TargetUtil:  c.TargetUtil,
-			ParkDrained: c.ParkDrained,
-		}, nodes)
+		ep.Fleet = aggregate(c.fleetConfig(pw.rate), nodes)
 		winSec := float64(window) / 1e9
 		if ep.Unparked > 0 {
-			// The unpark flow burns UnparkPowerW for UnparkLatency per
+			// The unpark flow burns unparkPowerW for unparkLatency per
 			// node before any request is served; fold the energy into the
 			// epoch's fleet power, and floor the epoch's worst p99 with
 			// the latency the first routed requests had to absorb.
-			ep.UnparkEnergyJ = float64(ep.Unparked) * float64(c.UnparkLatency) / 1e9 * c.UnparkPowerW
+			ep.UnparkEnergyJ = float64(ep.Unparked) * float64(c.unparkLatency) / 1e9 * c.unparkPowerW
 			ep.Fleet.FleetEnergyJ += ep.UnparkEnergyJ
 			ep.Fleet.FleetPowerW += ep.UnparkEnergyJ / winSec
 			if ep.Fleet.FleetPowerW > 0 {
 				ep.Fleet.QPSPerWatt = ep.Fleet.CompletedPerSec / ep.Fleet.FleetPowerW
 			}
-			if lat := float64(c.UnparkLatency) / 1e3; ep.Fleet.WorstP99US < lat {
+			if lat := float64(c.unparkLatency) / 1e3; ep.Fleet.WorstP99US < lat {
 				ep.Fleet.WorstP99US = lat
 			}
 		}
@@ -269,8 +430,7 @@ func RunScenario(c ScenarioConfig) (ScenarioResult, error) {
 		out.ParkedTimeline = append(out.ParkedTimeline, ep.Parked)
 		out.Unparks += ep.Unparked
 	}
-	out.finish()
-	return out, nil
+	return nil
 }
 
 // finish derives the per-phase and whole-run aggregates from the epochs.

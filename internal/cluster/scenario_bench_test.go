@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/governor"
+	"repro/internal/runner"
+	"repro/internal/scenario"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// benchScenarioCfg is the BenchmarkRunScenario configuration: the
+// default diurnal day over a 64-node consolidate fleet, stepped in 24
+// epochs. The warm path pays the 10ms warmup once per node and runs
+// each node's whole timeline as one pipelined task; the cold path pays
+// it 24 times per node behind a fleet barrier per epoch — the 1,536
+// cold simulations the resumable engine eliminates. Each iteration uses
+// a fresh private Runner so memoization never short-circuits the
+// measurement.
+func benchScenarioCfg(cold bool, r *runner.Runner) ScenarioConfig {
+	template := server.Config{
+		Platform: governor.Baseline,
+		Profile:  workload.Memcached(),
+		Warmup:   10 * sim.Millisecond,
+		Seed:     1,
+	}
+	const nodes = 64
+	total := 48 * sim.Millisecond // a compressed day: 24 x 2ms epochs
+	sched, err := scenario.Diurnal(nodes*800e3, 0.6, total, 12)
+	if err != nil {
+		panic(err)
+	}
+	return ScenarioConfig{
+		Nodes:       Homogeneous(nodes, template),
+		Schedule:    sched,
+		Epoch:       2 * sim.Millisecond,
+		Dispatch:    DispatchConsolidate,
+		ParkDrained: true,
+		ColdEpochs:  cold,
+		Runner:      r,
+	}
+}
+
+func benchRunScenario(b *testing.B, cold bool) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunScenario(benchScenarioCfg(cold, runner.New(0))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunScenarioWarm measures the resumable warm path on the
+// default diurnal 64-node configuration.
+func BenchmarkRunScenarioWarm(b *testing.B) { benchRunScenario(b, false) }
+
+// BenchmarkRunScenarioCold measures the legacy cold-start path on the
+// identical configuration — the denominator of the warm path's
+// speedup claim.
+func BenchmarkRunScenarioCold(b *testing.B) { benchRunScenario(b, true) }

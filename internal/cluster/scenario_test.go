@@ -28,7 +28,7 @@ func runScenario(t *testing.T, c ScenarioConfig) ScenarioResult {
 	return res
 }
 
-// TestOneEpochConstantMatchesStaticRun is the engine's anchor: a
+// TestOneEpochConstantMatchesStaticRun is the cold engine's anchor: a
 // one-phase constant schedule stepped in a single epoch equal to the run
 // length must reproduce the static cluster.Run bit-for-bit — identical
 // per-node results and identical fleet aggregates.
@@ -52,6 +52,7 @@ func TestOneEpochConstantMatchesStaticRun(t *testing.T) {
 			Epoch:       dur,
 			Dispatch:    policy,
 			ParkDrained: true,
+			ColdEpochs:  true,
 		})
 		if len(dyn.Epochs) != 1 {
 			t.Fatalf("%s: epochs = %d, want 1", policy, len(dyn.Epochs))
@@ -89,10 +90,11 @@ func TestEpochSeedIdentity(t *testing.T) {
 	}
 }
 
-// TestDiurnalConsolidateParksAtTroughUnparksAtPeak is the headline
-// behavior: under a diurnal day with consolidate+park, the parked-node
-// timeline must follow the load — nodes parked through the trough,
-// unparked (with recorded transitions) as the peak builds.
+// TestDiurnalConsolidateParksAtTroughUnparksAtPeak is the cold path's
+// headline behavior: under a diurnal day with consolidate+park, the
+// parked-node timeline must follow the load — nodes parked through the
+// trough, unparked (with recorded transitions and the synthetic energy
+// penalty) as the peak builds.
 func TestDiurnalConsolidateParksAtTroughUnparksAtPeak(t *testing.T) {
 	node := quickNode(0)
 	node.Duration = 30 * sim.Millisecond
@@ -107,6 +109,7 @@ func TestDiurnalConsolidateParksAtTroughUnparksAtPeak(t *testing.T) {
 		Epoch:       total / 8,
 		Dispatch:    DispatchConsolidate,
 		ParkDrained: true,
+		ColdEpochs:  true,
 	})
 	if len(res.Epochs) != 8 || len(res.ParkedTimeline) != 8 {
 		t.Fatalf("epochs = %d, timeline = %d, want 8", len(res.Epochs), len(res.ParkedTimeline))
@@ -172,6 +175,7 @@ func TestUnparkLatencyFloorsWorstP99(t *testing.T) {
 		Dispatch:      DispatchConsolidate,
 		ParkDrained:   true,
 		UnparkLatency: unparkLat,
+		ColdEpochs:    true,
 	})
 	if res.Unparks == 0 {
 		t.Fatal("spike produced no unparks")

@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cstate"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// TestWarmOneEpochSpreadMatchesStaticRun is the warm engine's anchor: a
+// one-phase constant schedule in a single epoch, spread across nodes
+// that all carry load, must reproduce the static cluster.Run bit-for-bit
+// — the resumable Instance's first interval is the one-shot simulation.
+func TestWarmOneEpochSpreadMatchesStaticRun(t *testing.T) {
+	nodes := Homogeneous(3, quickNode(0))
+	dur := nodes[0].Duration
+	static, err := Run(Config{Nodes: nodes, RateQPS: 240e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := mustSchedule(scenario.Constant("steady", 240e3, dur))
+	warm := runScenario(t, ScenarioConfig{Nodes: nodes, Schedule: sched, Epoch: dur})
+	if len(warm.Epochs) != 1 {
+		t.Fatalf("epochs = %d, want 1", len(warm.Epochs))
+	}
+	if !reflect.DeepEqual(warm.Epochs[0].Fleet, static) {
+		t.Errorf("warm one-epoch scenario fleet diverged from static Run\n got %+v\nwant %+v",
+			warm.Epochs[0].Fleet, static)
+	}
+}
+
+// TestWarmDeterministicAndDistinctFromCold pins that the warm path is
+// reproducible, and that it is a genuinely different engine from the
+// cold path (continuous state vs per-epoch cold starts) — while both
+// agree on the schedule bookkeeping (windows, rates, phases).
+func TestWarmDeterministicAndDistinctFromCold(t *testing.T) {
+	nodes := Homogeneous(2, quickNode(0))
+	sched := mustSchedule(scenario.ByName(scenario.NameRamp, 300e3, 100*sim.Millisecond))
+	cfg := ScenarioConfig{Nodes: nodes, Schedule: sched, Epoch: 25 * sim.Millisecond}
+	a := runScenario(t, cfg)
+	b := runScenario(t, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("warm scenario run not deterministic")
+	}
+	cold := cfg
+	cold.ColdEpochs = true
+	c := runScenario(t, cold)
+	if len(a.Epochs) != len(c.Epochs) {
+		t.Fatalf("warm %d epochs vs cold %d", len(a.Epochs), len(c.Epochs))
+	}
+	for e := range a.Epochs {
+		aw, cw := a.Epochs[e], c.Epochs[e]
+		if aw.Start != cw.Start || aw.End != cw.End || aw.RateQPS != cw.RateQPS || aw.Phase != cw.Phase {
+			t.Errorf("epoch %d plan diverged: warm [%d,%d)@%v/%s, cold [%d,%d)@%v/%s",
+				e, aw.Start, aw.End, aw.RateQPS, aw.Phase, cw.Start, cw.End, cw.RateQPS, cw.Phase)
+		}
+	}
+	// Beyond epoch 0 the engines must differ: cold re-warms from mixed
+	// seeds, warm continues one simulation.
+	same := true
+	for e := 1; e < len(a.Epochs); e++ {
+		if a.Epochs[e].Fleet.FleetPowerW != c.Epochs[e].Fleet.FleetPowerW {
+			same = false
+		}
+	}
+	if same {
+		t.Error("warm and cold paths produced identical per-epoch power — cold path not actually distinct")
+	}
+}
+
+// TestWarmDiurnalConsolidateParksAndUnparksForReal is the warm path's
+// headline behavior: over a diurnal day with consolidate+park, the
+// parked timeline follows the load, and the park/unpark transitions are
+// simulated — no synthetic energy penalty (UnparkEnergyJ stays 0), the
+// parked nodes really reach package deep idle, and the epoch that wakes
+// a parked node records a wake tail at least the deepest state's exit
+// latency.
+func TestWarmDiurnalConsolidateParksAndUnparksForReal(t *testing.T) {
+	node := quickNode(0)
+	node.Warmup = 5 * sim.Millisecond
+	nodes := Homogeneous(4, node)
+	total := 240 * sim.Millisecond
+	sched := mustSchedule(scenario.Diurnal(2e6, 0.6, total, 8))
+	res := runScenario(t, ScenarioConfig{
+		Nodes:       nodes,
+		Schedule:    sched,
+		Epoch:       total / 8,
+		Dispatch:    DispatchConsolidate,
+		ParkDrained: true,
+	})
+	if len(res.Epochs) != 8 {
+		t.Fatalf("epochs = %d, want 8", len(res.Epochs))
+	}
+	if res.ParkedTimeline[0] <= res.ParkedTimeline[4] {
+		t.Errorf("parked timeline flat: trough %d vs peak %d (timeline %v)",
+			res.ParkedTimeline[0], res.ParkedTimeline[4], res.ParkedTimeline)
+	}
+	if res.Unparks == 0 {
+		t.Fatal("no unpark transitions over a diurnal day")
+	}
+	for _, ep := range res.Epochs {
+		if ep.UnparkEnergyJ != 0 {
+			t.Errorf("epoch %d charged synthetic unpark energy %v on the warm path", ep.Epoch, ep.UnparkEnergyJ)
+		}
+	}
+	// Parked nodes really sit in package deep idle.
+	for _, ep := range res.Epochs {
+		for _, n := range ep.Fleet.Nodes {
+			if n.Parked && n.Result.PkgIdleFraction < 0.5 {
+				t.Errorf("epoch %d node %d parked but package-idle fraction %.3f",
+					ep.Epoch, n.Node, n.Result.PkgIdleFraction)
+			}
+		}
+	}
+	// The epoch that unparks a node pays a real deep-idle exit: the
+	// unparked node's max wake latency covers the deepest state's exit
+	// flow (C6 for the Baseline menu).
+	exitUS := float64(cstate.Skylake().ExitLatency(cstate.C6)) / 1e3
+	checked := false
+	for e := 1; e < len(res.Epochs); e++ {
+		ep := res.Epochs[e]
+		if ep.Unparked == 0 {
+			continue
+		}
+		prev := res.Epochs[e-1]
+		for i, n := range ep.Fleet.Nodes {
+			if prev.Fleet.Nodes[i].Parked && n.RateQPS > 0 {
+				checked = true
+				if n.Result.Breakdown.Wake.MaxUS < exitUS {
+					t.Errorf("epoch %d node %d unparked but max wake %.2fus < C6 exit %.2fus",
+						e, i, n.Result.Breakdown.Wake.MaxUS, exitUS)
+				}
+			}
+		}
+	}
+	if !checked {
+		t.Error("no unparked node found to check the exit-latency claim")
+	}
+	// Trough phase burns less fleet power than the peak phase.
+	var trough, peak *PhaseSummary
+	for i := range res.Phases {
+		p := &res.Phases[i]
+		if trough == nil || p.AvgRateQPS < trough.AvgRateQPS {
+			trough = p
+		}
+		if peak == nil || p.AvgRateQPS > peak.AvgRateQPS {
+			peak = p
+		}
+	}
+	if trough.AvgFleetPowerW >= peak.AvgFleetPowerW {
+		t.Errorf("trough power %v not below peak power %v", trough.AvgFleetPowerW, peak.AvgFleetPowerW)
+	}
+}
+
+// TestUnparkFreeRepresentable is the zero-value footgun regression: an
+// explicit free unpark must be expressible on the cold path — no energy
+// penalty charged and no p99 floor — while the zero value still means
+// "default 1ms/30W".
+func TestUnparkFreeRepresentable(t *testing.T) {
+	node := quickNode(0)
+	node.Duration = 30 * sim.Millisecond
+	node.Warmup = 5 * sim.Millisecond
+	nodes := Homogeneous(4, node)
+	total := 120 * sim.Millisecond
+	sched := mustSchedule(scenario.Spike(600e3, 6, total, total/3, total/3))
+	base := ScenarioConfig{
+		Nodes:       nodes,
+		Schedule:    sched,
+		Epoch:       total / 3,
+		Dispatch:    DispatchConsolidate,
+		ParkDrained: true,
+		ColdEpochs:  true,
+	}
+	defaulted := runScenario(t, base)
+	if defaulted.Unparks == 0 {
+		t.Fatal("spike produced no unparks")
+	}
+	var defaultPenalty float64
+	for _, ep := range defaulted.Epochs {
+		defaultPenalty += ep.UnparkEnergyJ
+	}
+	if defaultPenalty <= 0 {
+		t.Fatal("zero-value unpark fields no longer default to a nonzero penalty")
+	}
+	free := base
+	free.UnparkFree = true
+	freeRes := runScenario(t, free)
+	if freeRes.Unparks != defaulted.Unparks {
+		t.Fatalf("free-unpark run diverged in unpark count: %d vs %d", freeRes.Unparks, defaulted.Unparks)
+	}
+	for _, ep := range freeRes.Epochs {
+		if ep.UnparkEnergyJ != 0 {
+			t.Errorf("epoch %d charged %vJ with UnparkFree", ep.Epoch, ep.UnparkEnergyJ)
+		}
+		if ep.Unparked > 0 && ep.Fleet.WorstP99US >= 1000 &&
+			defaulted.Epochs[ep.Epoch].Fleet.WorstP99US == 1000 {
+			t.Errorf("epoch %d p99 still floored at the 1ms default with UnparkFree", ep.Epoch)
+		}
+	}
+	// UnparkFree also beats explicit nonzero fields, documented-wins.
+	if resolved := free.resolve(); resolved.unparkLatency != 0 || resolved.unparkPowerW != 0 {
+		t.Errorf("UnparkFree resolved to %v/%v, want 0/0", resolved.unparkLatency, resolved.unparkPowerW)
+	}
+	if resolved := base.resolve(); resolved.unparkLatency != sim.Millisecond || resolved.unparkPowerW != 30 {
+		t.Errorf("zero-value fields resolved to %v/%v, want 1ms/30W", resolved.unparkLatency, resolved.unparkPowerW)
+	}
+}
+
+// TestScenarioNodeFailureShortCircuits pins that one broken node fails
+// the scenario promptly: the runner cancels outstanding timeline tasks
+// instead of simulating the rest of the fleet to completion.
+func TestScenarioNodeFailureShortCircuits(t *testing.T) {
+	nodes := Homogeneous(8, quickNode(0))
+	nodes[0].Cores = -1 // invalid: instance construction fails
+	sched := mustSchedule(scenario.Constant("steady", 400e3, 50*sim.Millisecond))
+	_, err := RunScenario(ScenarioConfig{Nodes: nodes, Schedule: sched, Epoch: 10 * sim.Millisecond})
+	if err == nil {
+		t.Fatal("broken node accepted")
+	}
+}

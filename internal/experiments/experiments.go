@@ -64,6 +64,10 @@ type Options struct {
 	// Epoch is the scenario experiment's fleet re-dispatch interval
 	// (default Duration/12 — one epoch per diurnal segment).
 	Epoch sim.Time
+	// ColdEpochs runs the scenario experiment on the legacy cold-start
+	// engine (fresh node simulations every epoch, synthetic unpark
+	// penalty) instead of the default warm resumable-instance path.
+	ColdEpochs bool
 }
 
 // DefaultOptions returns full-fidelity settings.

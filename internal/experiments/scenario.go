@@ -93,6 +93,7 @@ func Scenario(o Options) (ScenarioExpResult, error) {
 			Epoch:       epoch,
 			Dispatch:    dispatch,
 			ParkDrained: dispatch == cluster.DispatchConsolidate,
+			ColdEpochs:  o.ColdEpochs,
 		})
 		if err != nil {
 			return cluster.ScenarioResult{}, fmt.Errorf("experiments: scenario %s/%s: %w",

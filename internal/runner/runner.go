@@ -16,6 +16,7 @@ package runner
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -33,13 +34,53 @@ import (
 // pick a mask instead of a modulo.
 const cacheShards = 16
 
-// cacheShard is one lock + map segment.
-type cacheShard struct {
+// cacheShard is one lock + map segment of a shardedCache.
+type cacheShard[V any] struct {
 	mu    sync.Mutex
-	cache map[string]*entry
+	cache map[string]*flight[V]
 	// Pad the 16-byte mutex+map pair to a full 64-byte cache line so
 	// per-shard mutexes do not false-share under fan-out.
 	_ [48]byte
+}
+
+// flight is one single-flight cache slot: the first requester executes,
+// duplicates block on the Once and share the outcome.
+type flight[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// shardedCache is the memoization + single-flight machinery shared by
+// Run (server.Result values) and RunTimeline ([]server.IntervalResult
+// values): an FNV-sharded map of Once-guarded slots, so concurrent
+// lookups of different keys never contend on one mutex and identical
+// keys execute exactly once.
+type shardedCache[V any] struct {
+	shards [cacheShards]cacheShard[V]
+}
+
+func newShardedCache[V any]() *shardedCache[V] {
+	c := &shardedCache[V]{}
+	for i := range c.shards {
+		c.shards[i].cache = make(map[string]*flight[V])
+	}
+	return c
+}
+
+// do returns the memoized value for key, executing fn exactly once per
+// key; hit reports whether a slot already existed.
+func (c *shardedCache[V]) do(key string, fn func() (V, error)) (v V, err error, hit bool) {
+	s := &c.shards[shardIndex(key)]
+	s.mu.Lock()
+	e, hit := s.cache[key]
+	if !hit {
+		e = &flight[V]{}
+		s.cache[key] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = fn() })
+	return e.val, e.err, hit
 }
 
 // Runner executes simulations with bounded parallelism and memoization.
@@ -47,15 +88,19 @@ type cacheShard struct {
 type Runner struct {
 	sem chan struct{}
 
-	shards [cacheShards]cacheShard
+	cache  *shardedCache[server.Result]
+	tcache *shardedCache[[]server.IntervalResult]
 
 	hits, misses atomic.Uint64
 }
 
-type entry struct {
-	once sync.Once
-	res  server.Result
-	err  error
+// note counts one cache outcome into Stats.
+func (r *Runner) note(hit bool) {
+	if hit {
+		r.hits.Add(1)
+	} else {
+		r.misses.Add(1)
+	}
 }
 
 // New returns a Runner bounding concurrent simulations to parallelism
@@ -64,21 +109,21 @@ func New(parallelism int) *Runner {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	r := &Runner{sem: make(chan struct{}, parallelism)}
-	for i := range r.shards {
-		r.shards[i].cache = make(map[string]*entry)
+	return &Runner{
+		sem:    make(chan struct{}, parallelism),
+		cache:  newShardedCache[server.Result](),
+		tcache: newShardedCache[[]server.IntervalResult](),
 	}
-	return r
 }
 
-// shardOf maps a memoization key to its cache segment (FNV-1a).
-func (r *Runner) shardOf(key string) *cacheShard {
+// shardIndex maps a memoization key to its cache-segment index (FNV-1a).
+func shardIndex(key string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(key); i++ {
 		h ^= uint64(key[i])
 		h *= 1099511628211
 	}
-	return &r.shards[h&(cacheShards-1)]
+	return h & (cacheShards - 1)
 }
 
 var defaultRunner = New(0)
@@ -185,41 +230,126 @@ func (r *Runner) Run(cfg server.Config) (server.Result, error) {
 		r.misses.Add(1)
 		return server.RunConfig(cfg)
 	}
-	s := r.shardOf(key)
-	s.mu.Lock()
-	e, hit := s.cache[key]
-	if !hit {
-		e = &entry{}
-		s.cache[key] = e
-	}
-	s.mu.Unlock()
-	if hit {
-		r.hits.Add(1)
-	} else {
-		r.misses.Add(1)
-	}
-	e.once.Do(func() { e.res, e.err = server.RunConfig(cfg) })
-	return e.res, e.err
+	res, err, hit := r.cache.do(key, func() (server.Result, error) {
+		return server.RunConfig(cfg)
+	})
+	r.note(hit)
+	return res, err
 }
 
-// Each runs fn(0..n-1) with bounded parallelism and returns the first
-// error by index. It replaces the per-experiment ad-hoc parallelMap
-// helpers; each simulation is an isolated Sim with its own RNG streams,
-// so sweep points parallelize safely. fn must not call Each on the same
-// Runner (the parallelism bound would deadlock); calling Run is fine.
+// Interval is one window of a node's load timeline: Window of simulated
+// time at a constant offered Rate (QPS).
+type Interval struct {
+	Window sim.Time
+	Rate   float64
+}
+
+// TimelineSpec describes one node's entire scenario timeline: the base
+// node configuration (its RatePerSec, Schedule and Duration are
+// ignored; Warmup is paid once) run through a resumable server.Instance
+// across the listed intervals, parking on zero-rate intervals when Park
+// is set. The whole timeline is the memoization unit — see RunTimeline.
+type TimelineSpec struct {
+	Node      server.Config
+	Park      bool
+	Intervals []Interval
+}
+
+// timelineKey extends the node's simulation key with the park flag and
+// the exact interval list. A timeline is a pure function of these: all
+// randomness still derives from Node.Seed, and the interval windows and
+// rates fully determine the piecewise-constant offered load.
+func timelineKey(spec TimelineSpec) (string, bool) {
+	base, ok := Key(spec.Node)
+	if !ok {
+		return "", false
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	fmt.Fprintf(&b, "|timeline:park=%v", spec.Park)
+	for _, iv := range spec.Intervals {
+		fmt.Fprintf(&b, "|%d@%g", iv.Window, iv.Rate)
+	}
+	return b.String(), true
+}
+
+// RunTimeline executes (or returns the memoized results of) one node's
+// full interval timeline on a resumable server.Instance: one warmup,
+// then every interval in sequence with engine, C-state, ring and RNG
+// state carried across the boundaries. Identical specs requested
+// concurrently run once (single-flight); cache hits and misses count
+// into Stats alongside Run's. The returned slice is shared between
+// callers and must be treated as read-only.
+func (r *Runner) RunTimeline(spec TimelineSpec) ([]server.IntervalResult, error) {
+	if len(spec.Intervals) == 0 {
+		return nil, fmt.Errorf("runner: empty timeline")
+	}
+	key, cacheable := timelineKey(spec)
+	if !cacheable {
+		r.misses.Add(1)
+		return runTimeline(spec)
+	}
+	res, err, hit := r.tcache.do(key, func() ([]server.IntervalResult, error) {
+		return runTimeline(spec)
+	})
+	r.note(hit)
+	return res, err
+}
+
+// runTimeline is the uncached timeline execution.
+func runTimeline(spec TimelineSpec) ([]server.IntervalResult, error) {
+	ins, err := server.NewInstance(spec.Node, spec.Park)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]server.IntervalResult, len(spec.Intervals))
+	for i, iv := range spec.Intervals {
+		out[i], err = ins.RunInterval(iv.Window, iv.Rate)
+		if err != nil {
+			return nil, fmt.Errorf("runner: interval %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// Each runs fn(0..n-1) with bounded parallelism. A failure
+// short-circuits the fan-out: tasks not yet started are skipped once
+// any task has returned an error, so a failing node does not leave a
+// fleet of doomed simulations running to completion behind it.
+// (Already-running tasks finish; simulations have no preemption
+// points.) On failure Each returns the lowest-indexed error among the
+// tasks that actually ran — with several near-simultaneous failures,
+// which tasks ran (and hence which error surfaces) is
+// scheduling-dependent; only the success/failure outcome is
+// deterministic. It replaces the per-experiment ad-hoc parallelMap
+// helpers; each simulation is an isolated Sim with its own RNG
+// streams, so sweep points parallelize safely. fn must not call Each
+// on the same Runner (the parallelism bound would deadlock); calling
+// Run or RunTimeline is fine.
 func (r *Runner) Each(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	var wg sync.WaitGroup
+	var failed atomic.Bool
 	errs := make([]error, n)
 	for i := 0; i < n; i++ {
+		if failed.Load() {
+			break
+		}
 		wg.Add(1)
 		r.sem <- struct{}{}
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-r.sem }()
-			errs[i] = fn(i)
+			// Re-check after the (possibly long) semaphore wait.
+			if failed.Load() {
+				return
+			}
+			if err := fn(i); err != nil {
+				errs[i] = err
+				failed.Store(true)
+			}
 		}(i)
 	}
 	wg.Wait()

@@ -191,3 +191,114 @@ func TestUncacheableRunsExecute(t *testing.T) {
 		t.Fatal("uncacheable config was cached")
 	}
 }
+
+// timelineSpec returns a small two-interval timeline over quickCfg.
+func timelineSpec() TimelineSpec {
+	return TimelineSpec{
+		Node: quickCfg(),
+		Park: true,
+		Intervals: []Interval{
+			{Window: 10 * sim.Millisecond, Rate: 100e3},
+			{Window: 10 * sim.Millisecond, Rate: 0},
+			{Window: 10 * sim.Millisecond, Rate: 200e3},
+		},
+	}
+}
+
+// TestRunTimelineMemoizes pins timeline memoization: identical specs
+// share one execution (and one Stats hit), differing intervals or park
+// flags do not.
+func TestRunTimelineMemoizes(t *testing.T) {
+	r := New(2)
+	a, err := r.RunTimeline(timelineSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 3 {
+		t.Fatalf("timeline returned %d intervals, want 3", len(a))
+	}
+	b, err := r.RunTimeline(timelineSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Error("identical timeline specs did not share one memoized result")
+	}
+	hits, misses := r.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+	// A different interval list is a different timeline.
+	other := timelineSpec()
+	other.Intervals[2].Rate = 250e3
+	c, err := r.RunTimeline(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &c[0] == &a[0] {
+		t.Error("distinct interval lists shared a cache slot")
+	}
+	// So is the same list with parking off.
+	noPark := timelineSpec()
+	noPark.Park = false
+	d, err := r.RunTimeline(noPark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &d[0] == &a[0] {
+		t.Error("park and no-park timelines shared a cache slot")
+	}
+	// Parked interval really parked; the others not.
+	if !a[1].Parked || a[0].Parked || a[2].Parked {
+		t.Errorf("parked flags = %v/%v/%v, want false/true/false", a[0].Parked, a[1].Parked, a[2].Parked)
+	}
+}
+
+// TestRunTimelineUncacheable pins that a timeline over an uncacheable
+// node config (custom catalog) still executes, uncached.
+func TestRunTimelineUncacheable(t *testing.T) {
+	r := New(2)
+	spec := timelineSpec()
+	spec.Node.Catalog = cstate.Skylake()
+	if _, ok := timelineKey(spec); ok {
+		t.Fatal("custom-catalog timeline reported cacheable")
+	}
+	a, err := r.RunTimeline(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.RunTimeline(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("uncacheable timeline returned %d/%d intervals", len(a), len(b))
+	}
+	if &a[0] == &b[0] {
+		t.Error("uncacheable timelines shared a result")
+	}
+	if _, err := r.RunTimeline(TimelineSpec{Node: quickCfg()}); err == nil {
+		t.Error("empty timeline accepted")
+	}
+}
+
+// TestEachShortCircuitsOnFailure pins the cancellation contract: after
+// one task fails, tasks that have not started yet are skipped instead
+// of running the rest of the fleet to completion.
+func TestEachShortCircuitsOnFailure(t *testing.T) {
+	r := New(1) // serialize so the failure is observed before later launches
+	var ran atomic.Int64
+	err := r.Each(64, func(i int) error {
+		ran.Add(1)
+		if i == 2 {
+			return errors.New("node down")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "node down" {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if n := ran.Load(); n > 4 {
+		t.Errorf("%d of 64 tasks ran after the failure, want short-circuit", n)
+	}
+}

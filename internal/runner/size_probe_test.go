@@ -3,13 +3,18 @@ package runner
 import (
 	"testing"
 	"unsafe"
+
+	"repro/internal/server"
 )
 
 // The shard padding exists to give each mutex its own cache line; pin
 // the struct size so a field change cannot silently reintroduce false
-// sharing.
+// sharing (both value instantiations share the one generic layout).
 func TestCacheShardIsOneCacheLine(t *testing.T) {
-	if s := unsafe.Sizeof(cacheShard{}); s != 64 {
-		t.Fatalf("cacheShard is %d bytes, want 64", s)
+	if s := unsafe.Sizeof(cacheShard[server.Result]{}); s != 64 {
+		t.Fatalf("result cacheShard is %d bytes, want 64", s)
+	}
+	if s := unsafe.Sizeof(cacheShard[[]server.IntervalResult]{}); s != 64 {
+		t.Fatalf("timeline cacheShard is %d bytes, want 64", s)
 	}
 }

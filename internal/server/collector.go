@@ -28,10 +28,9 @@ type Collector struct {
 
 	maxQueueDepth int
 
-	preTrans      [cstate.NumStates]uint64
-	preResidency  [cstate.NumStates]float64
-	preCoreRes    [][cstate.NumStates]float64
-	preTransTaken bool
+	preTrans     [cstate.NumStates]uint64
+	preResidency [cstate.NumStates]float64
+	preCoreRes   [][cstate.NumStates]float64
 }
 
 func newCollector() *Collector {
@@ -44,35 +43,47 @@ func newCollector() *Collector {
 	}
 }
 
-// begin starts the measurement window: energy meters restart at the
-// current per-core power and the warmup's residency/transition totals are
-// snapshotted so collect can subtract them.
+// begin starts a measurement window: energy meters restart at the
+// current per-core power, the histograms and counters are re-armed, and
+// the residency/transition totals accumulated so far (warmup, or every
+// window already measured by a resumable Instance) are snapshotted so
+// collect can subtract them. begin is reusable: an Instance calls it
+// once per interval against long-lived state, allocation-free after the
+// first call.
 func (col *Collector) begin(s *Sim) {
 	col.measuring = true
 	col.measureStart = s.eng.Now()
+	now := int64(s.eng.Now())
 	for _, c := range s.cores {
-		// Reset energy accounting to the measurement window.
-		c.meter = stats.NewEnergyMeter(int64(s.eng.Now()), c.curPowerW)
+		// Reset energy and turbo accounting to the measurement window.
+		c.meter.Reset(now, c.curPowerW)
+		c.busyTime, c.turboBusyTime = 0, 0
 	}
-	s.uncoreMeter = stats.NewEnergyMeter(int64(s.eng.Now()), s.uncorePower())
+	s.uncoreMeter.Reset(now, s.uncorePower())
 	s.pkgIdleTotal = 0
 	if s.pkgActive {
 		s.pkgIdleStart = s.eng.Now()
 	}
-	if !col.preTransTaken {
-		for id := 0; id < int(cstate.NumStates); id++ {
-			var sum uint64
-			for _, c := range s.cores {
-				sum += c.machine.Transitions(cstate.ID(id))
-			}
-			col.preTrans[id] = sum
+	col.serverLat.Reset()
+	col.e2eLat.Reset()
+	col.wakeLat.Reset()
+	col.queueLat.Reset()
+	col.serviceLat.Reset()
+	col.completed = 0
+	col.maxQueueDepth = 0
+	for id := 0; id < int(cstate.NumStates); id++ {
+		var sum uint64
+		for _, c := range s.cores {
+			sum += c.machine.Transitions(cstate.ID(id))
 		}
-		col.preResidency = s.residencySnapshot(col.measureStart)
+		col.preTrans[id] = sum
+	}
+	col.preResidency = s.residencySnapshot(col.measureStart)
+	if col.preCoreRes == nil {
 		col.preCoreRes = make([][cstate.NumStates]float64, len(s.cores))
-		for i, c := range s.cores {
-			col.preCoreRes[i] = coreResidencySnapshot(c, col.measureStart)
-		}
-		col.preTransTaken = true
+	}
+	for i, c := range s.cores {
+		col.preCoreRes[i] = coreResidencySnapshot(c, col.measureStart)
 	}
 }
 

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Instance is a resumable server simulation: one Sim constructed once
+// and run interval by interval through RunInterval, carrying engine
+// time, per-core C-state residency, request rings, RNG streams and
+// collector state across calls. Interval N+1 continues exactly where
+// interval N stopped — pending arrivals, in-flight requests and
+// background timers survive the boundary — so a whole scenario pays the
+// configured warmup exactly once, at startup, instead of once per
+// epoch.
+//
+// The offered load is piecewise-constant: each RunInterval names its
+// window's rate, overriding Config.RatePerSec/Schedule (which the
+// Instance ignores). Under an unchanged rate an interval boundary is
+// event-for-event invisible: RunInterval(a) followed by RunInterval(b)
+// replays the identical event sequence as a single RunInterval(a+b)
+// (property-tested across every load generator and dispatch policy).
+//
+// With park-on-zero-rate enabled, a zero-rate interval is simulated as
+// a real node quiesce rather than approximated by an energy penalty:
+// in-flight requests drain, cores transition into the deepest menu
+// state (paying real exit/entry flows on the way down), OS housekeeping
+// goes tickless, and the package idle model engages. When load returns,
+// the first arrivals find their cores in deep idle and pay the measured
+// exit latency — the physical cost the cluster layer's cold path
+// modeled with a synthetic UnparkLatency/UnparkPowerW bolt-on.
+//
+// An Instance is not safe for concurrent use; run each instance from
+// one goroutine (the cluster layer gives every node its own).
+type Instance struct {
+	s       *Sim
+	park    bool
+	started bool
+	index   int
+	// preSnoops is the snoop count before the current interval, so each
+	// IntervalResult reports its own window's snoops (interval 0 keeps
+	// the one-shot semantics of counting warmup snoops too).
+	preSnoops uint64
+}
+
+// IntervalResult is one RunInterval measurement.
+type IntervalResult struct {
+	// Index counts intervals from 0.
+	Index int
+	// Start and End bound the measured window on the instance's engine
+	// clock (interval 0 starts at Config.Warmup).
+	Start, End sim.Time
+	// RateQPS is the interval's offered rate.
+	RateQPS float64
+	// Parked reports whether the node was parked for this window.
+	Parked bool
+	// Result is the interval's full measurement. Config.RatePerSec and
+	// Config.Duration reflect the interval, so a warm interval result is
+	// field-for-field comparable with a one-shot run of that window.
+	Result Result
+}
+
+// NewInstance constructs a resumable simulation from the config.
+// Config.RatePerSec, Schedule and Duration are ignored — every interval
+// brings its own rate and window; Warmup is paid once, inside the first
+// RunInterval. parkOnZeroRate makes zero-rate intervals quiesce the
+// node (see the Instance doc). A closed-loop instance is resumable like
+// any other but its load is an emergent property of connections and
+// think time — RunInterval's rate is ignored — so parkOnZeroRate is
+// rejected for it: a "parked" node still serving closed-loop traffic
+// would be a nonsense measurement.
+func NewInstance(cfg Config, parkOnZeroRate bool) (*Instance, error) {
+	cfg.RatePerSec = 0
+	cfg.Schedule = nil
+	d := cfg.Defaults()
+	if parkOnZeroRate && (d.LoadGen == LoadClosedLoop || d.ClosedLoopConnections > 0) {
+		return nil, fmt.Errorf("server: closed-loop load cannot park on zero rate (its load ignores interval rates)")
+	}
+	s, err := newSim(cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{s: s, park: parkOnZeroRate}, nil
+}
+
+// Clock returns the instance's current simulation time.
+func (ins *Instance) Clock() sim.Time { return ins.s.eng.Now() }
+
+// Parked reports whether the instance is currently in a parked window.
+func (ins *Instance) Parked() bool { return ins.s.parked }
+
+// RunInterval advances the simulation by window at the given offered
+// rate and returns the window's measurement. The first call starts the
+// generators and runs Config.Warmup before its measured window; later
+// calls resume instantly from the previous interval's end state.
+func (ins *Instance) RunInterval(window sim.Time, rate float64) (IntervalResult, error) {
+	if window <= 0 {
+		return IntervalResult{}, fmt.Errorf("server: non-positive interval window %d", window)
+	}
+	if rate < 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return IntervalResult{}, fmt.Errorf("server: invalid interval rate %g", rate)
+	}
+	s := ins.s
+	if !ins.started {
+		ins.started = true
+		s.instRate = rate
+		if ins.park && rate == 0 {
+			s.park(0)
+		}
+		s.gen.Start(s)
+		s.startBackground()
+		s.eng.RunTo(s.cfg.Warmup) // the scenario's one warmup
+	} else {
+		now := s.eng.Now()
+		s.setIntervalRate(now, rate)
+		if ins.park {
+			if rate == 0 && !s.parked {
+				s.park(now)
+			} else if rate > 0 && s.parked {
+				s.unpark(now)
+			}
+		}
+	}
+	start := s.eng.Now()
+	s.col.begin(s)
+	end := start + window
+	s.eng.RunTo(end)
+	res := s.col.collect(s, end)
+	res.Config.RatePerSec = rate
+	res.Config.Duration = window
+	res.SnoopsServed = s.snoopsServed - ins.preSnoops
+	ins.preSnoops = s.snoopsServed
+	out := IntervalResult{
+		Index:   ins.index,
+		Start:   start,
+		End:     end,
+		RateQPS: rate,
+		Parked:  ins.park && s.parked,
+		Result:  res,
+	}
+	ins.index++
+	return out, nil
+}

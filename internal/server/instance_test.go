@@ -1,0 +1,342 @@
+package server
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cstate"
+	"repro/internal/governor"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// instCfg is the shared instance-test node: short warmup, every
+// background process on defaults.
+func instCfg() Config {
+	return Config{
+		Platform: governor.Baseline,
+		Profile:  workload.Memcached(),
+		Warmup:   5 * sim.Millisecond,
+		Seed:     21,
+	}
+}
+
+func mustInterval(t *testing.T, ins *Instance, window sim.Time, rate float64) IntervalResult {
+	t.Helper()
+	res, err := ins.RunInterval(window, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFirstIntervalMatchesOneShotRun is the resumable engine's anchor:
+// an Instance's first interval at a constant rate must reproduce the
+// one-shot RunConfig of the same window bit-for-bit — identical Result,
+// every field. This is what lets the warm cluster path inherit the
+// stationary simulator's golden-pinned behavior.
+func TestFirstIntervalMatchesOneShotRun(t *testing.T) {
+	for _, loadgen := range []string{LoadOpenLoop, LoadBursty} {
+		cfg := instCfg()
+		cfg.LoadGen = loadgen
+		cfg.SnoopRatePerSec = 20e3 // exercise the snoop-count bookkeeping too
+
+		oneShot := cfg
+		oneShot.RatePerSec = 150e3
+		oneShot.Duration = 40 * sim.Millisecond
+		want, err := RunConfig(oneShot)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		ins, err := NewInstance(cfg, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := mustInterval(t, ins, 40*sim.Millisecond, 150e3)
+		if got.Start != cfg.Warmup || got.End != cfg.Warmup+40*sim.Millisecond {
+			t.Errorf("%s: interval window [%v,%v), want warmup-aligned", loadgen, got.Start, got.End)
+		}
+		if !reflect.DeepEqual(got.Result, want) {
+			t.Errorf("%s: first interval diverged from one-shot run\n got: %+v\nwant: %+v",
+				loadgen, got.Result, want)
+		}
+	}
+}
+
+// TestIntervalSplitIdentity is the pause/resume property test: under a
+// constant rate, RunInterval(a) followed by RunInterval(b) must be
+// event-for-event identical to a single RunInterval(a+b), across every
+// load generator x dispatch policy combination. Identity is asserted
+// three ways: the engine fired the same number of events, the split
+// windows' completions sum to the joint window's, and a further probe
+// interval (same rate, same window) returns a bit-identical Result —
+// which can only happen if the full simulation state (cores, rings,
+// RNG streams, machines) matches after the split.
+func TestIntervalSplitIdentity(t *testing.T) {
+	const (
+		a    = 17 * sim.Millisecond
+		bWin = 23 * sim.Millisecond
+		c    = 15 * sim.Millisecond
+		rate = 180e3
+	)
+	for _, loadgen := range LoadGens() {
+		for _, dispatch := range DispatchPolicies() {
+			cfg := instCfg()
+			cfg.LoadGen = loadgen
+			cfg.Dispatch = dispatch
+			if loadgen == LoadClosedLoop {
+				cfg.ClosedLoopConnections = 32
+			}
+			split, err := NewInstance(cfg, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			joint, err := NewInstance(cfg, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sa := mustInterval(t, split, a, rate)
+			sb := mustInterval(t, split, bWin, rate)
+			jab := mustInterval(t, joint, a+bWin, rate)
+
+			name := loadgen + "/" + dispatch
+			if got, want := split.s.eng.Fired(), joint.s.eng.Fired(); got != want {
+				t.Errorf("%s: split fired %d events, joint fired %d", name, got, want)
+			}
+			if split.Clock() != joint.Clock() {
+				t.Errorf("%s: split clock %v != joint clock %v", name, split.Clock(), joint.Clock())
+			}
+			if got, want := sa.Result.Server.Count+sb.Result.Server.Count, jab.Result.Server.Count; got != want {
+				t.Errorf("%s: split completions %d != joint completions %d", name, got, want)
+			}
+			// The probe interval sees the post-split state: bit-identical
+			// Results prove the split left no trace in the simulation.
+			sp := mustInterval(t, split, c, rate)
+			jp := mustInterval(t, joint, c, rate)
+			if sp.Start != jp.Start || sp.End != jp.End {
+				t.Errorf("%s: probe window [%v,%v) != joint [%v,%v)", name, sp.Start, sp.End, jp.Start, jp.End)
+			}
+			if !reflect.DeepEqual(sp.Result, jp.Result) {
+				t.Errorf("%s: probe interval after split diverged from joint run\n got: %+v\nwant: %+v",
+					name, sp.Result, jp.Result)
+			}
+		}
+	}
+}
+
+// TestInstanceWarmupPaidOnce pins the warmup amortization: interval N>0
+// begins exactly at interval N-1's end — no re-warmup, no clock gap.
+func TestInstanceWarmupPaidOnce(t *testing.T) {
+	ins, err := NewInstance(instCfg(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevEnd := instCfg().Warmup
+	for i := 0; i < 5; i++ {
+		res := mustInterval(t, ins, 10*sim.Millisecond, 100e3)
+		if res.Index != i {
+			t.Fatalf("interval index %d, want %d", res.Index, i)
+		}
+		if res.Start != prevEnd {
+			t.Fatalf("interval %d starts at %v, want contiguous %v", i, res.Start, prevEnd)
+		}
+		if res.Result.MeasuredDuration != 10*sim.Millisecond {
+			t.Fatalf("interval %d measured %v, want 10ms", i, res.Result.MeasuredDuration)
+		}
+		prevEnd = res.End
+	}
+}
+
+// TestInstanceParkReachesDeepIdle pins the real simulated park: a
+// zero-rate interval on a park-enabled instance drains the node into
+// the deepest menu state and package idle, and the power collapses to
+// the package floor — without any config rewrite or fresh simulation.
+func TestInstanceParkReachesDeepIdle(t *testing.T) {
+	ins, err := NewInstance(instCfg(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serve load first so the park starts from a working node.
+	mustInterval(t, ins, 20*sim.Millisecond, 200e3)
+	park := mustInterval(t, ins, 30*sim.Millisecond, 0)
+	if !park.Parked {
+		t.Fatal("zero-rate interval not reported parked")
+	}
+	// Requests in flight at the boundary drain into the parked window (a
+	// handful at most); no new arrivals join them.
+	if park.Result.Server.Count > 20 {
+		t.Errorf("parked interval completed %d foreground requests, want only the in-flight drain",
+			park.Result.Server.Count)
+	}
+	// Deepest Baseline menu state is C6: the parked window must be
+	// dominated by it once the drain transition finishes.
+	if got := park.Result.Residency[cstate.C6]; got < 0.9 {
+		t.Errorf("parked C6 residency %.4f, want > 0.9 (residency %v)", got, park.Result.Residency)
+	}
+	if park.Result.PkgIdleFraction < 0.9 {
+		t.Errorf("parked package-idle fraction %.4f, want > 0.9", park.Result.PkgIdleFraction)
+	}
+	if park.Result.UncoreAvgW >= 29 {
+		t.Errorf("parked uncore %.2fW, want deep-idle floor", park.Result.UncoreAvgW)
+	}
+	if park.Result.PackagePowerW >= 15 {
+		t.Errorf("parked package power %.2fW, want < 15W", park.Result.PackagePowerW)
+	}
+	// Unpark: load returns, the node serves again, and the first
+	// arrivals pay a real C6 exit (visible in the wake-latency tail).
+	wake := mustInterval(t, ins, 20*sim.Millisecond, 200e3)
+	if wake.Parked {
+		t.Fatal("loaded interval still reported parked")
+	}
+	if wake.Result.Server.Count == 0 {
+		t.Fatal("no completions after unpark")
+	}
+	exitUS := float64(cstate.Skylake().ExitLatency(cstate.C6)) / 1e3
+	if wake.Result.Breakdown.Wake.MaxUS < exitUS {
+		t.Errorf("post-unpark max wake %.2fus below the C6 exit latency %.2fus — park transition not simulated",
+			wake.Result.Breakdown.Wake.MaxUS, exitUS)
+	}
+}
+
+// TestBurstyParkSuppressesResidualOnWindow is the regression for the
+// bursty/park interaction: an ON window straddling the park boundary
+// must not keep dispatching at the previous interval's burst rate into
+// a window reported as Parked — only the in-flight drain may complete.
+func TestBurstyParkSuppressesResidualOnWindow(t *testing.T) {
+	cfg := instCfg()
+	cfg.LoadGen = LoadBursty
+	// Long ON windows with short gaps, so the park boundary lands inside
+	// an ON window and the stale arrival chain would run well past it.
+	cfg.BurstOnTime = 10 * sim.Millisecond
+	cfg.BurstOffTime = 500 * sim.Microsecond
+	ins, err := NewInstance(cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustInterval(t, ins, 20*sim.Millisecond, 200e3)
+	park := mustInterval(t, ins, 30*sim.Millisecond, 0)
+	if !park.Parked {
+		t.Fatal("zero-rate bursty interval not reported parked")
+	}
+	if park.Result.Server.Count > 20 {
+		t.Errorf("parked bursty interval completed %d foreground requests, want only the in-flight drain",
+			park.Result.Server.Count)
+	}
+	if got := park.Result.Residency[cstate.C6]; got < 0.9 {
+		t.Errorf("parked bursty C6 residency %.4f, want > 0.9", got)
+	}
+}
+
+// TestInstanceParkedFromStart pins parking a node that never served
+// load: the whole first interval (warmup included) runs quiesced.
+func TestInstanceParkedFromStart(t *testing.T) {
+	ins, err := NewInstance(instCfg(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	park := mustInterval(t, ins, 30*sim.Millisecond, 0)
+	if !park.Parked || park.Result.Server.Count != 0 {
+		t.Fatalf("cold park: parked=%v completions=%d", park.Parked, park.Result.Server.Count)
+	}
+	if got := park.Result.Residency[cstate.C6]; got < 0.9 {
+		t.Errorf("cold-parked C6 residency %.4f, want > 0.9", got)
+	}
+	if park.Result.PackagePowerW >= 15 {
+		t.Errorf("cold-parked package power %.2fW, want < 15W", park.Result.PackagePowerW)
+	}
+}
+
+// TestParkEngagesPackageIdleWhenAlreadyDeep is the regression for the
+// edge-trigger corner: package-idle arming normally happens in
+// coreBecameIdle when the last core *transitions* to idle — but if
+// every core already sits resident in the deepest state when park() is
+// called (static governor, tickless, no in-flight work), nothing will
+// transition during the quiesced window, so park itself must arm the
+// entry timer or the parked window burns full uncore power forever.
+func TestParkEngagesPackageIdleWhenAlreadyDeep(t *testing.T) {
+	cfg := instCfg()
+	cfg.GovernorPolicy = governor.PolicyStatic
+	cfg.OSNoisePeriod = -1 // tickless even before the park
+	ins, err := NewInstance(cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ins.s
+	// Let the construction-time entry flows complete: every core ends
+	// resident in the deepest menu state with pkgIdleOn still false
+	// (PkgIdleEnabled unset), so no entry timer is pending.
+	s.eng.RunTo(sim.Millisecond)
+	for i, c := range s.cores {
+		if c.machine.Phase() != cstate.PhaseIdle || c.machine.State() != s.deepest {
+			t.Fatalf("core %d not resident in deepest state before park: %v/%v",
+				i, c.machine.Phase(), c.machine.State())
+		}
+	}
+	if s.idleCores != len(s.cores) || s.pkgEvent != nil || s.pkgActive {
+		t.Fatalf("precondition: idleCores=%d pkgEvent=%v pkgActive=%v",
+			s.idleCores, s.pkgEvent != nil, s.pkgActive)
+	}
+	s.park(s.eng.Now())
+	s.eng.RunTo(s.eng.Now() + 10*sim.Millisecond)
+	if !s.pkgActive {
+		t.Fatal("all cores already deep at park boundary: package idle never engaged")
+	}
+}
+
+// TestInstanceRejectsBadIntervals covers RunInterval validation.
+func TestInstanceRejectsBadIntervals(t *testing.T) {
+	ins, err := NewInstance(instCfg(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ins.RunInterval(0, 1e3); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := ins.RunInterval(-sim.Millisecond, 1e3); err == nil {
+		t.Error("negative window accepted")
+	}
+	if _, err := ins.RunInterval(sim.Millisecond, -1); err == nil {
+		t.Error("negative rate accepted")
+	}
+	// Closed-loop load ignores interval rates, so a park-enabled
+	// closed-loop instance would report Parked=true while still serving.
+	closed := instCfg()
+	closed.ClosedLoopConnections = 16
+	if _, err := NewInstance(closed, true); err == nil {
+		t.Error("park-enabled closed-loop instance accepted")
+	}
+	if _, err := NewInstance(closed, false); err != nil {
+		t.Errorf("park-free closed-loop instance rejected: %v", err)
+	}
+}
+
+// TestIntervalSteadyStateAllocs pins the warm path's per-epoch
+// allocation budget: once an Instance is warm, advancing one interval
+// allocates only what the fresh IntervalResult itself needs (per-core
+// stats slice, five latency summaries) — a fixed handful of small
+// allocations, independent of window length and request count.
+func TestIntervalSteadyStateAllocs(t *testing.T) {
+	ins, err := NewInstance(instCfg(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm everything: rings, histogram buckets, event free list.
+	for i := 0; i < 4; i++ {
+		mustInterval(t, ins, 10*sim.Millisecond, 200e3)
+	}
+	mustInterval(t, ins, 10*sim.Millisecond, 0) // park path warm too
+	mustInterval(t, ins, 10*sim.Millisecond, 200e3)
+	rate := 200e3
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := ins.RunInterval(10*sim.Millisecond, rate); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Result assembly allocates the PerCore slice plus one Quantiles
+	// scratch per histogram; pin a tight ceiling so regressions surface.
+	const maxAllocs = 16
+	if avg > maxAllocs {
+		t.Fatalf("steady-state RunInterval allocates %v per epoch, want <= %d", avg, maxAllocs)
+	}
+}

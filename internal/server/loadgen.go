@@ -46,8 +46,10 @@ type LoadGen interface {
 	OnComplete(s *Sim, conn int, now sim.Time)
 }
 
-// newLoadGen constructs the named generator.
-func newLoadGen(cfg Config) (LoadGen, error) {
+// newLoadGen constructs the named generator. inst marks instance mode,
+// where the offered rate arrives per interval instead of through
+// Config.RatePerSec/Schedule.
+func newLoadGen(cfg Config, inst bool) (LoadGen, error) {
 	switch cfg.LoadGen {
 	case LoadOpenLoop:
 		return openLoopGen{}, nil
@@ -57,7 +59,7 @@ func newLoadGen(cfg Config) (LoadGen, error) {
 		}
 		return closedLoopGen{}, nil
 	case LoadBursty:
-		if cfg.RatePerSec <= 0 && cfg.Schedule == nil {
+		if cfg.RatePerSec <= 0 && cfg.Schedule == nil && !inst {
 			return nil, fmt.Errorf("server: bursty load needs RatePerSec > 0")
 		}
 		on, off := float64(cfg.BurstOnTime), float64(cfg.BurstOffTime)
@@ -87,7 +89,7 @@ func (openLoopGen) register(s *Sim) {
 }
 
 func (openLoopGen) Start(s *Sim) {
-	if s.cfg.Schedule != nil {
+	if s.instMode || s.cfg.Schedule != nil {
 		s.openLoopNext(0)
 		return
 	}
@@ -103,6 +105,7 @@ func (openLoopGen) OnComplete(*Sim, int, sim.Time) {}
 // openLoopArrival dispatches one request (unless this is a zero-rate
 // phase probe) and schedules the next.
 func (s *Sim) openLoopArrival(now sim.Time, probe bool) {
+	s.arrEvent = nil // this event just fired; drop the stale handle
 	if !probe {
 		s.dispatch(now, -1)
 	}
@@ -128,6 +131,21 @@ const zeroRateProbe = sim.Millisecond
 // 1 QPS would sleep past the whole schedule).
 func (s *Sim) openLoopNext(now sim.Time) {
 	rate := s.cfg.RatePerSec
+	if s.instMode {
+		// Instance mode: the rate is piecewise-constant and changes only
+		// at RunInterval boundaries (setIntervalRate cancels and redraws
+		// there), so no probing or censoring is needed; a zero-rate
+		// interval schedules nothing until the rate returns.
+		rate = s.instRate
+		if rate <= 0 {
+			return
+		}
+		gap := s.cfg.Profile.Arrivals.NextGap(s.arrRand, rate)
+		if gap < sim.MaxTime-now {
+			s.arrEvent = s.eng.ScheduleKind(gap, s.kArrival, 0, 0)
+		}
+		return
+	}
 	if s.cfg.Schedule != nil {
 		rate = s.cfg.Schedule.RateAt(now)
 		if rate <= 0 {
@@ -201,9 +219,15 @@ func (g *burstyGen) register(s *Sim) {
 		g.burst(s, now)
 	})
 	// a0 carries the ON-window end so in-window arrivals need no state
-	// beyond the generator itself.
+	// beyond the generator itself. A parked node suppresses the dispatch
+	// (like OS noise): an ON window straddling the park boundary would
+	// otherwise keep serving at the stale burst rate while the node is
+	// reported quiesced. The chain still ticks to the window end; the
+	// next burst re-derives a zero rate and emits nothing.
 	s.kBurstArrive = s.eng.RegisterKind(func(now sim.Time, end, _ uint64) {
-		s.dispatch(now, -1)
+		if !s.parked {
+			s.dispatch(now, -1)
+		}
 		g.arrive(s, now, sim.Time(end))
 	})
 }
@@ -221,7 +245,9 @@ func (*burstyGen) OnComplete(*Sim, int, sim.Time) {}
 // zero-rate phases keep the on/off clock ticking but emit no arrivals.
 func (g *burstyGen) burst(s *Sim, now sim.Time) {
 	g.curRate = g.onRate
-	if s.cfg.Schedule != nil {
+	if s.instMode {
+		g.curRate = s.instRate * (g.onMean + g.offMean) / g.onMean
+	} else if s.cfg.Schedule != nil {
 		g.curRate = s.cfg.Schedule.RateAt(now) * (g.onMean + g.offMean) / g.onMean
 	}
 	dur := sim.Time(s.arrRand.Exp(g.onMean))

@@ -418,6 +418,26 @@ type Sim struct {
 	disp Dispatcher
 	col  *Collector
 
+	// Instance-mode state (see instance.go). A resumable Instance drives
+	// the offered load as a piecewise-constant rate that changes only at
+	// RunInterval boundaries: instRate is the current interval's rate and
+	// arrEvent the pending open-loop arrival (tracked so a rate change
+	// can cancel and redraw it). parked marks a quiesced zero-load
+	// window: OS-noise injection is suppressed, idle selection goes
+	// straight to the deepest menu state, and the package idle model is
+	// armed regardless of Config.PkgIdleEnabled (pkgIdleOn). One-shot
+	// runs never set instMode, so their paths are untouched.
+	instMode bool
+	instRate float64
+	parked   bool
+	arrEvent *sim.Event
+	// pkgIdleOn gates the package idle-state model (Config.PkgIdleEnabled
+	// outside parked windows).
+	pkgIdleOn bool
+	// deepest is the deepest state in the platform menu (C0 when empty) —
+	// what a fleet manager quiescing the node sends every core to.
+	deepest cstate.ID
+
 	totalPwr float64
 
 	// snoopsServed counts snoops serviced by idle cores.
@@ -474,7 +494,7 @@ func (s *Sim) uncorePower() float64 {
 // coreBecameIdle is called when a core reaches PhaseIdle residency.
 func (s *Sim) coreBecameIdle(now sim.Time) {
 	s.idleCores++
-	if !s.cfg.PkgIdleEnabled || s.idleCores < len(s.cores) || s.pkgActive || s.pkgEvent != nil {
+	if !s.pkgIdleOn || s.idleCores < len(s.cores) || s.pkgActive || s.pkgEvent != nil {
 		return
 	}
 	s.pkgEvent = s.eng.ScheduleKind(s.cfg.PkgEntryDelay, s.kPkgIdle, 0, 0)
@@ -521,7 +541,11 @@ func (s *Sim) residencySnapshot(at sim.Time) [cstate.NumStates]float64 {
 }
 
 // New constructs a simulation from the config (after applying defaults).
-func New(cfg Config) (*Sim, error) {
+func New(cfg Config) (*Sim, error) { return newSim(cfg, false) }
+
+// newSim is the shared constructor behind New (one-shot runs) and
+// NewInstance (resumable interval runs, inst true).
+func newSim(cfg Config, inst bool) (*Sim, error) {
 	cfg = cfg.Defaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -541,7 +565,10 @@ func New(cfg Config) (*Sim, error) {
 		cpower:  turbo.NewCorePower(cfg.Freq),
 		col:     newCollector(),
 	}
-	gen, err := newLoadGen(cfg)
+	s.instMode = inst
+	s.pkgIdleOn = cfg.PkgIdleEnabled
+	s.deepest, _ = cfg.Catalog.DeepestByResidency(cfg.Platform.Menu, sim.MaxTime)
+	gen, err := newLoadGen(cfg, inst)
 	if err != nil {
 		return nil, err
 	}
@@ -712,10 +739,19 @@ func (s *Sim) snoopArrive(c *coreRuntime, now sim.Time) {
 	s.eng.ScheduleKind(gap, s.kSnoopNext, uint64(c.idx), 0)
 }
 
-// enterIdle runs the governor and starts the entry flow on core c.
+// enterIdle runs the governor and starts the entry flow on core c. On a
+// parked node the governor is bypassed: a fleet manager draining a node
+// sends its cores to the deepest enabled state outright (the menu
+// governor's short cold-start prediction would otherwise strand
+// never-woken cores in C1 for the whole parked window).
 func (s *Sim) enterIdle(c *coreRuntime, now sim.Time) {
 	c.idleStart = now
-	id := c.gov.Select(now, s.cfg.Platform.Menu)
+	var id cstate.ID
+	if s.parked {
+		id = s.deepest
+	} else {
+		id = c.gov.Select(now, s.cfg.Platform.Menu)
+	}
 	if id == cstate.C0 {
 		// Empty menu: the core polls in C0 at active power.
 		s.setCorePower(c, now, s.pwrActive)
@@ -842,10 +878,15 @@ func (s *Sim) dispatch(now sim.Time, conn int) {
 }
 
 // noise injects one background OS wake-up on core c and reschedules.
+// While the node is parked the timer keeps ticking but injects nothing —
+// a quiesced, tickless node — so un-parking resumes housekeeping at the
+// next tick without re-seeding the timer chain.
 func (s *Sim) noise(c *coreRuntime, now sim.Time) {
-	c.queue.push(request{arrival: now, demand: s.cfg.OSNoiseDemand, background: true, conn: -1})
-	if !c.busy {
-		s.wake(c, now)
+	if !s.parked {
+		c.queue.push(request{arrival: now, demand: s.cfg.OSNoiseDemand, background: true, conn: -1})
+		if !c.busy {
+			s.wake(c, now)
+		}
 	}
 	gap := sim.Time(c.noiseRng.Exp(float64(s.cfg.OSNoisePeriod)))
 	if gap < sim.Microsecond {
@@ -854,9 +895,9 @@ func (s *Sim) noise(c *coreRuntime, now sim.Time) {
 	s.eng.ScheduleKind(gap, s.kNoise, uint64(c.idx), 0)
 }
 
-// Run executes the configured warmup + measurement and returns results.
-func (s *Sim) Run() Result {
-	s.gen.Start(s)
+// startBackground seeds the per-core background processes (OS noise,
+// snoop traffic) at time zero — shared by Run and Instance startup.
+func (s *Sim) startBackground() {
 	if s.cfg.OSNoisePeriod > 0 {
 		for i, c := range s.cores {
 			c.noiseRng = xrand.NewStream(s.cfg.Seed, fmt.Sprintf("osnoise/%d", i))
@@ -871,6 +912,81 @@ func (s *Sim) Run() Result {
 			s.eng.ScheduleKindAt(first, s.kSnoopNext, uint64(c.idx), 0)
 		}
 	}
+}
+
+// park quiesces the node for a zero-load window: idle selection switches
+// to the deepest menu state, OS-noise injection is suppressed, and the
+// package idle model is armed. Cores already idling in a shallower state
+// are nudged through a tiny background quiesce task — the model of the
+// fleet manager's drain IPI — so they pay the real exit+entry flows on
+// their way down to deep idle; busy cores drain in-flight requests first
+// and fall into the deepest state via enterIdle.
+func (s *Sim) park(now sim.Time) {
+	s.parked = true
+	s.pkgIdleOn = true
+	if s.deepest == cstate.C0 {
+		return // empty menu: cores poll in C0, there is nothing deeper
+	}
+	for _, c := range s.cores {
+		if c.busy || c.queue.len() > 0 {
+			continue // drains into the deepest state via enterIdle
+		}
+		ph := c.machine.Phase()
+		if (ph == cstate.PhaseIdle || ph == cstate.PhaseEntering) && c.machine.State() != s.deepest {
+			c.queue.push(request{arrival: now, demand: 1, background: true, conn: -1})
+			s.wake(c, now)
+		}
+	}
+	// Package-idle arming is edge-triggered (coreBecameIdle); if every
+	// core already sits in the deepest state at the park boundary, no
+	// core will transition during the quiesced window, so arm the entry
+	// timer here.
+	if s.idleCores == len(s.cores) && !s.pkgActive && s.pkgEvent == nil {
+		s.pkgEvent = s.eng.ScheduleKind(s.cfg.PkgEntryDelay, s.kPkgIdle, 0, 0)
+	}
+}
+
+// unpark ends a parked window: idle selection returns to the governor
+// and the package idle model reverts to its configured setting. Cores
+// stay resident in deep idle until load arrives — the first post-unpark
+// request pays the deepest state's measured exit latency, which is the
+// simulated replacement for the cold path's synthetic unpark penalty.
+func (s *Sim) unpark(now sim.Time) {
+	s.parked = false
+	s.pkgIdleOn = s.cfg.PkgIdleEnabled
+	if !s.pkgIdleOn && s.pkgEvent != nil {
+		s.eng.Cancel(s.pkgEvent)
+		s.pkgEvent = nil
+	}
+}
+
+// setIntervalRate installs the next interval's offered rate (instance
+// mode). An unchanged rate touches nothing, so splitting an interval is
+// event-for-event free; a changed rate cancels the pending open-loop
+// arrival (drawn at the old rate) and redraws from now — the standard
+// memoryless piecewise-constant construction, mirroring how the schedule
+// path censors and redraws at phase boundaries. The bursty generator
+// re-derives its burst rate at each ON-window start and the closed loop
+// has no offered rate, so neither needs re-arming.
+func (s *Sim) setIntervalRate(now sim.Time, rate float64) {
+	if rate == s.instRate {
+		return
+	}
+	s.instRate = rate
+	if s.gen.Name() != LoadOpenLoop {
+		return
+	}
+	if s.arrEvent != nil {
+		s.eng.Cancel(s.arrEvent)
+		s.arrEvent = nil
+	}
+	s.openLoopNext(now)
+}
+
+// Run executes the configured warmup + measurement and returns results.
+func (s *Sim) Run() Result {
+	s.gen.Start(s)
+	s.startBackground()
 	// Warmup.
 	s.eng.RunUntil(s.cfg.Warmup)
 	s.eng.AdvanceTo(s.cfg.Warmup)

@@ -495,6 +495,18 @@ func (e *Engine) RunUntil(horizon Time) {
 	}
 }
 
+// RunTo executes every event scheduled at or before when, then parks the
+// clock exactly at when — without draining events scheduled beyond the
+// bound. It is the pause point of a resumable simulation: pending future
+// events (arrival chains, background timers, in-flight completions)
+// survive in the queue, and a later RunTo continues event-for-event as
+// if the run had never paused. Calling RunTo with when in the past
+// panics (via AdvanceTo).
+func (e *Engine) RunTo(when Time) {
+	e.RunUntil(when)
+	e.AdvanceTo(when)
+}
+
 // Run executes events until the queue is empty or Stop is called.
 func (e *Engine) Run() {
 	e.stopped = false

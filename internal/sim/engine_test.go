@@ -240,3 +240,83 @@ func TestPropertyCancelHalf(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRunToPausesWithoutDraining pins the resumable-simulation contract:
+// RunTo executes exactly the events inside the bound, parks the clock at
+// the bound, leaves future events queued, and a later RunTo resumes
+// event-for-event — including an event that straddles the pause point.
+func TestRunToPausesWithoutDraining(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{10, 50, 100, 150, 300} {
+		at := at
+		e.ScheduleAt(at, func(now Time) { fired = append(fired, now) })
+	}
+	e.RunTo(100)
+	if e.Now() != 100 {
+		t.Fatalf("clock = %v, want parked at 100", e.Now())
+	}
+	if want := []Time{10, 50, 100}; len(fired) != 3 || fired[0] != want[0] || fired[1] != want[1] || fired[2] != want[2] {
+		t.Fatalf("fired %v inside bound, want %v", fired, want)
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d after pause, want 2 undrained events", e.Pending())
+	}
+	// Resume: schedule more work relative to the paused clock, then run on.
+	e.Schedule(75, func(now Time) { fired = append(fired, now) }) // at 175
+	e.RunTo(400)
+	want := []Time{10, 50, 100, 150, 175, 300}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v after resume, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v after resume, want %v", fired, want)
+		}
+	}
+	if e.Now() != 400 {
+		t.Errorf("clock = %v after resume, want 400", e.Now())
+	}
+}
+
+// TestRunToMatchesSingleRun pins that two RunTo calls are equivalent to
+// one spanning call: same events fired, same final clock.
+func TestRunToMatchesSingleRun(t *testing.T) {
+	build := func() (*Engine, *int) {
+		e := NewEngine()
+		n := new(int)
+		var reschedule Handler
+		reschedule = func(now Time) {
+			*n++
+			if now < 1000 {
+				e.Schedule(7, reschedule)
+			}
+		}
+		e.ScheduleAt(3, reschedule)
+		return e, n
+	}
+	a, na := build()
+	a.RunTo(500)
+	a.RunTo(1200)
+	b, nb := build()
+	b.RunTo(1200)
+	if *na != *nb {
+		t.Errorf("split RunTo fired %d events, single RunTo fired %d", *na, *nb)
+	}
+	if a.Now() != b.Now() || a.Fired() != b.Fired() {
+		t.Errorf("split (now=%v fired=%d) != single (now=%v fired=%d)",
+			a.Now(), a.Fired(), b.Now(), b.Fired())
+	}
+}
+
+// TestRunToPastPanics pins that rewinding the clock is rejected.
+func TestRunToPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.RunTo(100)
+	defer func() {
+		if recover() == nil {
+			t.Error("RunTo into the past did not panic")
+		}
+	}()
+	e.RunTo(50)
+}

@@ -149,6 +149,19 @@ func (h *Histogram) growTo(b int) {
 	h.counts = grown
 }
 
+// Reset clears all recorded samples while keeping the grown bucket
+// array, so a histogram re-armed for a new measurement interval records
+// without re-allocating the buckets the previous interval grew.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.n = 0
+	h.sum = 0
+	h.max = 0
+	h.min = math.Inf(1)
+}
+
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() uint64 { return h.n }
 
@@ -386,6 +399,16 @@ type EnergyMeter struct {
 // NewEnergyMeter starts integration at time start with the given power.
 func NewEnergyMeter(start int64, power float64) *EnergyMeter {
 	return &EnergyMeter{power: power, since: start, started: start}
+}
+
+// Reset restarts integration at time start with the given power,
+// discarding accumulated energy — equivalent to NewEnergyMeter without
+// the allocation, for meters re-armed every measurement interval.
+func (m *EnergyMeter) Reset(start int64, power float64) {
+	m.joules = 0
+	m.power = power
+	m.since = start
+	m.started = start
 }
 
 // SetPower advances integration to now and switches to power watts.

@@ -280,3 +280,55 @@ func TestHistogramCDFEmpty(t *testing.T) {
 		t.Fatal("zero points CDF not nil")
 	}
 }
+
+// TestHistogramReset pins that a reset histogram records exactly like a
+// fresh one (same buckets, same quantiles) without reallocating buckets.
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i) * 1.7)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Fatalf("reset histogram not empty: n=%d mean=%v max=%v min=%v",
+			h.Count(), h.Mean(), h.Max(), h.Min())
+	}
+	fresh := NewHistogram()
+	for i := 0; i < 500; i++ {
+		v := float64(i*i) / 3
+		h.Add(v)
+		fresh.Add(v)
+	}
+	hq := h.Quantiles(0.5, 0.95, 0.99)
+	fq := fresh.Quantiles(0.5, 0.95, 0.99)
+	for i := range hq {
+		if hq[i] != fq[i] {
+			t.Errorf("quantile %d after reset: %v, fresh %v", i, hq[i], fq[i])
+		}
+	}
+	if h.Mean() != fresh.Mean() || h.Max() != fresh.Max() || h.Min() != fresh.Min() {
+		t.Error("reset histogram moments diverge from fresh histogram")
+	}
+	// Re-recording into already-grown buckets must not allocate.
+	h.Reset()
+	if avg := testing.AllocsPerRun(100, func() { h.Add(123.4) }); avg != 0 {
+		t.Errorf("Add after Reset allocates %v per op", avg)
+	}
+}
+
+// TestEnergyMeterReset pins that Reset restarts integration exactly like
+// a fresh meter.
+func TestEnergyMeterReset(t *testing.T) {
+	m := NewEnergyMeter(0, 10)
+	m.SetPower(1e9, 20)
+	if m.Energy(2e9) != 30 {
+		t.Fatalf("pre-reset energy = %v, want 30", m.Energy(2e9))
+	}
+	m.Reset(5e9, 4)
+	if got := m.Energy(6e9); got != 4 {
+		t.Errorf("post-reset energy = %v, want 4", got)
+	}
+	if got := m.AveragePower(7e9); got != 4 {
+		t.Errorf("post-reset average power = %v, want 4", got)
+	}
+}

@@ -253,6 +253,14 @@ type ClusterRun struct {
 	// the template is applied — the hook for heterogeneous fleets, e.g.
 	// giving some nodes an EPYC() catalog or a different PlatformConfig.
 	NodeOverride func(i int, cfg NodeConfig) NodeConfig
+	// SharedSeeds gives every node the template seed instead of Seed+i.
+	// Nodes assigned identical rate timelines then become bit-identical
+	// simulations, which the scenario engine collapses into one
+	// equivalence class per timeline — the fleet-scale dedup that makes
+	// 100K-node scenario runs tractable. Statistical independence across
+	// nodes is traded away; pair with ScenarioRun.Replicas to get seeded
+	// resampling error bars instead.
+	SharedSeeds bool
 }
 
 // buildFleet applies the fleet defaults and expands the per-node
@@ -277,6 +285,11 @@ func buildFleet(r ClusterRun) (ClusterRun, []NodeConfig, error) {
 	template.RatePerSec = 0
 	template.Schedule = nil
 	nodes := cluster.Homogeneous(r.Nodes, template)
+	if r.SharedSeeds {
+		for i := range nodes {
+			nodes[i].Seed = template.Seed
+		}
+	}
 	if r.NodeOverride != nil {
 		for i := range nodes {
 			nodes[i] = r.NodeOverride(i, nodes[i])
@@ -335,7 +348,17 @@ func NewSchedule(name string, phases ...Phase) (*Schedule, error) {
 
 // ScenarioResult is a time-varying fleet measurement: per-epoch detail,
 // per-phase aggregation, park/unpark timeline and whole-run totals.
+// Classes/ReplicaRuns report the equivalence-class collapse, and CI (set
+// when Replicas > 0) carries replica-ensemble 95% confidence intervals.
 type ScenarioResult = cluster.ScenarioResult
+
+// CI is a 95% confidence interval, and FleetCI the set of intervals a
+// replicated scenario run attaches to its fleet-level observables
+// (fleet power, QPS-per-watt, worst node p99). See ScenarioRun.Replicas.
+type (
+	CI      = cluster.CI
+	FleetCI = cluster.FleetCI
+)
 
 // ScenarioRun describes one time-varying fleet simulation: the embedded
 // ClusterRun supplies the fleet (nodes, platform, service, policy), and
@@ -372,6 +395,26 @@ type ScenarioRun struct {
 	// one resumable instance — a single warmup per scenario, real
 	// park/unpark transitions, and one pipelined task per node.
 	ColdEpochs bool
+	// Replicas adds K seeded statistical replicas per timeline
+	// equivalence class: each class's representative is re-simulated K
+	// times under seeds drawn from a reserved plane disjoint from every
+	// node and epoch seed, and the result gains 95% confidence intervals
+	// (ScenarioResult.CI, EpochResult.CI) over fleet power, QPS-per-watt
+	// and worst p99. Point estimates are untouched — K=0 and K>0 report
+	// bit-identical central values. Warm path only. Replicas pay off with
+	// SharedSeeds, where a class stands for many nodes; on a
+	// distinct-seed fleet every class is a singleton and replicas only
+	// add cost.
+	Replicas int
+	// CompactNodes drops per-node detail (Fleet.Nodes stays nil) and
+	// aggregates each epoch in O(classes) instead of O(nodes) — the mode
+	// that makes 100K-node fleets run in seconds when SharedSeeds
+	// collapses them to a handful of classes. Fleet-level sums, counts
+	// and weighted p99-spread quantiles are computed over the class
+	// multiset; sums reassociate, so they can differ from the expanded
+	// path in the last ulps when a class has multiplicity > 1. Warm path
+	// only.
+	CompactNodes bool
 }
 
 // RunScenario simulates a fleet under time-varying load with
@@ -412,6 +455,8 @@ func RunScenario(r ScenarioRun) (ScenarioResult, error) {
 		UnparkLatency: r.UnparkLatencyNS,
 		UnparkPowerW:  r.UnparkPowerW,
 		UnparkFree:    r.UnparkFree,
+		Replicas:      r.Replicas,
+		CompactNodes:  r.CompactNodes,
 	})
 }
 
@@ -441,6 +486,15 @@ func NewServiceInstance(r ServiceRun, parkOnZeroRate bool) (*ServiceInstance, er
 // runs of the warm scenario path are included alongside one-shot
 // simulations, so sweep-level memoization wins are observable.
 func RunnerStats() (hits, misses uint64) { return runner.Default().Stats() }
+
+// RunnerDedupStats reports the shared executor's equivalence-class
+// counters across warm scenario runs: nodes planned, timeline classes
+// actually simulated, and replica runs added for error bars. A large
+// nodes-to-classes ratio is the class-dedup win (see
+// ClusterRun.SharedSeeds).
+func RunnerDedupStats() (nodes, classes, replicaRuns uint64) {
+	return runner.Default().ClassStats()
+}
 
 // Experiment names accepted by RunExperiment.
 const (

@@ -92,6 +92,60 @@ func TestRunClusterHeterogeneousOverride(t *testing.T) {
 	}
 }
 
+func TestSharedSeedScenarioCollapsesAndReportsCI(t *testing.T) {
+	// The public 100K story in miniature: a shared-seed spread fleet
+	// collapses to one timeline equivalence class, replicas attach 95%
+	// CIs, and the dedup is observable through RunnerDedupStats.
+	n0, c0, r0 := RunnerDedupStats()
+	res, err := RunScenario(ScenarioRun{
+		ClusterRun: ClusterRun{
+			ServiceRun: ServiceRun{
+				RateQPS: 16 * 300e3, WarmupNS: 5_000_000, Seed: 7,
+			},
+			Nodes:           16,
+			ClusterDispatch: ClusterSpread,
+			SharedSeeds:     true,
+		},
+		Scenario:     ScenarioDiurnal,
+		TotalNS:      40_000_000,
+		EpochNS:      10_000_000,
+		Replicas:     2,
+		CompactNodes: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Classes != 1 {
+		t.Errorf("classes = %d, want 1 (shared seeds + spread must collapse)", res.Classes)
+	}
+	if res.ReplicaRuns != 2 {
+		t.Errorf("replica runs = %d, want 2", res.ReplicaRuns)
+	}
+	if res.CI == nil || res.CI.Samples != 3 {
+		t.Fatalf("CI = %+v, want 3-sample ensemble", res.CI)
+	}
+	if res.CI.FleetPowerW.Lo > res.CI.FleetPowerW.Hi {
+		t.Errorf("inverted CI %+v", res.CI.FleetPowerW)
+	}
+	for _, ep := range res.Epochs {
+		if ep.Fleet.Nodes != nil {
+			t.Fatal("CompactNodes kept per-node detail")
+		}
+		if ep.CI == nil {
+			t.Fatalf("epoch %d has no CI", ep.Epoch)
+		}
+		if ep.Fleet.ActiveNodes+ep.Fleet.IdleNodes != 16 {
+			t.Fatalf("epoch %d node accounting: %d active + %d idle != 16",
+				ep.Epoch, ep.Fleet.ActiveNodes, ep.Fleet.IdleNodes)
+		}
+	}
+	n1, c1, r1 := RunnerDedupStats()
+	if n1-n0 != 16 || c1-c0 != 1 || r1-r0 != 2 {
+		t.Errorf("dedup stats delta = %d nodes / %d classes / %d replicas, want 16/1/2",
+			n1-n0, c1-c0, r1-r0)
+	}
+}
+
 func TestRunClusterRejectsClosedLoop(t *testing.T) {
 	// The cluster dispatcher partitions open-loop rates; a closed-loop
 	// template must be rejected loudly, not silently run open-loop.

@@ -57,6 +57,9 @@ func main() {
 		"run the scenario experiment on the legacy cold-start engine "+
 			"(fresh simulations + synthetic unpark penalty per epoch) instead of "+
 			"the warm resumable-instance path")
+	replicas := flag.Int("replicas", 0,
+		"scenario experiment only: K seeded replicas per timeline equivalence "+
+			"class (shared node seeds, 95% CI note on the phase table)")
 	flag.Parse()
 
 	if *list {
@@ -87,6 +90,7 @@ func main() {
 	opts.Scenario = *scenarioName
 	opts.Epoch = agilewatts.Duration(*epochMS) * 1_000_000
 	opts.ColdEpochs = *coldEpochs
+	opts.Replicas = *replicas
 
 	names := flag.Args()
 	if len(names) == 0 {

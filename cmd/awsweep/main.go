@@ -17,6 +17,14 @@
 // is the per-epoch fleet timeline (one row per epoch per rate):
 //
 //	awsweep -nodes 8 -scenario diurnal -epoch-ms 30 -rates 800000
+//
+// Adding -replicas K to a scenario sweep switches the fleet to shared
+// node seeds — identical per-node timelines then collapse to one
+// simulated equivalence class — and runs K extra seeded replicas per
+// class, appending 95% confidence-interval columns to each epoch row.
+// That is what makes very large -nodes values (100K+) tractable:
+//
+//	awsweep -nodes 100000 -scenario diurnal -epoch-ms 30 -replicas 4 -rates 80000000000 -v
 package main
 
 import (
@@ -56,6 +64,10 @@ func main() {
 	coldEpochs := flag.Bool("cold-epochs", false,
 		"run scenarios on the legacy cold-start engine (fresh simulations + "+
 			"synthetic unpark penalty per epoch) instead of the warm resumable path")
+	replicas := flag.Int("replicas", 0,
+		"scenario sweeps only: K seeded replicas per timeline equivalence class; "+
+			"switches the fleet to shared node seeds (identical timelines collapse "+
+			"to one simulated class) and appends 95% CI columns to the CSV")
 	verbose := flag.Bool("v", false,
 		"print sweep-executor cache statistics (hits/misses, interval timeline "+
 			"runs included) to stderr after the sweep")
@@ -89,8 +101,18 @@ func main() {
 
 	scenarioMode := *scenarioName != ""
 	clustered := *nodes > 1 || *clusterDispatch != ""
+	if *replicas > 0 && !scenarioMode {
+		fatal(fmt.Errorf("-replicas requires -scenario (replicas are a scenario-engine feature)"))
+	}
+	if *replicas > 0 && *coldEpochs {
+		fatal(fmt.Errorf("-replicas requires the warm path (drop -cold-epochs)"))
+	}
 	if scenarioMode {
-		fmt.Println("base_qps,epoch,start_ms,end_ms,phase,rate_qps,active_nodes,parked_nodes,unparks,fleet_w,fleet_qps,qps_per_w,worst_p99_us")
+		header := "base_qps,epoch,start_ms,end_ms,phase,rate_qps,active_nodes,parked_nodes,unparks,fleet_w,fleet_qps,qps_per_w,worst_p99_us"
+		if *replicas > 0 {
+			header += ",fleet_w_lo,fleet_w_hi,qps_per_w_lo,qps_per_w_hi,worst_p99_lo_us,worst_p99_hi_us"
+		}
+		fmt.Println(header)
 	} else if clustered {
 		fmt.Println("rate_qps,nodes,active_nodes,idle_nodes,fleet_w,w_per_node,fleet_qps,qps_per_w,server_avg_us,server_p99_us,worst_p99_us,e2e_p99_us")
 	} else {
@@ -119,22 +141,34 @@ func main() {
 					Nodes:           *nodes,
 					ClusterDispatch: *clusterDispatch,
 					ParkDrained:     *park,
+					// Shared seeds are what let identical timelines
+					// collapse to one class; replicas restore error bars.
+					SharedSeeds: *replicas > 0,
 				},
-				Scenario:   *scenarioName,
-				EpochNS:    agilewatts.Duration(*epochMS) * 1_000_000,
-				ColdEpochs: *coldEpochs,
+				Scenario:     *scenarioName,
+				EpochNS:      agilewatts.Duration(*epochMS) * 1_000_000,
+				ColdEpochs:   *coldEpochs,
+				Replicas:     *replicas,
+				CompactNodes: *replicas > 0,
 			})
 			if err != nil {
 				fatal(err)
 			}
 			for _, ep := range res.Epochs {
-				fmt.Printf("%.0f,%d,%.1f,%.1f,%s,%.0f,%d,%d,%d,%.2f,%.0f,%.1f,%.2f\n",
+				fmt.Printf("%.0f,%d,%.1f,%.1f,%s,%.0f,%d,%d,%d,%.2f,%.0f,%.1f,%.2f",
 					rate, ep.Epoch,
 					float64(ep.Start)/1e6, float64(ep.End)/1e6,
 					ep.Phase, ep.RateQPS,
 					ep.Fleet.ActiveNodes, ep.Parked, ep.Unparked,
 					ep.Fleet.FleetPowerW, ep.Fleet.CompletedPerSec,
 					ep.Fleet.QPSPerWatt, ep.Fleet.WorstP99US)
+				if *replicas > 0 && ep.CI != nil {
+					fmt.Printf(",%.2f,%.2f,%.1f,%.1f,%.2f,%.2f",
+						ep.CI.FleetPowerW.Lo, ep.CI.FleetPowerW.Hi,
+						ep.CI.QPSPerWatt.Lo, ep.CI.QPSPerWatt.Hi,
+						ep.CI.WorstP99US.Lo, ep.CI.WorstP99US.Hi)
+				}
+				fmt.Println()
 			}
 			continue
 		}
@@ -178,6 +212,11 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "awsweep: runner cache: %d hits / %d misses (%.1f%% hit rate, timeline runs included)\n",
 			hits, misses, pct)
+		if dnodes, classes, reps := agilewatts.RunnerDedupStats(); dnodes > 0 {
+			dpct := (1 - float64(classes)/float64(dnodes)) * 100
+			fmt.Fprintf(os.Stderr, "awsweep: class dedup: %d nodes -> %d classes (%.1f%% deduped), %d replica runs\n",
+				dnodes, classes, dpct, reps)
+		}
 	}
 }
 

@@ -123,12 +123,14 @@ func emit(path string, newRuns, baseRuns map[string][]sample) error {
 			a, by := medianOf(allocs), medianOf(bytes)
 			e.AllocsOp, e.BytesOp = &a, &by
 		}
-		if bv, ok := baseRuns[name]; ok {
-			b := median(bv)
-			e.BaseNsOp = &b
-			if e.NsOp > 0 {
+		// Benchmarks without a usable baseline (first run of a new
+		// benchmark, or a garbage base median) get a partial record —
+		// ns_op and samples only — rather than zero-valued base_ns_op
+		// and speedup fields that would read as a measured 0x.
+		if bv, ok := baseRuns[name]; ok && len(bv) > 0 {
+			if b := median(bv); b > 0 && e.NsOp > 0 {
 				sp := b / e.NsOp
-				e.Speedup = &sp
+				e.BaseNsOp, e.Speedup = &b, &sp
 			}
 		}
 		d.Benchmarks[name] = e

@@ -290,7 +290,7 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 func TestCombineSummariesWeighting(t *testing.T) {
 	a := server.LatencySummary{Count: 100, AvgUS: 10, P99US: 20, MaxUS: 30}
 	b := server.LatencySummary{Count: 300, AvgUS: 20, P99US: 40, MaxUS: 25}
-	got := combineSummaries([]server.LatencySummary{a, b, {}})
+	got := combineSummaries([]server.LatencySummary{a, b, {}}, nil)
 	if got.Count != 400 {
 		t.Errorf("count = %d", got.Count)
 	}

@@ -66,25 +66,44 @@ type Result struct {
 }
 
 // combineSummaries merges per-node latency summaries as documented on
-// Result.Server.
-func combineSummaries(parts []server.LatencySummary) server.LatencySummary {
+// Result.Server. With non-nil mults, part i stands for mults[i]
+// identical nodes: its completion weight and count scale by the
+// multiplicity, which is exactly what merging mults[i] copies would
+// compute. Unit multiplicities (nil mults) reproduce the unweighted
+// merge bit-for-bit — float64(Count)*1 is exact.
+func combineSummaries(parts []server.LatencySummary, mults []int) server.LatencySummary {
 	loaded := parts[:0:0]
-	for _, p := range parts {
+	var lmults []int
+	for i, p := range parts {
 		if p.Count > 0 {
 			loaded = append(loaded, p)
+			if mults != nil {
+				lmults = append(lmults, mults[i])
+			}
 		}
+	}
+	mult := func(i int) uint64 {
+		if lmults == nil {
+			return 1
+		}
+		return uint64(lmults[i])
 	}
 	if len(loaded) == 0 {
 		return server.LatencySummary{}
 	}
 	if len(loaded) == 1 {
-		return loaded[0]
+		// A single loaded part is exact whatever its weight: quantiles
+		// of m identical distributions are the distribution's own.
+		out := loaded[0]
+		out.Count *= mult(0)
+		return out
 	}
 	var out server.LatencySummary
 	var total float64
-	for _, p := range loaded {
-		w := float64(p.Count)
-		out.Count += p.Count
+	for i, p := range loaded {
+		m := mult(i)
+		w := float64(p.Count) * float64(m)
+		out.Count += p.Count * m
 		out.AvgUS += w * p.AvgUS
 		out.P50US += w * p.P50US
 		out.P95US += w * p.P95US
@@ -105,17 +124,38 @@ func combineSummaries(parts []server.LatencySummary) server.LatencySummary {
 
 // aggregate folds the per-node results into the fleet Result.
 func aggregate(c Config, nodes []NodeResult) Result {
-	out := Result{Dispatch: c.Dispatch, RateQPS: c.RateQPS, Nodes: nodes}
+	return aggregateWeighted(c, nodes, nil)
+}
+
+// aggregateWeighted folds per-entry results into the fleet Result with
+// entry i standing for mults[i] identical nodes — the class-collapsed
+// collector. nil mults means unit multiplicities with full per-node
+// detail (Result.Nodes is set), and is bit-for-bit the historical
+// aggregate: every weighted term reduces to w=1 exactly. With explicit
+// mults the result is compact — Nodes stays nil, counts are weighted
+// sums, and the p99-spread quantiles run through stats.WeightedSeries,
+// which answers exactly what a SortedSeries over the expanded multiset
+// would.
+func aggregateWeighted(c Config, nodes []NodeResult, mults []int) Result {
+	out := Result{Dispatch: c.Dispatch, RateQPS: c.RateQPS}
+	if mults == nil {
+		out.Nodes = nodes
+	}
 	srv := make([]server.LatencySummary, len(nodes))
 	e2e := make([]server.LatencySummary, len(nodes))
 	for i, n := range nodes {
-		out.FleetPowerW += n.Result.PackagePowerW
-		out.FleetEnergyJ += n.Result.PackagePowerW * n.Result.MeasuredDuration.Seconds()
-		out.CompletedPerSec += n.Result.CompletedPerSec
+		m := 1
+		if mults != nil {
+			m = mults[i]
+		}
+		w := float64(m)
+		out.FleetPowerW += w * n.Result.PackagePowerW
+		out.FleetEnergyJ += w * (n.Result.PackagePowerW * n.Result.MeasuredDuration.Seconds())
+		out.CompletedPerSec += w * n.Result.CompletedPerSec
 		if n.RateQPS > 0 {
-			out.ActiveNodes++
+			out.ActiveNodes += m
 		} else {
-			out.IdleNodes++
+			out.IdleNodes += m
 		}
 		if n.Result.Server.P99US > out.WorstP99US {
 			out.WorstP99US = n.Result.Server.P99US
@@ -123,22 +163,36 @@ func aggregate(c Config, nodes []NodeResult) Result {
 		srv[i] = n.Result.Server
 		e2e[i] = n.Result.EndToEnd
 	}
-	out.Server = combineSummaries(srv)
-	out.EndToEnd = combineSummaries(e2e)
+	out.Server = combineSummaries(srv, mults)
+	out.EndToEnd = combineSummaries(e2e, mults)
 	if out.FleetPowerW > 0 {
 		out.QPSPerWatt = out.CompletedPerSec / out.FleetPowerW
 	}
-	// One sort serves both spread quantiles (stats.SortedSeries).
+	// One sort serves both spread quantiles (stats.SortedSeries, or its
+	// weighted twin over the class multiset).
 	p99s := make([]float64, 0, len(nodes))
-	for _, n := range nodes {
+	var weights []uint64
+	if mults != nil {
+		weights = make([]uint64, 0, len(nodes))
+	}
+	for i, n := range nodes {
 		if n.Result.Server.Count > 0 {
 			p99s = append(p99s, n.Result.Server.P99US)
+			if mults != nil {
+				weights = append(weights, uint64(mults[i]))
+			}
 		}
 	}
 	if len(p99s) > 0 {
-		sorted := stats.NewSortedSeries(p99s)
-		out.MedianP99US = sorted.Percentile(0.5)
-		out.P90P99US = sorted.Percentile(0.9)
+		if mults == nil {
+			sorted := stats.NewSortedSeries(p99s)
+			out.MedianP99US = sorted.Percentile(0.5)
+			out.P90P99US = sorted.Percentile(0.9)
+		} else {
+			ws := stats.NewWeightedSeries(p99s, weights)
+			out.MedianP99US = ws.Percentile(0.5)
+			out.P90P99US = ws.Percentile(0.9)
+		}
 	}
 	return out
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/server"
 	"repro/internal/sim"
+	"repro/internal/xrand"
 )
 
 // ScenarioConfig describes a time-varying fleet simulation: the schedule
@@ -68,6 +69,26 @@ type ScenarioConfig struct {
 	// it, a zero UnparkLatency/UnparkPowerW silently means "default", so
 	// a free unpark would be unrepresentable.
 	UnparkFree bool
+	// Replicas is the number of extra seeded replicas the warm path
+	// simulates per timeline equivalence class (the K in "representative
+	// plus K replicas"). Each replica re-runs its class representative's
+	// exact timeline under a seed from the disjoint
+	// xrand.ClassReplicaSeed plane — never colliding with node or
+	// epoch-mixed seeds — and EpochResult.CI / ScenarioResult.CI then
+	// report 95% Student-t confidence intervals over the K+1 samples.
+	// Point estimates always come from the representatives alone, so
+	// setting Replicas adds error bars without perturbing any existing
+	// result bit. Warm path only (rejected with ColdEpochs).
+	Replicas int
+	// CompactNodes makes the warm path skip per-node materialization:
+	// EpochResult.Fleet.Nodes stays nil and fleet aggregation runs
+	// class-weighted in O(classes) per epoch instead of O(nodes) — the
+	// mode that keeps a 100K-node fleet's memory and aggregation cost
+	// proportional to its handful of equivalence classes. All
+	// fleet-level aggregates are computed from the same per-class
+	// measurements either way. Warm path only (rejected with
+	// ColdEpochs).
+	CompactNodes bool
 	// Runner executes the node simulations (default runner.Default()).
 	Runner *runner.Runner
 }
@@ -107,14 +128,13 @@ func (c ScenarioConfig) resolve() resolvedScenario {
 	return r
 }
 
-// epochSeedStride mixes the epoch index into node seeds (golden-ratio
-// stride, XORed so epoch 0 keeps the node's own seed — that identity is
-// what makes the one-epoch scenario reproduce the static Run
-// bit-for-bit).
-const epochSeedStride = 0x9e3779b97f4a7c15
-
+// epochSeed mixes the epoch index into node seeds for the cold path —
+// now hosted in xrand alongside the class/replica seed plane, so the
+// disjointness of every seed consumer is proven in one place. Epoch 0
+// keeps the node's own seed; that identity is what makes the one-epoch
+// scenario reproduce the static Run bit-for-bit.
 func epochSeed(seed uint64, epoch int) uint64 {
-	return seed ^ uint64(epoch)*epochSeedStride
+	return xrand.EpochSeed(seed, epoch)
 }
 
 // EpochResult is one re-dispatch interval's fleet measurement.
@@ -141,8 +161,12 @@ type EpochResult struct {
 	// results and this field stays zero.
 	Unparked      int
 	UnparkEnergyJ float64
-	// Fleet is the full fleet aggregate for this window.
+	// Fleet is the full fleet aggregate for this window. With
+	// CompactNodes its Nodes field stays nil.
 	Fleet Result
+	// CI holds the epoch's replica-ensemble 95% confidence intervals
+	// when ScenarioConfig.Replicas > 0 (warm path), nil otherwise.
+	CI *FleetCI
 }
 
 // PhaseSummary aggregates the epochs that fell in one schedule phase.
@@ -194,6 +218,17 @@ type ScenarioResult struct {
 	// ParkedTimeline is the parked-node count per epoch — the
 	// consolidation footprint over the day.
 	ParkedTimeline []int
+
+	// Classes counts the timeline equivalence classes the warm path
+	// collapsed the fleet into (one per node when nothing collapses;
+	// zero on the cold path, which does not classify).
+	Classes int
+	// ReplicaRuns counts the extra seeded replica timelines executed
+	// (Classes x Replicas on the warm path).
+	ReplicaRuns int
+	// CI holds the whole-run replica-ensemble 95% confidence intervals
+	// when Replicas > 0 (warm path), nil otherwise.
+	CI *FleetCI
 }
 
 // Validate rejects unusable scenario configurations.
@@ -206,6 +241,16 @@ func (c ScenarioConfig) Validate() error {
 	}
 	if c.UnparkLatency < 0 || c.UnparkPowerW < 0 {
 		return fmt.Errorf("cluster: negative unpark penalty")
+	}
+	if c.Replicas < 0 {
+		return fmt.Errorf("cluster: negative replicas %d", c.Replicas)
+	}
+	if c.Replicas >= xrand.MaxReplicas {
+		return fmt.Errorf("cluster: replicas %d exceed the seed plane's %d sub-blocks per class",
+			c.Replicas, xrand.MaxReplicas)
+	}
+	if c.ColdEpochs && (c.Replicas > 0 || c.CompactNodes) {
+		return fmt.Errorf("cluster: replicas and compact nodes need the warm path (ColdEpochs is set)")
 	}
 	// The static validator covers nodes, policy name, TargetUtil and the
 	// closed-loop rejection.
@@ -315,40 +360,52 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 	return out, nil
 }
 
-// runScenarioWarm executes the epoch plan on resumable instances: one
-// independent timeline task per node (pipelined through the runner, no
-// per-epoch fleet barrier), then a per-epoch pass over the aligned
-// interval results for park/unpark bookkeeping and fleet aggregation.
+// runScenarioWarm executes the epoch plan on resumable instances,
+// class-collapsed: the fleet is first grouped into timeline equivalence
+// classes (runner.TimelineKey — bit-identical simulations), then one
+// representative timeline per class plus Replicas seeded replicas run
+// as independent pipelined runner tasks, and a per-epoch pass expands
+// the class measurements back into the fleet by multiplicity for
+// park/unpark bookkeeping and aggregation. Collapse is exact by
+// construction — members of a class are the *same* simulation — so a
+// fleet of singleton classes (distinct seeds, or a deliberately
+// heterogeneous fleet) reproduces the pre-collapse path bit-for-bit.
 // Unpark costs are simulated — drained requests, deep-idle residency,
 // real exit latencies — so no synthetic penalty is folded in and
 // EpochResult.UnparkEnergyJ stays zero.
 func runScenarioWarm(c resolvedScenario, plan []epochWindow, r *runner.Runner, out *ScenarioResult) error {
-	perNode := make([][]server.IntervalResult, len(c.Nodes))
-	err := r.Each(len(c.Nodes), func(i int) error {
-		intervals := make([]runner.Interval, len(plan))
-		for e, ep := range plan {
-			intervals[e] = runner.Interval{Window: ep.end - ep.start, Rate: ep.rates[i]}
-		}
-		res, err := r.RunTimeline(runner.TimelineSpec{
-			Node:      c.Nodes[i],
-			Park:      c.ParkDrained,
-			Intervals: intervals,
-		})
-		if err != nil {
-			return fmt.Errorf("cluster: node %d timeline: %w", i, err)
-		}
-		perNode[i] = res
-		return nil
-	})
-	if err != nil {
+	classes := classifyTimelines(c, plan)
+	out.Classes = len(classes)
+	out.ReplicaRuns = len(classes) * c.Replicas
+	r.NoteClassDedup(len(c.Nodes), len(classes), out.ReplicaRuns)
+	if err := runClasses(classes, c.Replicas, r); err != nil {
 		return err
+	}
+	if c.CompactNodes {
+		warmEpochsCompact(c, plan, classes, out)
+	} else {
+		warmEpochsExpanded(c, plan, classes, out)
+	}
+	out.CI = scenarioClassCI(classes, plan, c.Replicas)
+	return nil
+}
+
+// warmEpochsExpanded materializes every node's NodeResult from its
+// class representative — the full-detail default, bit-identical to the
+// historical per-node path.
+func warmEpochsExpanded(c resolvedScenario, plan []epochWindow, classes []timelineClass, out *ScenarioResult) {
+	classOf := make([]int, len(c.Nodes))
+	for ci := range classes {
+		for _, i := range classes[ci].members {
+			classOf[i] = ci
+		}
 	}
 	parked := make([]bool, len(c.Nodes))
 	for e, pw := range plan {
 		ep := EpochResult{Epoch: e, Start: pw.start, End: pw.end, Phase: pw.phase, RateQPS: pw.rate}
 		nodes := make([]NodeResult, len(c.Nodes))
 		for i := range c.Nodes {
-			iv := perNode[i][e]
+			iv := classes[classOf[i]].results[0][e]
 			nodes[i] = NodeResult{Node: i, RateQPS: pw.rates[i], Parked: iv.Parked, Result: iv.Result}
 			if iv.Parked {
 				ep.Parked++
@@ -359,11 +416,46 @@ func runScenarioWarm(c resolvedScenario, plan []epochWindow, r *runner.Runner, o
 			parked[i] = iv.Parked
 		}
 		ep.Fleet = aggregate(c.fleetConfig(pw.rate), nodes)
+		ep.CI = epochClassCI(classes, e, c.Replicas)
 		out.Epochs = append(out.Epochs, ep)
 		out.ParkedTimeline = append(out.ParkedTimeline, ep.Parked)
 		out.Unparks += ep.Unparked
 	}
-	return nil
+}
+
+// warmEpochsCompact skips per-node materialization entirely: park
+// bookkeeping and fleet aggregation run class-weighted in O(classes)
+// per epoch, and EpochResult.Fleet.Nodes stays nil. This is what makes
+// a 100K-node fleet a few-classes problem instead of a 2.4M-NodeResult
+// problem. Every class member shares its representative's rate and park
+// state by construction (both are part of the class key), so the
+// weighted counts are exact, not approximations.
+func warmEpochsCompact(c resolvedScenario, plan []epochWindow, classes []timelineClass, out *ScenarioResult) {
+	parked := make([]bool, len(classes))
+	for e, pw := range plan {
+		ep := EpochResult{Epoch: e, Start: pw.start, End: pw.end, Phase: pw.phase, RateQPS: pw.rate}
+		reps := make([]NodeResult, len(classes))
+		mults := make([]int, len(classes))
+		for ci := range classes {
+			cl := &classes[ci]
+			iv := cl.results[0][e]
+			m := len(cl.members)
+			reps[ci] = NodeResult{Node: cl.rep, RateQPS: pw.rates[cl.rep], Parked: iv.Parked, Result: iv.Result}
+			mults[ci] = m
+			if iv.Parked {
+				ep.Parked += m
+			}
+			if parked[ci] && pw.rates[cl.rep] > 0 {
+				ep.Unparked += m
+			}
+			parked[ci] = iv.Parked
+		}
+		ep.Fleet = aggregateWeighted(c.fleetConfig(pw.rate), reps, mults)
+		ep.CI = epochClassCI(classes, e, c.Replicas)
+		out.Epochs = append(out.Epochs, ep)
+		out.ParkedTimeline = append(out.ParkedTimeline, ep.Parked)
+		out.Unparks += ep.Unparked
+	}
 }
 
 // runScenarioCold executes the epoch plan with the legacy cold-start

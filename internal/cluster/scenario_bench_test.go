@@ -61,3 +61,50 @@ func BenchmarkRunScenarioWarm(b *testing.B) { benchRunScenario(b, false) }
 // identical configuration — the denominator of the warm path's
 // speedup claim.
 func BenchmarkRunScenarioCold(b *testing.B) { benchRunScenario(b, true) }
+
+// BenchmarkRunScenario100K measures the class-collapsed compact path at
+// datacenter scale: a 100K-node shared-seed fleet over the same
+// compressed diurnal day (24 epochs), spread dispatch so every node
+// sees one rate timeline and the whole fleet collapses to a single
+// equivalence class, plus 4 seeded replicas for 95% error bars. The
+// simulation work is 5 node timelines; the per-node residue is the
+// O(nodes) plan/keying pass and the O(classes x epochs) compact
+// aggregation — which is what this benchmark gates.
+func BenchmarkRunScenario100K(b *testing.B) {
+	template := server.Config{
+		Platform: governor.Baseline,
+		Profile:  workload.Memcached(),
+		Warmup:   10 * sim.Millisecond,
+		Seed:     1,
+	}
+	const nodes = 100_000
+	total := 48 * sim.Millisecond
+	sched, err := scenario.Diurnal(nodes*800e3, 0.6, total, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fleet := make([]server.Config, nodes)
+	for i := range fleet {
+		fleet[i] = template
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunScenario(ScenarioConfig{
+			Nodes:        fleet,
+			Schedule:     sched,
+			Epoch:        2 * sim.Millisecond,
+			Dispatch:     DispatchSpread,
+			ParkDrained:  true,
+			Replicas:     4,
+			CompactNodes: true,
+			Runner:       runner.New(0),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Classes != 1 || res.CI == nil {
+			b.Fatalf("fleet did not collapse: %d classes, CI %v", res.Classes, res.CI)
+		}
+	}
+}

@@ -68,6 +68,13 @@ type Options struct {
 	// engine (fresh node simulations every epoch, synthetic unpark
 	// penalty) instead of the default warm resumable-instance path.
 	ColdEpochs bool
+	// Replicas adds K seeded statistical replicas per timeline
+	// equivalence class to the scenario experiment and attaches 95%
+	// confidence intervals to its fleet observables. Setting it switches
+	// the fleet to shared node seeds (so identical timelines collapse to
+	// one class and the replicas carry the variance story) and to the
+	// compact O(classes) collector. Warm path only.
+	Replicas int
 }
 
 // DefaultOptions returns full-fidelity settings.

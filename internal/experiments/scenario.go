@@ -87,13 +87,25 @@ func Scenario(o Options) (ScenarioExpResult, error) {
 			Dispatch: o.Dispatch,
 			LoadGen:  o.LoadGen,
 		}
+		nodes := cluster.Homogeneous(o.Nodes, node)
+		if o.Replicas > 0 {
+			// Replicated mode trades per-node seed independence for
+			// class collapse: every node shares the template seed, the
+			// fleet folds into one class per timeline, and the replicas
+			// supply the variance the shared seed gave up.
+			for i := range nodes {
+				nodes[i].Seed = node.Seed
+			}
+		}
 		res, err := cluster.RunScenario(cluster.ScenarioConfig{
-			Nodes:       cluster.Homogeneous(o.Nodes, node),
-			Schedule:    sched,
-			Epoch:       epoch,
-			Dispatch:    dispatch,
-			ParkDrained: dispatch == cluster.DispatchConsolidate,
-			ColdEpochs:  o.ColdEpochs,
+			Nodes:        nodes,
+			Schedule:     sched,
+			Epoch:        epoch,
+			Dispatch:     dispatch,
+			ParkDrained:  dispatch == cluster.DispatchConsolidate,
+			ColdEpochs:   o.ColdEpochs,
+			Replicas:     o.Replicas,
+			CompactNodes: o.Replicas > 0,
 		})
 		if err != nil {
 			return cluster.ScenarioResult{}, fmt.Errorf("experiments: scenario %s/%s: %w",
@@ -149,6 +161,12 @@ func (r ScenarioExpResult) PhaseTable() *report.Table {
 	t.Notes = append(t.Notes,
 		"both fleets see the identical phase schedule; epochs re-partition the",
 		"load every "+fmt.Sprintf("%.0fms", float64(r.Epoch)/1e6)+" (TOTAL row: parked column shows unpark transitions)")
+	if bt.CI != nil && at.CI != nil {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"replica-ensemble 95%% CI (n=%d): Base W [%.1f, %.1f], AW W [%.1f, %.1f]",
+			bt.CI.Samples, bt.CI.FleetPowerW.Lo, bt.CI.FleetPowerW.Hi,
+			at.CI.FleetPowerW.Lo, at.CI.FleetPowerW.Hi))
+	}
 	return t
 }
 

@@ -92,6 +92,14 @@ type Runner struct {
 	tcache *shardedCache[[]server.IntervalResult]
 
 	hits, misses atomic.Uint64
+
+	// Class-dedup accounting, fed by the cluster layer's class-collapsed
+	// scenario path (see NoteClassDedup): fleet node timelines requested,
+	// equivalence classes actually simulated, and extra seeded replica
+	// timelines run for error bars.
+	classNodes    atomic.Uint64
+	classClasses  atomic.Uint64
+	classReplicas atomic.Uint64
 }
 
 // note counts one cache outcome into Stats.
@@ -255,11 +263,15 @@ type TimelineSpec struct {
 	Intervals []Interval
 }
 
-// timelineKey extends the node's simulation key with the park flag and
-// the exact interval list. A timeline is a pure function of these: all
-// randomness still derives from Node.Seed, and the interval windows and
-// rates fully determine the piecewise-constant offered load.
-func timelineKey(spec TimelineSpec) (string, bool) {
+// TimelineKey extends the node's simulation key with the park flag and
+// the exact interval list, and reports whether the spec is cacheable. A
+// timeline is a pure function of these: all randomness still derives
+// from Node.Seed, and the interval windows and rates fully determine
+// the piecewise-constant offered load. Beyond memoization, the key is
+// the cluster layer's timeline-equivalence-class fingerprint: two nodes
+// with equal keys are bit-identical simulations, so one representative
+// run can stand for all of them.
+func TimelineKey(spec TimelineSpec) (string, bool) {
 	base, ok := Key(spec.Node)
 	if !ok {
 		return "", false
@@ -284,7 +296,7 @@ func (r *Runner) RunTimeline(spec TimelineSpec) ([]server.IntervalResult, error)
 	if len(spec.Intervals) == 0 {
 		return nil, fmt.Errorf("runner: empty timeline")
 	}
-	key, cacheable := timelineKey(spec)
+	key, cacheable := TimelineKey(spec)
 	if !cacheable {
 		r.misses.Add(1)
 		return runTimeline(spec)
@@ -381,4 +393,22 @@ func (r *Runner) Sweep(cfgs []server.Config) ([]server.Result, error) {
 // Stats reports cache hits and misses (uncacheable runs count as misses).
 func (r *Runner) Stats() (hits, misses uint64) {
 	return r.hits.Load(), r.misses.Load()
+}
+
+// NoteClassDedup records one class-collapsed fleet execution: nodes
+// timelines were requested, collapsed into classes equivalence classes,
+// plus replicaRuns extra seeded replica timelines. The cluster layer
+// calls this once per scenario; ClassStats accumulates across calls so
+// sweeps report their whole-process dedup rate like cache hits/misses.
+func (r *Runner) NoteClassDedup(nodes, classes, replicaRuns int) {
+	r.classNodes.Add(uint64(nodes))
+	r.classClasses.Add(uint64(classes))
+	r.classReplicas.Add(uint64(replicaRuns))
+}
+
+// ClassStats reports the accumulated class-dedup counters: node
+// timelines requested, equivalence classes simulated (nodes - classes
+// timelines were deduplicated away), and seeded replica timelines run.
+func (r *Runner) ClassStats() (nodes, classes, replicaRuns uint64) {
+	return r.classNodes.Load(), r.classClasses.Load(), r.classReplicas.Load()
 }

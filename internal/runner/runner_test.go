@@ -260,7 +260,7 @@ func TestRunTimelineUncacheable(t *testing.T) {
 	r := New(2)
 	spec := timelineSpec()
 	spec.Node.Catalog = cstate.Skylake()
-	if _, ok := timelineKey(spec); ok {
+	if _, ok := TimelineKey(spec); ok {
 		t.Fatal("custom-catalog timeline reported cacheable")
 	}
 	a, err := r.RunTimeline(spec)
@@ -300,5 +300,20 @@ func TestEachShortCircuitsOnFailure(t *testing.T) {
 	}
 	if n := ran.Load(); n > 4 {
 		t.Errorf("%d of 64 tasks ran after the failure, want short-circuit", n)
+	}
+}
+
+// TestClassStatsAccumulate pins the class-dedup accounting: counters
+// start at zero and NoteClassDedup sums across scenario executions.
+func TestClassStatsAccumulate(t *testing.T) {
+	r := New(1)
+	if n, c, k := r.ClassStats(); n != 0 || c != 0 || k != 0 {
+		t.Fatalf("fresh runner class stats = %d/%d/%d, want zeros", n, c, k)
+	}
+	r.NoteClassDedup(100, 3, 6)
+	r.NoteClassDedup(50, 50, 0)
+	n, c, k := r.ClassStats()
+	if n != 150 || c != 53 || k != 6 {
+		t.Errorf("class stats = %d/%d/%d, want 150/53/6", n, c, k)
 	}
 }

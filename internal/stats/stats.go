@@ -162,6 +162,38 @@ func (h *Histogram) Reset() {
 	h.min = math.Inf(1)
 }
 
+// Merge folds every sample recorded in o into h, bucket for bucket.
+// Both histograms must share a bucket geometry (they do whenever both
+// came from NewHistogram). Merging an empty or nil histogram is a no-op.
+func (h *Histogram) Merge(o *Histogram) { h.MergeScaled(o, 1) }
+
+// MergeScaled folds o into h `times` times — the weighted-merge
+// primitive behind class-collapsed fleet aggregation, where one
+// representative distribution stands for `times` identical nodes.
+// Equivalent to calling Merge(o) in a loop, at O(buckets) cost.
+func (h *Histogram) MergeScaled(o *Histogram, times uint64) {
+	if o == nil || o.n == 0 || times == 0 {
+		return
+	}
+	if h.subBuckets != o.subBuckets {
+		panic("stats: merging histograms with different bucket geometries")
+	}
+	if len(o.counts) > len(h.counts) {
+		h.growTo(len(o.counts) - 1)
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c * times
+	}
+	h.n += o.n * times
+	h.sum += o.sum * float64(times)
+	if o.max > h.max {
+		h.max = o.max
+	}
+	if o.min < h.min {
+		h.min = o.min
+	}
+}
+
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() uint64 { return h.n }
 
@@ -486,6 +518,119 @@ func (s SortedSeries) Percentile(q float64) float64 {
 // series should build a SortedSeries and query it instead.
 func Percentile(xs []float64, q float64) float64 {
 	return NewSortedSeries(xs).Percentile(q)
+}
+
+// WeightedSeries serves quantiles of a series in which sample i occurs
+// weights[i] times, without materializing the expansion. It is the
+// class-collapsed counterpart of SortedSeries: Percentile returns
+// bit-for-bit what SortedSeries.Percentile would return on the expanded
+// multiset, so with all weights 1 the two are interchangeable.
+type WeightedSeries struct {
+	vals []float64
+	cum  []uint64 // cumulative weights; cum[len-1] is the expanded length
+}
+
+// NewWeightedSeries copies xs, sorts it keeping each value paired with
+// its weight, and precomputes the cumulative weights. Zero-weight
+// samples are dropped. Panics on mismatched lengths.
+func NewWeightedSeries(xs []float64, weights []uint64) WeightedSeries {
+	if len(xs) != len(weights) {
+		panic("stats: weighted series length mismatch")
+	}
+	type wv struct {
+		v float64
+		w uint64
+	}
+	pairs := make([]wv, 0, len(xs))
+	for i, x := range xs {
+		if weights[i] > 0 {
+			pairs = append(pairs, wv{x, weights[i]})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+	s := WeightedSeries{
+		vals: make([]float64, len(pairs)),
+		cum:  make([]uint64, len(pairs)),
+	}
+	var cum uint64
+	for i, p := range pairs {
+		cum += p.w
+		s.vals[i] = p.v
+		s.cum[i] = cum
+	}
+	return s
+}
+
+// at returns element k (0-indexed) of the expanded sorted multiset.
+func (s WeightedSeries) at(k uint64) float64 {
+	i := sort.Search(len(s.cum), func(i int) bool { return s.cum[i] > k })
+	return s.vals[i]
+}
+
+// Percentile returns the q-quantile of the expanded series using the
+// same linear interpolation as SortedSeries (0 for an empty series).
+func (s WeightedSeries) Percentile(q float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	n := s.cum[len(s.cum)-1]
+	if q <= 0 {
+		return s.vals[0]
+	}
+	if q >= 1 {
+		return s.vals[len(s.vals)-1]
+	}
+	pos := q * float64(n-1)
+	lo := uint64(math.Floor(pos))
+	hi := uint64(math.Ceil(pos))
+	vlo := s.at(lo)
+	if lo == hi {
+		return vlo
+	}
+	vhi := s.at(hi)
+	frac := pos - float64(lo)
+	return vlo*(1-frac) + vhi*frac
+}
+
+// tCrit95 holds two-sided 95% Student-t critical values for 1..30
+// degrees of freedom; beyond the table the normal 1.96 is close enough
+// (the df=30 entry is already within 4%).
+var tCrit95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCrit95 returns the two-sided 95% Student-t critical value for df
+// degrees of freedom (1.96 for df > 30; 0 for df < 1, where no
+// interval exists).
+func TCrit95(df int) float64 {
+	switch {
+	case df < 1:
+		return 0
+	case df <= len(tCrit95):
+		return tCrit95[df-1]
+	default:
+		return 1.96
+	}
+}
+
+// MeanCI95 returns the sample mean of xs and the half-width of its
+// two-sided 95% Student-t confidence interval. With fewer than two
+// samples the half-width is 0 — a single measurement carries no
+// variance information.
+func MeanCI95(xs []float64) (mean, half float64) {
+	var s Stream
+	for _, x := range xs {
+		s.Add(x)
+	}
+	mean = s.Mean()
+	n := s.Count()
+	if n < 2 {
+		return mean, 0
+	}
+	half = TCrit95(int(n-1)) * math.Sqrt(s.Variance()/float64(n))
+	return mean, half
 }
 
 // MeanOf returns the arithmetic mean of xs (0 for empty input).

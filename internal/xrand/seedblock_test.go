@@ -36,6 +36,91 @@ func TestSeedBlocksZeroValueAndStartOffset(t *testing.T) {
 	}
 }
 
+// TestClassReplicaPlaneDisjoint is the regression proof behind the
+// class/replica seed plane's documented operating envelope: inside it,
+// no node seed, no epoch-mixed seed, and no SeedBlocks block can ever
+// collide with a (class, replica) seed, and distinct (class, replica)
+// pairs never share one.
+func TestClassReplicaPlaneDisjoint(t *testing.T) {
+	const (
+		maxNodeSeed = uint64(1) << 32 // envelope: node seeds < 2^32
+		maxEpochs   = 1 << 12         // envelope: epochs < 4096
+		maxClasses  = uint64(1) << 20 // envelope: up to ~1M classes
+	)
+	planeLo := ClassSeedBase
+	planeHi := ClassSeedBase + maxClasses<<SeedBlockBits // exclusive
+
+	// Raw node seeds sit far below the plane.
+	if maxNodeSeed >= planeLo {
+		t.Fatalf("node-seed envelope %#x reaches the plane origin %#x", maxNodeSeed, planeLo)
+	}
+	// SeedBlocks blocks started from envelope seeds stay below the plane
+	// even after an absurd number of Next calls (2^30 blocks of 2^20).
+	if worst := maxNodeSeed + (uint64(1)<<30)<<SeedBlockBits; worst >= planeLo {
+		t.Fatalf("SeedBlocks envelope %#x reaches the plane origin %#x", worst, planeLo)
+	}
+
+	// Epoch-mixed seeds: EpochSeed(s, e) = s ^ e*stride, and for s <
+	// 2^32 the XOR only perturbs the low 32 bits of e*stride. So an
+	// epoch-mixed seed can land in the plane only if e*stride falls
+	// within 2^32 of it; enumerate every epoch in the envelope and
+	// check the conservative 2^32-widened plane misses them all.
+	const pad = uint64(1) << 32
+	for e := 0; e < maxEpochs; e++ {
+		mixed := uint64(e) * EpochSeedStride
+		if mixed >= planeLo-pad && mixed < planeHi+pad {
+			t.Fatalf("epoch %d stride product %#x within 2^32 of the class/replica plane [%#x,%#x)",
+				e, mixed, planeLo, planeHi)
+		}
+	}
+
+	// Distinct (class, replica) pairs get distinct seeds, inside the
+	// owning class block, ordered, and aligned to replica sub-blocks.
+	seen := make(map[uint64]bool)
+	for class := 0; class < 64; class++ {
+		blockLo := ClassSeedBase + uint64(class)<<SeedBlockBits
+		for rep := 0; rep < MaxReplicas; rep += 97 {
+			s := ClassReplicaSeed(class, rep)
+			if seen[s] {
+				t.Fatalf("seed %#x handed to two (class,replica) pairs", s)
+			}
+			seen[s] = true
+			if s < blockLo || s >= blockLo+1<<SeedBlockBits {
+				t.Fatalf("replica %d of class %d escaped its class block", rep, class)
+			}
+			if (s-blockLo)%(1<<ReplicaBlockBits) != 0 {
+				t.Fatalf("seed %#x not aligned to a replica sub-block", s)
+			}
+		}
+	}
+}
+
+// TestClassReplicaSeedPanicsOutsidePlane pins the guard rails.
+func TestClassReplicaSeedPanicsOutsidePlane(t *testing.T) {
+	for _, bad := range [][2]int{{-1, 0}, {0, -1}, {0, MaxReplicas}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ClassReplicaSeed(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			ClassReplicaSeed(bad[0], bad[1])
+		}()
+	}
+}
+
+// TestEpochSeedIdentityAndStride pins the mixing formula the cluster
+// layer's cold-path goldens depend on.
+func TestEpochSeedIdentityAndStride(t *testing.T) {
+	if got := EpochSeed(42, 0); got != 42 {
+		t.Fatalf("epoch 0 seed = %d, want identity", got)
+	}
+	var stride uint64 = EpochSeedStride
+	if got, want := EpochSeed(42, 3), uint64(42)^3*stride; got != want {
+		t.Fatalf("EpochSeed(42,3) = %#x, want %#x", got, want)
+	}
+}
+
 func TestSeedBlocksConcurrent(t *testing.T) {
 	var s SeedBlocks
 	const n = 64

@@ -156,6 +156,41 @@ func TestGoldenScenarioStability(t *testing.T) {
 	}
 }
 
+// TestGoldenScenarioClassCollapse pins the tentpole exactness claim:
+// class-collapsed execution with K=1 replicas (and compact O(classes)
+// aggregation) over the homogeneous warm golden fleets reproduces the
+// pinned warm-path fingerprints bit-for-bit. Homogeneous fleets seed
+// node i with Seed+i, so every timeline class is a singleton — the
+// collapse machinery, replica scheduling and weighted collector must
+// all be exact identities here, and the replicas may only add CI
+// fields, never perturb a point estimate.
+func TestGoldenScenarioClassCollapse(t *testing.T) {
+	for _, tc := range goldenScenarioCases {
+		if tc.run.ColdEpochs {
+			continue // replicas are a warm-path feature
+		}
+		run := tc.run
+		run.Replicas = 1
+		run.CompactNodes = true
+		res, err := RunScenario(run)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got, want := scenarioFingerprint(res), goldenScenarioWant[tc.name]; got != want {
+			t.Errorf("%s: K=1 class collapse drifted from the pinned warm golden\n got: %s\nwant: %s",
+				tc.name, diffFields(got, want), diffFields(want, got))
+		}
+		if res.Classes != run.Nodes {
+			t.Errorf("%s: classes = %d, want %d singletons", tc.name, res.Classes, run.Nodes)
+		}
+		if res.CI == nil {
+			t.Errorf("%s: replicas requested but no CI attached", tc.name)
+		} else if res.CI.Samples != 2 {
+			t.Errorf("%s: CI samples = %d, want 2", tc.name, res.CI.Samples)
+		}
+	}
+}
+
 // TestConstantScenarioReproducesStationaryService pins the degenerate
 // case at the public-API level: a one-phase constant schedule fed to
 // RunService must reproduce the stationary run bit-for-bit (identical

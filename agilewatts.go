@@ -360,34 +360,39 @@ type (
 	FleetCI = cluster.FleetCI
 )
 
-// ScenarioRun describes one time-varying fleet simulation: the embedded
-// ClusterRun supplies the fleet (nodes, platform, service, policy), and
-// the schedule replaces its static RateQPS. Every EpochNS the cluster
-// dispatcher re-partitions the current window's mean rate, parking and
-// unparking nodes as the load moves.
-type ScenarioRun struct {
-	ClusterRun
-	// Scenario names a built-in shape built around RateQPS as the base
-	// rate (see ScenarioNames). Ignored when Schedule is set.
-	Scenario string
-	// Schedule, when non-nil, is the explicit load timeline.
-	Schedule *Schedule
-	// TotalNS is the scenario length for named shapes (default: the
-	// node measurement window, DurationNS).
-	TotalNS Duration
-	// EpochNS is the re-dispatch interval (default: one epoch spanning
-	// the whole schedule).
-	EpochNS Duration
-	// UnparkLatencyNS / UnparkPowerW parameterize the cold path's
-	// synthetic penalty a parked node pays when load returns to it
-	// (defaults 1ms / 30W; zero means "default" — set UnparkFree for an
-	// explicitly free unpark). The warm path simulates the transition
-	// instead and ignores both.
-	UnparkLatencyNS Duration
-	UnparkPowerW    float64
-	// UnparkFree makes cold-path unparks explicitly free (both
-	// penalties zero), which the zero values above cannot express.
-	UnparkFree bool
+// Controller is a fleet autoscaling policy evaluated at epoch
+// boundaries: Observe ingests the finished epoch's telemetry (a lagging
+// signal) and returns the target active node count for the next epoch.
+// Select one with ScenarioElasticity.Controller — a built-in by name,
+// or a custom implementation through ControllerSpec.New. FleetTelemetry
+// and NodeTelemetry are what a controller observes; FleetInfo is what a
+// custom factory learns about the fleet at construction.
+type (
+	Controller     = cluster.Controller
+	ControllerSpec = cluster.ControllerSpec
+	FleetTelemetry = cluster.FleetTelemetry
+	NodeTelemetry  = cluster.NodeTelemetry
+	FleetInfo      = cluster.FleetInfo
+)
+
+// Built-in fleet controller names accepted by ControllerSpec.Name:
+// oracle replays the precomputed epoch plan (bit-for-bit the open-loop
+// result), reactive follows measured utilization with a hysteresis
+// deadband and cooldown, predictive forecasts the offered rate with the
+// menu governor's EWMA machinery at fleet granularity.
+const (
+	ControllerOracle     = cluster.ControllerOracle
+	ControllerReactive   = cluster.ControllerReactive
+	ControllerPredictive = cluster.ControllerPredictive
+)
+
+// FleetControllers lists the built-in fleet controller names.
+func FleetControllers() []string { return cluster.Controllers() }
+
+// ScenarioExecution groups the scenario engine-selection knobs: which
+// engine runs the epochs and how much statistical machinery rides
+// along.
+type ScenarioExecution struct {
 	// ColdEpochs selects the legacy cold-start scenario engine: every
 	// epoch re-creates every node simulation from scratch (one warmup
 	// per node per epoch, per-epoch mixed seeds, synthetic unpark
@@ -417,6 +422,108 @@ type ScenarioRun struct {
 	CompactNodes bool
 }
 
+// ScenarioElasticity groups the fleet elasticity knobs: what a
+// park/unpark transition costs, and which control plane decides when to
+// make one.
+type ScenarioElasticity struct {
+	// UnparkLatencyNS / UnparkPowerW parameterize the cold path's
+	// synthetic penalty a parked node pays when load returns to it
+	// (defaults 1ms / 30W; zero means "default" — set UnparkFree for an
+	// explicitly free unpark). The warm path simulates the transition
+	// instead and ignores both.
+	UnparkLatencyNS Duration
+	UnparkPowerW    float64
+	// UnparkFree makes cold-path unparks explicitly free (both
+	// penalties zero), which the zero values above cannot express.
+	UnparkFree bool
+	// Controller selects the fleet autoscaling policy. The zero value
+	// keeps the open-loop plan (the schedule decides everything up
+	// front); a named or custom controller re-decides the active node
+	// count every epoch from the previous epoch's telemetry. Warm path
+	// only.
+	Controller ControllerSpec
+}
+
+// ScenarioRun describes one time-varying fleet simulation: the embedded
+// ClusterRun supplies the fleet (nodes, platform, service, policy), and
+// the schedule replaces its static RateQPS. Every EpochNS the cluster
+// dispatcher re-partitions the current window's mean rate, parking and
+// unparking nodes as the load moves. Execution selects and tunes the
+// engine; Elasticity prices and controls the park/unpark transitions.
+type ScenarioRun struct {
+	ClusterRun
+	// Scenario names a built-in shape built around RateQPS as the base
+	// rate (see ScenarioNames). Ignored when Schedule is set.
+	Scenario string
+	// Schedule, when non-nil, is the explicit load timeline.
+	Schedule *Schedule
+	// TotalNS is the scenario length for named shapes (default: the
+	// node measurement window, DurationNS).
+	TotalNS Duration
+	// EpochNS is the re-dispatch interval (default: one epoch spanning
+	// the whole schedule).
+	EpochNS Duration
+	// Execution groups the engine-selection knobs (cold vs warm engine,
+	// replicas, compact aggregation).
+	Execution ScenarioExecution
+	// Elasticity groups the unpark-cost and autoscaling knobs.
+	Elasticity ScenarioElasticity
+
+	// UnparkLatencyNS is the cold path's synthetic unpark latency.
+	//
+	// Deprecated: set Elasticity.UnparkLatencyNS. This shim maps into
+	// the group (the group wins when both are set) and will be removed
+	// after one release of compatibility.
+	UnparkLatencyNS Duration
+	// UnparkPowerW is the cold path's synthetic unpark power.
+	//
+	// Deprecated: set Elasticity.UnparkPowerW. This shim maps into the
+	// group (the group wins when both are set) and will be removed after
+	// one release of compatibility.
+	UnparkPowerW float64
+	// UnparkFree makes cold-path unparks explicitly free.
+	//
+	// Deprecated: set Elasticity.UnparkFree. The flags are OR-ed during
+	// the compatibility release; this shim will then be removed.
+	UnparkFree bool
+	// ColdEpochs selects the legacy cold-start scenario engine.
+	//
+	// Deprecated: set Execution.ColdEpochs. The flags are OR-ed during
+	// the compatibility release; this shim will then be removed.
+	ColdEpochs bool
+	// Replicas adds K seeded replicas per timeline class.
+	//
+	// Deprecated: set Execution.Replicas. This shim maps into the group
+	// (the group wins when both are set) and will be removed after one
+	// release of compatibility.
+	Replicas int
+	// CompactNodes drops per-node detail from the results.
+	//
+	// Deprecated: set Execution.CompactNodes. The flags are OR-ed during
+	// the compatibility release; this shim will then be removed.
+	CompactNodes bool
+}
+
+// normalized folds the deprecated flat shims into the grouped fields:
+// a set group field wins over its shim, boolean flags are OR-ed, so
+// callers migrating field-by-field never lose a knob.
+func (r ScenarioRun) normalized() (ScenarioExecution, ScenarioElasticity) {
+	ex, el := r.Execution, r.Elasticity
+	ex.ColdEpochs = ex.ColdEpochs || r.ColdEpochs
+	if ex.Replicas == 0 {
+		ex.Replicas = r.Replicas
+	}
+	ex.CompactNodes = ex.CompactNodes || r.CompactNodes
+	if el.UnparkLatencyNS == 0 {
+		el.UnparkLatencyNS = r.UnparkLatencyNS
+	}
+	if el.UnparkPowerW == 0 {
+		el.UnparkPowerW = r.UnparkPowerW
+	}
+	el.UnparkFree = el.UnparkFree || r.UnparkFree
+	return ex, el
+}
+
 // RunScenario simulates a fleet under time-varying load with
 // epoch-stepped re-dispatch.
 func RunScenario(r ScenarioRun) (ScenarioResult, error) {
@@ -442,6 +549,7 @@ func RunScenario(r ScenarioRun) (ScenarioResult, error) {
 			return ScenarioResult{}, err
 		}
 	}
+	ex, el := r.normalized()
 	// The template's Duration is irrelevant here: the scenario engine
 	// assigns every node its epoch window length per epoch.
 	return cluster.RunScenario(cluster.ScenarioConfig{
@@ -451,12 +559,13 @@ func RunScenario(r ScenarioRun) (ScenarioResult, error) {
 		Dispatch:      run.ClusterDispatch,
 		TargetUtil:    run.TargetUtil,
 		ParkDrained:   run.ParkDrained,
-		ColdEpochs:    r.ColdEpochs,
-		UnparkLatency: r.UnparkLatencyNS,
-		UnparkPowerW:  r.UnparkPowerW,
-		UnparkFree:    r.UnparkFree,
-		Replicas:      r.Replicas,
-		CompactNodes:  r.CompactNodes,
+		ColdEpochs:    ex.ColdEpochs,
+		UnparkLatency: el.UnparkLatencyNS,
+		UnparkPowerW:  el.UnparkPowerW,
+		UnparkFree:    el.UnparkFree,
+		Controller:    el.Controller,
+		Replicas:      ex.Replicas,
+		CompactNodes:  ex.CompactNodes,
 	})
 }
 
@@ -682,7 +791,11 @@ func RunExperiment(name string, o Options, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return render(r.PhaseTable(), r.EpochTable())
+		c, err := experiments.ScenarioControllers(o)
+		if err != nil {
+			return err
+		}
+		return render(r.PhaseTable(), r.EpochTable(), c.ControllerTable())
 	default:
 		return fmt.Errorf("agilewatts: unknown experiment %q (known: %v)", name, Experiments())
 	}

@@ -1,0 +1,180 @@
+package agilewatts
+
+// TestGoldenPublicAPISurface pins the package's exported surface — every
+// exported const, var, func, method, type and struct field, with types —
+// against a checked-in manifest. The public API is a compatibility
+// contract: adding to it is deliberate (regenerate the manifest),
+// renaming or removing from it is a break this test makes loud. To
+// regenerate after an intentional change:
+//
+//	GOLDEN_PRINT=1 go test -run TestGoldenPublicAPISurface .
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+const apiSurfacePath = "testdata/api_surface.txt"
+
+func TestGoldenPublicAPISurface(t *testing.T) {
+	got := strings.Join(publicSurface(t), "\n") + "\n"
+	if os.Getenv("GOLDEN_PRINT") != "" {
+		if err := os.MkdirAll(filepath.Dir(apiSurfacePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(apiSurfacePath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d lines)", apiSurfacePath, strings.Count(got, "\n"))
+		return
+	}
+	wantBytes, err := os.ReadFile(apiSurfacePath)
+	if err != nil {
+		t.Fatalf("missing manifest (run GOLDEN_PRINT=1 to create it): %v", err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	// Report the differences by line so the failure names the drifted
+	// declarations instead of dumping both manifests.
+	gotSet := toSet(got)
+	wantSet := toSet(want)
+	for line := range gotSet {
+		if !wantSet[line] {
+			t.Errorf("exported surface gained: %s", line)
+		}
+	}
+	for line := range wantSet {
+		if !gotSet[line] {
+			t.Errorf("exported surface lost: %s", line)
+		}
+	}
+	if !t.Failed() {
+		t.Error("exported surface reordered vs manifest (same lines, different order)")
+	}
+	t.Log("if the change is intentional: GOLDEN_PRINT=1 go test -run TestGoldenPublicAPISurface .")
+}
+
+func toSet(s string) map[string]bool {
+	set := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(s), "\n") {
+		set[line] = true
+	}
+	return set
+}
+
+// publicSurface enumerates the exported declarations of the package in
+// the current directory, one sorted line per name/field/method.
+func publicSurface(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["agilewatts"]
+	if !ok {
+		t.Fatalf("package agilewatts not found in . (got %v)", pkgs)
+	}
+	var lines []string
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				sig := strings.TrimPrefix(exprString(t, fset, d.Type), "func")
+				if d.Recv != nil {
+					recv := exprString(t, fset, d.Recv.List[0].Type)
+					if !ast.IsExported(strings.TrimPrefix(recv, "*")) {
+						continue
+					}
+					lines = append(lines, fmt.Sprintf("method (%s) %s%s", recv, d.Name.Name, sig))
+				} else {
+					lines = append(lines, fmt.Sprintf("func %s%s", d.Name.Name, sig))
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.ValueSpec:
+						kind := "const"
+						if d.Tok == token.VAR {
+							kind = "var"
+						}
+						for _, n := range s.Names {
+							if n.IsExported() {
+								lines = append(lines, kind+" "+n.Name)
+							}
+						}
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() {
+							continue
+						}
+						lines = append(lines, typeLines(t, fset, s)...)
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// typeLines renders one exported type: aliases with their target,
+// structs with one line per exported field, everything else with its
+// underlying type text.
+func typeLines(t *testing.T, fset *token.FileSet, s *ast.TypeSpec) []string {
+	name := s.Name.Name
+	if s.Assign.IsValid() {
+		return []string{fmt.Sprintf("type %s = %s", name, exprString(t, fset, s.Type))}
+	}
+	st, ok := s.Type.(*ast.StructType)
+	if !ok {
+		return []string{fmt.Sprintf("type %s %s", name, exprString(t, fset, s.Type))}
+	}
+	lines := []string{"type " + name + " struct"}
+	for _, field := range st.Fields.List {
+		typ := exprString(t, fset, field.Type)
+		if len(field.Names) == 0 {
+			// Embedded field: the name is the type's base name.
+			base := strings.TrimPrefix(typ, "*")
+			if i := strings.LastIndex(base, "."); i >= 0 {
+				base = base[i+1:]
+			}
+			if ast.IsExported(base) {
+				lines = append(lines, fmt.Sprintf("type %s.%s %s (embedded)", name, base, typ))
+			}
+			continue
+		}
+		for _, fn := range field.Names {
+			if fn.IsExported() {
+				lines = append(lines, fmt.Sprintf("type %s.%s %s", name, fn.Name, typ))
+			}
+		}
+	}
+	return lines
+}
+
+func exprString(t *testing.T, fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		t.Fatal(err)
+	}
+	// Collapse multi-line renderings (struct literals in signatures don't
+	// occur here, but keep the manifest one line per entry regardless).
+	return strings.Join(strings.Fields(buf.String()), " ")
+}

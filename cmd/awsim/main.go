@@ -22,6 +22,14 @@
 // every epoch and compares Baseline against AW phase by phase:
 //
 //	awsim -nodes 8 -scenario diurnal -epoch-ms 30 scenario
+//
+// -controller routes both fleets through a closed-loop controller
+// (oracle, reactive or predictive) that sizes the active set from live
+// telemetry instead of the precomputed plan; -ctrl-up, -ctrl-down and
+// -ctrl-cooldown tune the reactive hysteresis. The scenario experiment
+// always appends the oracle-vs-reactive-vs-predictive comparison table:
+//
+//	awsim -nodes 8 -controller reactive -ctrl-cooldown 3 scenario
 package main
 
 import (
@@ -60,6 +68,15 @@ func main() {
 	replicas := flag.Int("replicas", 0,
 		"scenario experiment only: K seeded replicas per timeline equivalence "+
 			"class (shared node seeds, 95% CI note on the phase table)")
+	controller := flag.String("controller", "",
+		"scenario experiment fleet controller (closed-loop, warm path): "+
+			strings.Join(agilewatts.FleetControllers(), "|")+" (default: open-loop plan)")
+	ctrlUp := flag.Float64("ctrl-up", 0,
+		"reactive controller scale-up utilization threshold (default 0.75)")
+	ctrlDown := flag.Float64("ctrl-down", 0,
+		"reactive controller scale-down utilization threshold (default 0.40)")
+	ctrlCooldown := flag.Int("ctrl-cooldown", 0,
+		"reactive controller minimum epochs between target changes (default 2)")
 	flag.Parse()
 
 	if *list {
@@ -91,6 +108,10 @@ func main() {
 	opts.Epoch = agilewatts.Duration(*epochMS) * 1_000_000
 	opts.ColdEpochs = *coldEpochs
 	opts.Replicas = *replicas
+	opts.Controller = *controller
+	opts.ControllerUpUtil = *ctrlUp
+	opts.ControllerDownUtil = *ctrlDown
+	opts.ControllerCooldown = *ctrlCooldown
 
 	names := flag.Args()
 	if len(names) == 0 {

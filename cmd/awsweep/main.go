@@ -25,6 +25,15 @@
 // That is what makes very large -nodes values (100K+) tractable:
 //
 //	awsweep -nodes 100000 -scenario diurnal -epoch-ms 30 -replicas 4 -rates 80000000000 -v
+//
+// Adding -controller runs the scenario closed-loop: the named fleet
+// controller (oracle, reactive or predictive) sizes the active set from
+// epoch telemetry instead of the precomputed plan, a target_nodes column
+// is appended to each epoch row, and -v reports the controller's
+// decisions-per-epoch alongside the cache statistics. -ctrl-up,
+// -ctrl-down and -ctrl-cooldown tune the reactive hysteresis:
+//
+//	awsweep -nodes 8 -scenario spike -epoch-ms 20 -controller reactive -rates 800000 -v
 package main
 
 import (
@@ -68,6 +77,16 @@ func main() {
 		"scenario sweeps only: K seeded replicas per timeline equivalence class; "+
 			"switches the fleet to shared node seeds (identical timelines collapse "+
 			"to one simulated class) and appends 95% CI columns to the CSV")
+	controller := flag.String("controller", "",
+		"scenario sweeps only: closed-loop fleet controller (warm path): "+
+			strings.Join(agilewatts.FleetControllers(), "|")+
+			"; appends a target_nodes column (default: open-loop plan)")
+	ctrlUp := flag.Float64("ctrl-up", 0,
+		"reactive controller scale-up utilization threshold (default 0.75)")
+	ctrlDown := flag.Float64("ctrl-down", 0,
+		"reactive controller scale-down utilization threshold (default 0.40)")
+	ctrlCooldown := flag.Int("ctrl-cooldown", 0,
+		"reactive controller minimum epochs between target changes (default 2)")
 	verbose := flag.Bool("v", false,
 		"print sweep-executor cache statistics (hits/misses, interval timeline "+
 			"runs included) to stderr after the sweep")
@@ -107,8 +126,14 @@ func main() {
 	if *replicas > 0 && *coldEpochs {
 		fatal(fmt.Errorf("-replicas requires the warm path (drop -cold-epochs)"))
 	}
+	if *controller != "" && !scenarioMode {
+		fatal(fmt.Errorf("-controller requires -scenario (controllers drive the scenario fleet)"))
+	}
 	if scenarioMode {
 		header := "base_qps,epoch,start_ms,end_ms,phase,rate_qps,active_nodes,parked_nodes,unparks,fleet_w,fleet_qps,qps_per_w,worst_p99_us"
+		if *controller != "" {
+			header += ",target_nodes"
+		}
 		if *replicas > 0 {
 			header += ",fleet_w_lo,fleet_w_hi,qps_per_w_lo,qps_per_w_hi,worst_p99_lo_us,worst_p99_hi_us"
 		}
@@ -118,6 +143,7 @@ func main() {
 	} else {
 		fmt.Println("rate_qps,avg_core_w,package_w,server_avg_us,server_p99_us,e2e_avg_us,e2e_p99_us,c0,c1,c6a,c1e,c6ae,c6,turbo_fraction")
 	}
+	var ctrlChanges, ctrlEpochs int
 	for _, part := range strings.Split(*rates, ",") {
 		rate, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
 		if err != nil {
@@ -145,15 +171,27 @@ func main() {
 					// collapse to one class; replicas restore error bars.
 					SharedSeeds: *replicas > 0,
 				},
-				Scenario:     *scenarioName,
-				EpochNS:      agilewatts.Duration(*epochMS) * 1_000_000,
-				ColdEpochs:   *coldEpochs,
-				Replicas:     *replicas,
-				CompactNodes: *replicas > 0,
+				Scenario: *scenarioName,
+				EpochNS:  agilewatts.Duration(*epochMS) * 1_000_000,
+				Execution: agilewatts.ScenarioExecution{
+					ColdEpochs:   *coldEpochs,
+					Replicas:     *replicas,
+					CompactNodes: *replicas > 0,
+				},
+				Elasticity: agilewatts.ScenarioElasticity{
+					Controller: agilewatts.ControllerSpec{
+						Name:     *controller,
+						UpUtil:   *ctrlUp,
+						DownUtil: *ctrlDown,
+						Cooldown: *ctrlCooldown,
+					},
+				},
 			})
 			if err != nil {
 				fatal(err)
 			}
+			ctrlChanges += res.ControllerChanges
+			ctrlEpochs += len(res.Epochs)
 			for _, ep := range res.Epochs {
 				fmt.Printf("%.0f,%d,%.1f,%.1f,%s,%.0f,%d,%d,%d,%.2f,%.0f,%.1f,%.2f",
 					rate, ep.Epoch,
@@ -162,6 +200,9 @@ func main() {
 					ep.Fleet.ActiveNodes, ep.Parked, ep.Unparked,
 					ep.Fleet.FleetPowerW, ep.Fleet.CompletedPerSec,
 					ep.Fleet.QPSPerWatt, ep.Fleet.WorstP99US)
+				if *controller != "" {
+					fmt.Printf(",%d", ep.TargetNodes)
+				}
 				if *replicas > 0 && ep.CI != nil {
 					fmt.Printf(",%.2f,%.2f,%.1f,%.1f,%.2f,%.2f",
 						ep.CI.FleetPowerW.Lo, ep.CI.FleetPowerW.Hi,
@@ -216,6 +257,10 @@ func main() {
 			dpct := (1 - float64(classes)/float64(dnodes)) * 100
 			fmt.Fprintf(os.Stderr, "awsweep: class dedup: %d nodes -> %d classes (%.1f%% deduped), %d replica runs\n",
 				dnodes, classes, dpct, reps)
+		}
+		if *controller != "" && ctrlEpochs > 0 {
+			fmt.Fprintf(os.Stderr, "awsweep: controller %s: %d target changes over %d epochs (%.2f decisions/epoch)\n",
+				*controller, ctrlChanges, ctrlEpochs, float64(ctrlChanges)/float64(ctrlEpochs))
 		}
 	}
 }

@@ -80,6 +80,16 @@ type ScenarioConfig struct {
 	// setting Replicas adds error bars without perturbing any existing
 	// result bit. Warm path only (rejected with ColdEpochs).
 	Replicas int
+	// Controller selects the fleet autoscaling policy (see
+	// ControllerSpec). The zero value keeps today's open-loop behavior:
+	// the epoch plan is computed once from the schedule and every node
+	// runs its precomputed timeline. A named controller routes the run
+	// through the incremental closed-loop engine instead, where each
+	// epoch's rate partition is decided at run time from the previous
+	// epoch's telemetry (the oracle replays the precomputed plan and so
+	// reproduces the open-loop results bit-for-bit). Warm path only
+	// (rejected with ColdEpochs).
+	Controller ControllerSpec
 	// CompactNodes makes the warm path skip per-node materialization:
 	// EpochResult.Fleet.Nodes stays nil and fleet aggregation runs
 	// class-weighted in O(classes) per epoch instead of O(nodes) — the
@@ -95,19 +105,49 @@ type ScenarioConfig struct {
 
 // resolvedScenario is ScenarioConfig with every defaultable knob
 // resolved to its effective value — the zero-value-vs-default ambiguity
-// ends here, before any simulation runs.
+// ends here, before any simulation runs. Normalize is the only
+// constructor.
 type resolvedScenario struct {
 	ScenarioConfig
 	unparkLatency sim.Time
 	unparkPowerW  float64
+	total         sim.Time
 }
 
-// resolve applies the scenario defaults.
-func (c ScenarioConfig) resolve() resolvedScenario {
+// Normalize validates the configuration and resolves every defaultable
+// knob to its effective value, in one pass: dispatch policy, target
+// utilization, the epoch length (whole schedule when unset or
+// over-long), the cold path's unpark penalty (UnparkFree collapsing
+// both knobs to zero), and the controller's tuning defaults. It is the
+// single path behind RunScenario, Validate and the CLIs, so every
+// caller gets identical errors for identical mistakes.
+func (c ScenarioConfig) Normalize() (resolvedScenario, error) {
 	r := resolvedScenario{
 		ScenarioConfig: c,
 		unparkLatency:  c.UnparkLatency,
 		unparkPowerW:   c.UnparkPowerW,
+	}
+	if c.Schedule == nil {
+		return r, fmt.Errorf("cluster: scenario needs a schedule")
+	}
+	if c.Epoch < 0 {
+		return r, fmt.Errorf("cluster: negative epoch %d", c.Epoch)
+	}
+	if c.UnparkLatency < 0 || c.UnparkPowerW < 0 {
+		return r, fmt.Errorf("cluster: negative unpark penalty")
+	}
+	if c.Replicas < 0 {
+		return r, fmt.Errorf("cluster: negative replicas %d", c.Replicas)
+	}
+	if c.Replicas >= xrand.MaxReplicas {
+		return r, fmt.Errorf("cluster: replicas %d exceed the seed plane's %d sub-blocks per class",
+			c.Replicas, xrand.MaxReplicas)
+	}
+	if c.ColdEpochs && (c.Replicas > 0 || c.CompactNodes) {
+		return r, fmt.Errorf("cluster: replicas and compact nodes need the warm path (ColdEpochs is set)")
+	}
+	if c.ColdEpochs && c.Controller.enabled() {
+		return r, fmt.Errorf("cluster: a fleet controller needs the warm path (ColdEpochs is set)")
 	}
 	if c.Dispatch == "" {
 		r.Dispatch = DispatchSpread
@@ -125,7 +165,25 @@ func (c ScenarioConfig) resolve() resolvedScenario {
 			r.unparkPowerW = 30
 		}
 	}
-	return r
+	r.total = c.Schedule.Duration()
+	if r.Epoch == 0 || r.Epoch > r.total {
+		r.Epoch = r.total
+	}
+	var err error
+	if r.Controller, err = normalizeController(c.Controller, r.TargetUtil); err != nil {
+		return r, err
+	}
+	// The static validator covers nodes, policy name, TargetUtil and the
+	// closed-loop rejection.
+	if err := (Config{
+		Nodes:      c.Nodes,
+		RateQPS:    0,
+		Dispatch:   r.Dispatch,
+		TargetUtil: r.TargetUtil,
+	}).Validate(); err != nil {
+		return r, err
+	}
+	return r, nil
 }
 
 // epochSeed mixes the epoch index into node seeds for the cold path —
@@ -161,6 +219,10 @@ type EpochResult struct {
 	// results and this field stays zero.
 	Unparked      int
 	UnparkEnergyJ float64
+	// TargetNodes is the controller's target active node count for this
+	// epoch (the clamped Observe decision; for the oracle, the number of
+	// plan-routed nodes). Zero on open-loop runs.
+	TargetNodes int
 	// Fleet is the full fleet aggregate for this window. With
 	// CompactNodes its Nodes field stays nil.
 	Fleet Result
@@ -219,6 +281,13 @@ type ScenarioResult struct {
 	// consolidation footprint over the day.
 	ParkedTimeline []int
 
+	// Controller names the fleet controller that drove the run; empty on
+	// open-loop runs. ControllerChanges counts the epochs whose target
+	// active node count differed from the previous epoch's — the
+	// decision churn awsweep -v reports alongside dedup stats.
+	Controller        string
+	ControllerChanges int
+
 	// Classes counts the timeline equivalence classes the warm path
 	// collapsed the fleet into (one per node when nothing collapses;
 	// zero on the cold path, which does not classify).
@@ -231,35 +300,12 @@ type ScenarioResult struct {
 	CI *FleetCI
 }
 
-// Validate rejects unusable scenario configurations.
+// Validate rejects unusable scenario configurations. It is a thin
+// wrapper over Normalize — validation and defaulting are one pass, so a
+// config rejected here is rejected identically by RunScenario.
 func (c ScenarioConfig) Validate() error {
-	if c.Schedule == nil {
-		return fmt.Errorf("cluster: scenario needs a schedule")
-	}
-	if c.Epoch < 0 {
-		return fmt.Errorf("cluster: negative epoch %d", c.Epoch)
-	}
-	if c.UnparkLatency < 0 || c.UnparkPowerW < 0 {
-		return fmt.Errorf("cluster: negative unpark penalty")
-	}
-	if c.Replicas < 0 {
-		return fmt.Errorf("cluster: negative replicas %d", c.Replicas)
-	}
-	if c.Replicas >= xrand.MaxReplicas {
-		return fmt.Errorf("cluster: replicas %d exceed the seed plane's %d sub-blocks per class",
-			c.Replicas, xrand.MaxReplicas)
-	}
-	if c.ColdEpochs && (c.Replicas > 0 || c.CompactNodes) {
-		return fmt.Errorf("cluster: replicas and compact nodes need the warm path (ColdEpochs is set)")
-	}
-	// The static validator covers nodes, policy name, TargetUtil and the
-	// closed-loop rejection.
-	return Config{
-		Nodes:      c.Nodes,
-		RateQPS:    0,
-		Dispatch:   c.Dispatch,
-		TargetUtil: c.TargetUtil,
-	}.Validate()
+	_, err := c.Normalize()
+	return err
 }
 
 // epochWindow is one planned re-dispatch interval: its schedule window,
@@ -325,13 +371,9 @@ func (c resolvedScenario) fleetConfig(rate float64) Config {
 // resumable pipelined task; ColdEpochs selects the legacy re-simulate-
 // every-epoch engine (see ScenarioConfig).
 func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
-	c := cfg.resolve()
-	if err := c.Validate(); err != nil {
+	c, err := cfg.Normalize()
+	if err != nil {
 		return ScenarioResult{}, err
-	}
-	total := c.Schedule.Duration()
-	if c.Epoch == 0 || c.Epoch > total {
-		c.Epoch = total
 	}
 	part, err := partitioner(c.Dispatch)
 	if err != nil {
@@ -341,16 +383,19 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 	if r == nil {
 		r = runner.Default()
 	}
-	plan := planEpochs(c, part, total)
+	plan := planEpochs(c, part, c.total)
 	out := ScenarioResult{
 		Schedule:  c.Schedule.Name(),
 		Dispatch:  c.Dispatch,
 		Epoch:     c.Epoch,
-		TotalTime: total,
+		TotalTime: c.total,
 	}
-	if c.ColdEpochs {
+	switch {
+	case c.ColdEpochs:
 		err = runScenarioCold(c, plan, r, &out)
-	} else {
+	case c.Controller.enabled():
+		err = runScenarioControlled(c, plan, part, r, &out)
+	default:
 		err = runScenarioWarm(c, plan, r, &out)
 	}
 	if err != nil {

@@ -62,6 +62,24 @@ func BenchmarkRunScenarioWarm(b *testing.B) { benchRunScenario(b, false) }
 // speedup claim.
 func BenchmarkRunScenarioCold(b *testing.B) { benchRunScenario(b, true) }
 
+// BenchmarkRunScenarioWarmReactive measures the closed-loop incremental
+// engine on the same configuration as BenchmarkRunScenarioWarm, with the
+// reactive controller in the loop: per-epoch telemetry aggregation,
+// controller evaluation, and live-class rate-divergence splits on top of
+// the warm path. The delta against BenchmarkRunScenarioWarm is the
+// control plane's overhead.
+func BenchmarkRunScenarioWarmReactive(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := benchScenarioCfg(false, runner.New(0))
+		cfg.Controller = ControllerSpec{Name: ControllerReactive}
+		if _, err := RunScenario(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRunScenario100K measures the class-collapsed compact path at
 // datacenter scale: a 100K-node shared-seed fleet over the same
 // compressed diurnal day (24 epochs), spread dispatch so every node

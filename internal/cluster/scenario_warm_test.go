@@ -200,10 +200,14 @@ func TestUnparkFreeRepresentable(t *testing.T) {
 		}
 	}
 	// UnparkFree also beats explicit nonzero fields, documented-wins.
-	if resolved := free.resolve(); resolved.unparkLatency != 0 || resolved.unparkPowerW != 0 {
+	if resolved, err := free.Normalize(); err != nil {
+		t.Fatalf("Normalize(free): %v", err)
+	} else if resolved.unparkLatency != 0 || resolved.unparkPowerW != 0 {
 		t.Errorf("UnparkFree resolved to %v/%v, want 0/0", resolved.unparkLatency, resolved.unparkPowerW)
 	}
-	if resolved := base.resolve(); resolved.unparkLatency != sim.Millisecond || resolved.unparkPowerW != 30 {
+	if resolved, err := base.Normalize(); err != nil {
+		t.Fatalf("Normalize(base): %v", err)
+	} else if resolved.unparkLatency != sim.Millisecond || resolved.unparkPowerW != 30 {
 		t.Errorf("zero-value fields resolved to %v/%v, want 1ms/30W", resolved.unparkLatency, resolved.unparkPowerW)
 	}
 }

@@ -75,6 +75,21 @@ type Options struct {
 	// one class and the replicas carry the variance story) and to the
 	// compact O(classes) collector. Warm path only.
 	Replicas int
+	// Controller routes the scenario experiment's Baseline/AW comparison
+	// through the named closed-loop fleet controller (oracle, reactive
+	// or predictive; see cluster.Controllers) instead of the default
+	// open-loop plan. Warm path only. The controller comparison table
+	// always sweeps all three regardless of this setting.
+	Controller string
+	// ControllerUpUtil and ControllerDownUtil override the reactive
+	// controller's hysteresis deadband (defaults 0.75 and 0.40): the
+	// target holds while fleet utilization stays inside
+	// [DownUtil, UpUtil].
+	ControllerUpUtil   float64
+	ControllerDownUtil float64
+	// ControllerCooldown overrides the reactive controller's minimum
+	// number of epochs between target changes (default 2).
+	ControllerCooldown int
 }
 
 // DefaultOptions returns full-fidelity settings.

@@ -90,6 +90,91 @@ func TestScenarioSpikeRendersTables(t *testing.T) {
 	}
 }
 
+// TestScenarioControllersComparesAllThree is the control-plane study's
+// acceptance test: the sweep covers diurnal and spike under oracle,
+// reactive and predictive, every cell carries replica CIs, and the
+// spike rows exhibit the headline — the reactive controller's one-epoch
+// reaction lag degrades the AW fleet's worst p99 versus the oracle,
+// which had the nodes awake before the spike landed.
+func TestScenarioControllersComparesAllThree(t *testing.T) {
+	o := scenarioQuick()
+	o.Nodes = 4
+	// 10ms epochs resolve the spike into whole epochs (the 4x step spans
+	// [2/5, 3/5] of the schedule), so the reaction lag is visible.
+	o.Epoch = 10 * sim.Millisecond
+	r, err := ScenarioControllers(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Runs) != 6 {
+		t.Fatalf("runs = %d, want 6 (2 schedules x 3 controllers)", len(r.Runs))
+	}
+	byCell := map[string]ControllerScenarioRun{}
+	for _, run := range r.Runs {
+		byCell[run.Schedule+"/"+run.Controller] = run
+		if run.Baseline.CI == nil || run.AW.CI == nil {
+			t.Fatalf("%s/%s missing replica CIs", run.Schedule, run.Controller)
+		}
+		if got := run.AW.CI.Samples; got != r.Replicas+1 {
+			t.Errorf("%s/%s CI samples = %d, want %d", run.Schedule, run.Controller, got, r.Replicas+1)
+		}
+		if run.AW.Controller != run.Controller {
+			t.Errorf("%s/%s AW ran under controller %q", run.Schedule, run.Controller, run.AW.Controller)
+		}
+		if run.SavingsPerYearM < run.SavingsLoM || run.SavingsPerYearM > run.SavingsHiM {
+			t.Errorf("%s/%s savings %.3f outside its CI [%.3f, %.3f]",
+				run.Schedule, run.Controller, run.SavingsPerYearM, run.SavingsLoM, run.SavingsHiM)
+		}
+	}
+	// AW saves power under every controller on the diurnal day.
+	for _, ctrl := range []string{"oracle", "reactive", "predictive"} {
+		run := byCell["diurnal/"+ctrl]
+		if run.SavingsPerYearM <= 0 {
+			t.Errorf("diurnal/%s yearly savings %.3f $M not positive", ctrl, run.SavingsPerYearM)
+		}
+	}
+	// The spike headline: reactive pays the unpark lag in tail latency.
+	oracle, reactive := byCell["spike/oracle"], byCell["spike/reactive"]
+	if reactive.AW.ControllerChanges == 0 {
+		t.Error("spike/reactive controller never moved its target")
+	}
+	if reactive.AW.WorstP99US <= oracle.AW.WorstP99US {
+		t.Errorf("spike reactive AW p99 %.1fus not degraded vs oracle %.1fus",
+			reactive.AW.WorstP99US, oracle.AW.WorstP99US)
+	}
+	var b strings.Builder
+	if err := r.ControllerTable().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"oracle", "reactive", "predictive", "spike", "$M/yr", "Changes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("controller table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestScenarioHonorsControllerOption pins that the main scenario
+// comparison can itself run closed-loop: -controller=reactive routes
+// both fleets through the reactive controller.
+func TestScenarioHonorsControllerOption(t *testing.T) {
+	o := scenarioQuick()
+	o.Controller = "reactive"
+	r, err := Scenario(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Baseline.Controller != "reactive" || r.AW.Controller != "reactive" {
+		t.Errorf("fleets ran under %q/%q, want reactive/reactive",
+			r.Baseline.Controller, r.AW.Controller)
+	}
+	for _, ep := range r.AW.Epochs {
+		if ep.TargetNodes < 1 || ep.TargetNodes > o.Nodes {
+			t.Errorf("epoch %d target %d outside [1, %d]", ep.Epoch, ep.TargetNodes, o.Nodes)
+		}
+	}
+}
+
 func TestScenarioUnknownNameFails(t *testing.T) {
 	o := scenarioQuick()
 	o.Scenario = "heatwave"

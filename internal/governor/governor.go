@@ -25,6 +25,68 @@ type Governor interface {
 	Name() string
 }
 
+// EWMA is the menu governor's prediction machinery, extracted so other
+// layers can reuse it on their own signals: an exponentially weighted
+// moving average over observations, corrected toward the most recent
+// one when the pattern is irregular. The fleet control plane runs the
+// identical estimator at cluster granularity — over per-epoch offered
+// rates instead of per-core idle durations — so the predictive
+// autoscaler and the per-core idle predictor share one set of dynamics
+// (and one property suite for them).
+type EWMA struct {
+	// value is the running estimate; last the most recent observation.
+	value, last float64
+	// alpha is the EWMA weight of new observations.
+	alpha float64
+	// seeded reports whether any observation has arrived.
+	seeded bool
+}
+
+// NewEWMA returns an estimator weighting each new observation by alpha.
+func NewEWMA(alpha float64) *EWMA { return &EWMA{alpha: alpha} }
+
+// Observe folds one observation into the running estimate.
+func (e *EWMA) Observe(v float64) {
+	if !e.seeded {
+		e.value = v
+		e.seeded = true
+	} else {
+		e.value = e.alpha*v + (1-e.alpha)*e.value
+	}
+	e.last = v
+}
+
+// Seeded reports whether any observation has arrived.
+func (e *EWMA) Seeded() bool { return e.seeded }
+
+// Value returns the running EWMA estimate (0 before any observation).
+func (e *EWMA) Value() float64 { return e.value }
+
+// PredictLow returns the estimate biased toward the smaller of (EWMA,
+// last observation): when the signal just dropped, trust the drop — the
+// menu governor's bias, where under-predicting idle depth costs a
+// little power but over-predicting costs wake latency.
+func (e *EWMA) PredictLow() float64 {
+	p := e.value
+	if e.last < p {
+		p = (e.last + e.value) / 2
+	}
+	return p
+}
+
+// PredictHigh is the mirror bias toward the larger of (EWMA, last):
+// when the signal just rose, trust the rise. This is the capacity-
+// planning direction — under-predicting offered load costs SLO
+// violations, over-predicting only costs some idle watts — exactly the
+// asymmetry PredictLow encodes for idle durations, reflected.
+func (e *EWMA) PredictHigh() float64 {
+	p := e.value
+	if e.last > p {
+		p = (e.last + e.value) / 2
+	}
+	return p
+}
+
 // MenuGovernor predicts the next idle duration with an exponentially
 // weighted moving average over recent idle periods, corrected toward the
 // most recent observation when the pattern is irregular — a simplified
@@ -32,19 +94,13 @@ type Governor interface {
 // target residency fits the prediction.
 type MenuGovernor struct {
 	catalog *cstate.Catalog
-	// ewma is the running idle-duration estimate (ns).
-	ewma float64
-	// lastIdle is the most recent observation (ns).
-	lastIdle float64
-	// alpha is the EWMA weight of new observations.
-	alpha float64
-	// seeded reports whether any observation has arrived.
-	seeded bool
+	// pred is the idle-duration estimator (ns observations).
+	pred EWMA
 }
 
 // NewMenuGovernor returns a menu-style governor over the catalog.
 func NewMenuGovernor(c *cstate.Catalog) *MenuGovernor {
-	return &MenuGovernor{catalog: c, alpha: 0.3}
+	return &MenuGovernor{catalog: c, pred: EWMA{alpha: 0.3}}
 }
 
 // Name implements Governor.
@@ -54,17 +110,13 @@ func (g *MenuGovernor) Name() string { return "menu" }
 // observation, it predicts pessimistically short (pick shallow), which is
 // what hardware does on cold start.
 func (g *MenuGovernor) Predict() sim.Time {
-	if !g.seeded {
+	if !g.pred.Seeded() {
 		return 0
 	}
 	// Bias toward the shorter of (ewma, last): under-predicting depth
 	// costs a little power; over-predicting costs latency, which is what
 	// latency-critical deployments tune against.
-	p := g.ewma
-	if g.lastIdle < p {
-		p = (g.lastIdle + g.ewma) / 2
-	}
-	return sim.Time(p)
+	return sim.Time(g.pred.PredictLow())
 }
 
 // Select implements Governor.
@@ -75,14 +127,7 @@ func (g *MenuGovernor) Select(now sim.Time, menu []cstate.ID) cstate.ID {
 
 // Observe implements Governor.
 func (g *MenuGovernor) Observe(idle sim.Time) {
-	v := float64(idle)
-	if !g.seeded {
-		g.ewma = v
-		g.seeded = true
-	} else {
-		g.ewma = g.alpha*v + (1-g.alpha)*g.ewma
-	}
-	g.lastIdle = v
+	g.pred.Observe(float64(idle))
 }
 
 // StaticGovernor always selects the deepest state in the menu, ignoring

@@ -106,7 +106,7 @@ func TestMenuGovernorEWMAConvergence(t *testing.T) {
 		prevErr := math.Inf(1)
 		for i := 0; i < tc.maxObs; i++ {
 			g.Observe(tc.target)
-			err := math.Abs(g.ewma - target)
+			err := math.Abs(g.pred.Value() - target)
 			// Monotone contraction: each constant observation must shrink
 			// the EWMA error (strictly, until it hits float resolution).
 			if err > prevErr {

@@ -91,6 +91,33 @@ func (ins *Instance) Clock() sim.Time { return ins.s.eng.Now() }
 // Parked reports whether the instance is currently in a parked window.
 func (ins *Instance) Parked() bool { return ins.s.parked }
 
+// QueueDepth returns the instantaneous total backlog — queued plus
+// executing requests across every core — at the instance's current
+// clock. Unlike Result.MaxQueueDepth (the window's worst single-core
+// backlog) this is a point sample of live state, the signal a fleet
+// control plane reads at an epoch boundary: a node that ended its epoch
+// with work still queued is lagging the offered load even if its
+// window-mean measurements look healthy.
+func (ins *Instance) QueueDepth() int {
+	depth := 0
+	for _, c := range ins.s.cores {
+		depth += c.Load()
+	}
+	return depth
+}
+
+// BusyCores returns the number of cores executing a request right now —
+// the companion point sample to QueueDepth for epoch-boundary telemetry.
+func (ins *Instance) BusyCores() int {
+	n := 0
+	for _, c := range ins.s.cores {
+		if c.busy {
+			n++
+		}
+	}
+	return n
+}
+
 // RunInterval advances the simulation by window at the given offered
 // rate and returns the window's measurement. The first call starts the
 // generators and runs Config.Warmup before its measured window; later

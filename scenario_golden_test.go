@@ -191,6 +191,95 @@ func TestGoldenScenarioClassCollapse(t *testing.T) {
 	}
 }
 
+// TestGoldenScenarioOracleController pins the closed-loop engine's
+// exactness at the public API: the oracle controller — which routes the
+// run through the incremental feedback machinery (live classes,
+// per-epoch telemetry, split detection) but replays the precomputed
+// plan — must reproduce the pinned warm-path fingerprints bit-for-bit,
+// both expanded and in the K=1 compact class-collapse mode. Any drift
+// here means the incremental engine is not an identity on open-loop
+// decisions, which would poison every controller comparison built on
+// it.
+func TestGoldenScenarioOracleController(t *testing.T) {
+	for _, tc := range goldenScenarioCases {
+		if tc.run.ColdEpochs {
+			continue // controllers are a warm-path feature
+		}
+		run := tc.run
+		run.Elasticity.Controller = ControllerSpec{Name: ControllerOracle}
+		res, err := RunScenario(run)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got, want := scenarioFingerprint(res), goldenScenarioWant[tc.name]; got != want {
+			t.Errorf("%s: oracle-controlled run drifted from the pinned warm golden\n got: %s\nwant: %s",
+				tc.name, diffFields(got, want), diffFields(want, got))
+		}
+		if res.Controller != ControllerOracle {
+			t.Errorf("%s: result controller = %q, want %q", tc.name, res.Controller, ControllerOracle)
+		}
+
+		collapsed := run
+		collapsed.Execution.Replicas = 1
+		collapsed.Execution.CompactNodes = true
+		cres, err := RunScenario(collapsed)
+		if err != nil {
+			t.Fatalf("%s (collapsed): %v", tc.name, err)
+		}
+		if got, want := scenarioFingerprint(cres), goldenScenarioWant[tc.name]; got != want {
+			t.Errorf("%s: oracle K=1 class collapse drifted from the pinned warm golden\n got: %s\nwant: %s",
+				tc.name, diffFields(got, want), diffFields(want, got))
+		}
+		if cres.Classes != collapsed.Nodes {
+			t.Errorf("%s: classes = %d, want %d singletons", tc.name, cres.Classes, collapsed.Nodes)
+		}
+		if cres.CI == nil || cres.CI.Samples != 2 {
+			t.Errorf("%s: oracle K=1 run CI = %+v, want 2 samples", tc.name, cres.CI)
+		}
+	}
+}
+
+// TestScenarioShimFieldsMapIntoGroups pins the deprecation contract of
+// the ScenarioRun redesign: the old flat fields are shims onto the
+// Execution/Elasticity groups — a run configured through the shims is
+// bit-identical to the same run configured through the groups, and a
+// set group field wins over its shim.
+func TestScenarioShimFieldsMapIntoGroups(t *testing.T) {
+	for _, tc := range goldenScenarioCases {
+		if tc.run.ColdEpochs {
+			continue
+		}
+		viaShims := tc.run
+		viaShims.Replicas = 1
+		viaShims.CompactNodes = true
+		viaGroups := tc.run
+		viaGroups.Execution = ScenarioExecution{Replicas: 1, CompactNodes: true}
+		a, err := RunScenario(viaShims)
+		if err != nil {
+			t.Fatalf("%s (shims): %v", tc.name, err)
+		}
+		b, err := RunScenario(viaGroups)
+		if err != nil {
+			t.Fatalf("%s (groups): %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: shim-configured run diverged from group-configured run", tc.name)
+		}
+	}
+	// Group-wins: a nonzero group field overrides its deprecated shim.
+	ex, el := (ScenarioRun{
+		Execution:       ScenarioExecution{Replicas: 3},
+		Elasticity:      ScenarioElasticity{UnparkPowerW: 12},
+		Replicas:        1,
+		UnparkPowerW:    99,
+		ColdEpochs:      true, // bools OR through
+		UnparkLatencyNS: 7,    // unset in the group: shim applies
+	}).normalized()
+	if ex.Replicas != 3 || el.UnparkPowerW != 12 || !ex.ColdEpochs || el.UnparkLatencyNS != 7 {
+		t.Errorf("shim merge = %+v / %+v, want group-wins with OR-ed bools", ex, el)
+	}
+}
+
 // TestConstantScenarioReproducesStationaryService pins the degenerate
 // case at the public-API level: a one-phase constant schedule fed to
 // RunService must reproduce the stationary run bit-for-bit (identical

@@ -389,6 +389,29 @@ const (
 // FleetControllers lists the built-in fleet controller names.
 func FleetControllers() []string { return cluster.Controllers() }
 
+// Fault injection: a FaultSpec on ScenarioRun.Faults describes per-node
+// fault windows (NodeFault) and a cluster-level correlated fault process
+// (CorrelatedFaults). The zero value is a healthy fleet and leaves every
+// scenario result bit-identical to a run without fault injection.
+type (
+	FaultSpec        = cluster.FaultSpec
+	NodeFault        = cluster.NodeFault
+	CorrelatedFaults = cluster.CorrelatedFaults
+)
+
+// Fault kinds accepted by NodeFault.Kind and CorrelatedFaults.Kind:
+// crash (node dark, instance discarded, cold rebuild + restart penalty),
+// straggler (service times inflated by Factor > 1), thermal (turbo
+// ceiling capped at base + Factor·(turbo − base), Factor in [0, 1)).
+const (
+	FaultCrash     = cluster.FaultCrash
+	FaultStraggler = cluster.FaultStraggler
+	FaultThermal   = cluster.FaultThermal
+)
+
+// FaultKinds lists the built-in fault kinds.
+func FaultKinds() []string { return cluster.FaultKinds() }
+
 // ScenarioExecution groups the scenario engine-selection knobs: which
 // engine runs the epochs and how much statistical machinery rides
 // along.
@@ -468,6 +491,11 @@ type ScenarioRun struct {
 	Execution ScenarioExecution
 	// Elasticity groups the unpark-cost and autoscaling knobs.
 	Elasticity ScenarioElasticity
+	// Faults injects node- and cluster-level faults into the run:
+	// crash/restart cycles, stragglers, thermal throttling, and a seeded
+	// correlated fault process. Warm path only; the zero value is a
+	// healthy fleet, bit-identical to a run without fault injection.
+	Faults FaultSpec
 
 	// UnparkLatencyNS is the cold path's synthetic unpark latency.
 	//
@@ -524,12 +552,13 @@ func (r ScenarioRun) normalized() (ScenarioExecution, ScenarioElasticity) {
 	return ex, el
 }
 
-// RunScenario simulates a fleet under time-varying load with
-// epoch-stepped re-dispatch.
-func RunScenario(r ScenarioRun) (ScenarioResult, error) {
+// scenarioConfig maps the run description onto the cluster scenario
+// configuration — the shared front half of RunScenario and
+// ValidateScenario, so validation can never drift from execution.
+func scenarioConfig(r ScenarioRun) (cluster.ScenarioConfig, error) {
 	run, nodes, err := buildFleet(r.ClusterRun)
 	if err != nil {
-		return ScenarioResult{}, err
+		return cluster.ScenarioConfig{}, err
 	}
 	sched := r.Schedule
 	if sched == nil {
@@ -546,13 +575,13 @@ func RunScenario(r ScenarioRun) (ScenarioResult, error) {
 		}
 		sched, err = scenario.ByName(name, run.RateQPS, total)
 		if err != nil {
-			return ScenarioResult{}, err
+			return cluster.ScenarioConfig{}, err
 		}
 	}
 	ex, el := r.normalized()
 	// The template's Duration is irrelevant here: the scenario engine
 	// assigns every node its epoch window length per epoch.
-	return cluster.RunScenario(cluster.ScenarioConfig{
+	return cluster.ScenarioConfig{
 		Nodes:         nodes,
 		Schedule:      sched,
 		Epoch:         r.EpochNS,
@@ -566,7 +595,31 @@ func RunScenario(r ScenarioRun) (ScenarioResult, error) {
 		Controller:    el.Controller,
 		Replicas:      ex.Replicas,
 		CompactNodes:  ex.CompactNodes,
-	})
+		Faults:        r.Faults,
+	}, nil
+}
+
+// RunScenario simulates a fleet under time-varying load with
+// epoch-stepped re-dispatch.
+func RunScenario(r ScenarioRun) (ScenarioResult, error) {
+	cfg, err := scenarioConfig(r)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	return cluster.RunScenario(cfg)
+}
+
+// ValidateScenario rejects an unusable run description without
+// simulating anything. It shares RunScenario's exact mapping and
+// Normalize pass, so a description rejected here fails RunScenario with
+// the identical error — the guarantee the CLIs rely on to refuse an
+// invalid -scenario-file before any partial run.
+func ValidateScenario(r ScenarioRun) error {
+	cfg, err := scenarioConfig(r)
+	if err != nil {
+		return err
+	}
+	return cfg.Validate()
 }
 
 // ServiceInstance is a resumable single-server simulation: built once,
@@ -635,6 +688,7 @@ const (
 	ExpDispatch       = "dispatch"        // dispatch-policy power/tail trade-off
 	ExpCluster        = "cluster"         // fleet spread-vs-consolidate study
 	ExpScenario       = "scenario"        // time-varying load: diurnal/spike fleet study
+	ExpFaults         = "faults"          // fault injection: oracle vs reactive under crash-under-spike
 )
 
 // Experiments returns all experiment names in stable order.
@@ -646,7 +700,7 @@ func Experiments() []string {
 		ExpValidation, ExpSnoop,
 		ExpAMD, ExpAblateGovernor, ExpAblateZones, ExpAblatePower, ExpAblateNoise,
 		ExpRaceToHalt, ExpPkgIdle, ExpBreakdown, ExpProportion, ExpDispatch,
-		ExpCluster, ExpScenario,
+		ExpCluster, ExpScenario, ExpFaults,
 	}
 	sort.Strings(names)
 	return names
@@ -796,6 +850,12 @@ func RunExperiment(name string, o Options, w io.Writer) error {
 			return err
 		}
 		return render(r.PhaseTable(), r.EpochTable(), c.ControllerTable())
+	case ExpFaults:
+		r, err := experiments.Faults(o)
+		if err != nil {
+			return err
+		}
+		return render(r.Table())
 	default:
 		return fmt.Errorf("agilewatts: unknown experiment %q (known: %v)", name, Experiments())
 	}

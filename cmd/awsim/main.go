@@ -77,7 +77,18 @@ func main() {
 		"reactive controller scale-down utilization threshold (default 0.40)")
 	ctrlCooldown := flag.Int("ctrl-cooldown", 0,
 		"reactive controller minimum epochs between target changes (default 2)")
+	scenarioFile := flag.String("scenario-file", "",
+		"declarative scenario file (JSON: schedule + fleet + elasticity + faults); "+
+			"runs it and prints the fleet timeline instead of any experiment")
 	flag.Parse()
+
+	if *scenarioFile != "" {
+		if err := runScenarioFile(*scenarioFile, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "awsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, n := range agilewatts.Experiments() {

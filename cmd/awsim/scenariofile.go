@@ -1,0 +1,53 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	agilewatts "repro"
+)
+
+// runScenarioFile loads a declarative scenario file, runs it, and
+// writes the phase and epoch summaries to w. Any load or validation
+// error is returned before a single epoch simulates — main prints it
+// verbatim and exits non-zero, so an invalid file can never produce a
+// partial run.
+func runScenarioFile(path string, w io.Writer) error {
+	run, err := agilewatts.LoadScenarioFile(path)
+	if err != nil {
+		return err
+	}
+	res, err := agilewatts.RunScenario(run)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "scenario %q: %d nodes, %s dispatch, epoch %.0fms, total %.0fms",
+		res.Schedule, run.Nodes, res.Dispatch,
+		float64(res.Epoch)/1e6, float64(res.TotalTime)/1e6)
+	if res.Controller != "" {
+		fmt.Fprintf(w, ", %s controller", res.Controller)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "\nphase                 ms      kqps    fleet_w   qps_per_w   worst_p99_us  parked")
+	for _, ph := range res.Phases {
+		fmt.Fprintf(w, "%-18s %6.0f %9.0f %10.2f %11.1f %14.2f %7.1f\n",
+			ph.Phase, float64(ph.Time)/1e6, ph.AvgRateQPS/1000,
+			ph.AvgFleetPowerW, ph.QPSPerWatt, ph.WorstP99US, ph.AvgParkedNodes)
+	}
+	fmt.Fprintln(w, "\nepoch  window_ms        phase        kqps  active  parked  down  restarts    fleet_w  worst_p99_us")
+	for _, ep := range res.Epochs {
+		fmt.Fprintf(w, "%5d  %6.1f-%-6.1f %12s %11.0f %7d %7d %5d %9d %10.2f %13.2f",
+			ep.Epoch, float64(ep.Start)/1e6, float64(ep.End)/1e6,
+			ep.Phase, ep.RateQPS/1000,
+			ep.Fleet.ActiveNodes, ep.Parked, ep.Down, ep.Restarted,
+			ep.Fleet.FleetPowerW, ep.Fleet.WorstP99US)
+		if res.Controller != "" {
+			fmt.Fprintf(w, "  target=%d", ep.TargetNodes)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "\ntotal: %.2f J, %.2f W avg, %.1f qps/w, worst p99 %.2f us, %d unparks, %d restarts, %d classes\n",
+		res.FleetEnergyJ, res.AvgFleetPowerW, res.QPSPerWatt, res.WorstP99US,
+		res.Unparks, res.Restarts, res.Classes)
+	return nil
+}

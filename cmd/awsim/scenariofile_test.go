@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	agilewatts "repro"
+)
+
+// writeScenario drops a scenario document into a temp dir and returns
+// its path.
+func writeScenario(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const validScenarioDoc = `{
+  "schedule": {"shape": "constant", "base_qps": 100000, "total_ms": 30},
+  "fleet": {"nodes": 2, "warmup_ms": 5},
+  "epoch_ms": 10
+}`
+
+// An overlapping fault window: decodes fine, rejected by Normalize.
+const invalidScenarioDoc = `{
+  "schedule": {"shape": "constant", "base_qps": 100000, "total_ms": 30},
+  "fleet": {"nodes": 2},
+  "epoch_ms": 10,
+  "faults": {"nodes": [
+    {"node": 0, "kind": "crash", "start_ms": 0, "end_ms": 10},
+    {"node": 0, "kind": "crash", "start_ms": 5, "end_ms": 15}
+  ]}
+}`
+
+func TestRunScenarioFileValid(t *testing.T) {
+	var out bytes.Buffer
+	if err := runScenarioFile(writeScenario(t, validScenarioDoc), &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"scenario \"steady\"", "2 nodes", "epoch 10ms", "total:", "restarts"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRunScenarioFileInvalid pins the no-partial-run contract: the
+// helper returns the Normalize error verbatim — the text main prints
+// before exiting non-zero — and writes nothing.
+func TestRunScenarioFileInvalid(t *testing.T) {
+	path := writeScenario(t, invalidScenarioDoc)
+	var out bytes.Buffer
+	err := runScenarioFile(path, &out)
+	if err == nil {
+		t.Fatal("invalid scenario file ran")
+	}
+	if out.Len() != 0 {
+		t.Errorf("invalid file produced partial output:\n%s", out.String())
+	}
+	run, lerr := agilewatts.LoadScenarioFile(path)
+	if lerr != nil {
+		t.Fatal(lerr)
+	}
+	if want := agilewatts.ValidateScenario(run); want == nil || err.Error() != want.Error() {
+		t.Errorf("CLI error %q != ValidateScenario error %q", err, want)
+	}
+}
+
+func TestRunScenarioFileMissing(t *testing.T) {
+	var out bytes.Buffer
+	if err := runScenarioFile(filepath.Join(t.TempDir(), "absent.json"), &out); err == nil {
+		t.Fatal("missing scenario file ran")
+	}
+	if out.Len() != 0 {
+		t.Error("missing file produced output")
+	}
+}

@@ -91,7 +91,17 @@ func main() {
 		"print sweep-executor cache statistics (hits/misses, interval timeline "+
 			"runs included) to stderr after the sweep")
 	configs := flag.Bool("configs", false, "list configuration names and exit")
+	scenarioFile := flag.String("scenario-file", "",
+		"declarative scenario file (JSON: schedule + fleet + elasticity + faults); "+
+			"runs it and emits the per-epoch timeline CSV instead of a rate sweep")
 	flag.Parse()
+
+	if *scenarioFile != "" {
+		if err := sweepScenarioFile(*scenarioFile, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *configs {
 		for _, c := range agilewatts.Configs() {

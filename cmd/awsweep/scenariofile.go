@@ -1,0 +1,54 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	agilewatts "repro"
+)
+
+// sweepScenarioFile loads a declarative scenario file, runs it, and
+// emits the per-epoch fleet timeline CSV with the fault columns
+// (down_nodes, restarts) the flag-driven scenario sweep does not carry.
+// Any load or validation error is returned before a single epoch
+// simulates — main prints it verbatim and exits non-zero, so an invalid
+// file can never produce a partial run.
+func sweepScenarioFile(path string, w io.Writer) error {
+	run, err := agilewatts.LoadScenarioFile(path)
+	if err != nil {
+		return err
+	}
+	res, err := agilewatts.RunScenario(run)
+	if err != nil {
+		return err
+	}
+	header := "epoch,start_ms,end_ms,phase,rate_qps,active_nodes,parked_nodes,down_nodes,unparks,restarts,fleet_w,fleet_qps,qps_per_w,worst_p99_us"
+	ctrl := res.Controller != ""
+	if ctrl {
+		header += ",target_nodes"
+	}
+	reps := run.Execution.Replicas > 0
+	if reps {
+		header += ",fleet_w_lo,fleet_w_hi,qps_per_w_lo,qps_per_w_hi,worst_p99_lo_us,worst_p99_hi_us"
+	}
+	fmt.Fprintln(w, header)
+	for _, ep := range res.Epochs {
+		fmt.Fprintf(w, "%d,%.1f,%.1f,%s,%.0f,%d,%d,%d,%d,%d,%.2f,%.0f,%.1f,%.2f",
+			ep.Epoch, float64(ep.Start)/1e6, float64(ep.End)/1e6,
+			ep.Phase, ep.RateQPS,
+			ep.Fleet.ActiveNodes, ep.Parked, ep.Down, ep.Unparked, ep.Restarted,
+			ep.Fleet.FleetPowerW, ep.Fleet.CompletedPerSec,
+			ep.Fleet.QPSPerWatt, ep.Fleet.WorstP99US)
+		if ctrl {
+			fmt.Fprintf(w, ",%d", ep.TargetNodes)
+		}
+		if reps && ep.CI != nil {
+			fmt.Fprintf(w, ",%.2f,%.2f,%.1f,%.1f,%.2f,%.2f",
+				ep.CI.FleetPowerW.Lo, ep.CI.FleetPowerW.Hi,
+				ep.CI.QPSPerWatt.Lo, ep.CI.QPSPerWatt.Hi,
+				ep.CI.WorstP99US.Lo, ep.CI.WorstP99US.Hi)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	agilewatts "repro"
+)
+
+func writeScenario(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const validScenarioDoc = `{
+  "schedule": {"shape": "constant", "base_qps": 100000, "total_ms": 30},
+  "fleet": {"nodes": 2, "warmup_ms": 5},
+  "epoch_ms": 10
+}`
+
+const invalidScenarioDoc = `{
+  "schedule": {"shape": "constant", "base_qps": 100000, "total_ms": 30},
+  "fleet": {"nodes": 2},
+  "epoch_ms": 10,
+  "faults": {"nodes": [
+    {"node": 0, "kind": "crash", "start_ms": 0, "end_ms": 10},
+    {"node": 0, "kind": "crash", "start_ms": 5, "end_ms": 15}
+  ]}
+}`
+
+func TestSweepScenarioFileValid(t *testing.T) {
+	var out bytes.Buffer
+	if err := sweepScenarioFile(writeScenario(t, validScenarioDoc), &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	wantHeader := "epoch,start_ms,end_ms,phase,rate_qps,active_nodes,parked_nodes,down_nodes,unparks,restarts,fleet_w,fleet_qps,qps_per_w,worst_p99_us"
+	if lines[0] != wantHeader {
+		t.Errorf("header = %q, want %q", lines[0], wantHeader)
+	}
+	if len(lines) != 4 { // header + 3 epochs of 10ms over 30ms
+		t.Errorf("emitted %d lines, want 4:\n%s", len(lines), out.String())
+	}
+}
+
+// TestSweepScenarioFileInvalid pins the no-partial-run contract: the
+// helper returns the Normalize error verbatim — the text fatal prints
+// before exiting non-zero — and emits no CSV, not even the header.
+func TestSweepScenarioFileInvalid(t *testing.T) {
+	path := writeScenario(t, invalidScenarioDoc)
+	var out bytes.Buffer
+	err := sweepScenarioFile(path, &out)
+	if err == nil {
+		t.Fatal("invalid scenario file ran")
+	}
+	if out.Len() != 0 {
+		t.Errorf("invalid file produced partial output:\n%s", out.String())
+	}
+	run, lerr := agilewatts.LoadScenarioFile(path)
+	if lerr != nil {
+		t.Fatal(lerr)
+	}
+	if want := agilewatts.ValidateScenario(run); want == nil || err.Error() != want.Error() {
+		t.Errorf("CLI error %q != ValidateScenario error %q", err, want)
+	}
+}
+
+func TestSweepScenarioFileMissing(t *testing.T) {
+	var out bytes.Buffer
+	if err := sweepScenarioFile(filepath.Join(t.TempDir(), "absent.json"), &out); err == nil {
+		t.Fatal("missing scenario file ran")
+	}
+	if out.Len() != 0 {
+		t.Error("missing file produced output")
+	}
+}

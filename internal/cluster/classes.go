@@ -57,14 +57,19 @@ type timelineClass struct {
 // trace hook, live profile) cannot prove equivalence by key and stay
 // singleton classes, which also makes a deliberately heterogeneous
 // fleet degrade gracefully to one class per node — exactly today's
-// behavior, with today's cost.
-func classifyTimelines(c resolvedScenario, plan []epochWindow) []timelineClass {
+// behavior, with today's cost. Fault annotations (faults[e][i], nil on
+// healthy runs) are part of each interval and therefore of the class
+// key, so a faulted node can never collapse with a healthy one.
+func classifyTimelines(c resolvedScenario, plan []epochWindow, faults [][]runner.Fault) []timelineClass {
 	classes := make([]timelineClass, 0, 16)
 	index := make(map[string]int, len(c.Nodes))
 	for i := range c.Nodes {
 		intervals := make([]runner.Interval, len(plan))
 		for e, pw := range plan {
 			intervals[e] = runner.Interval{Window: pw.end - pw.start, Rate: pw.rates[i]}
+			if faults != nil {
+				intervals[e].Fault = faults[e][i]
+			}
 		}
 		spec := runner.TimelineSpec{Node: c.Nodes[i], Park: c.ParkDrained, Intervals: intervals}
 		if key, ok := runner.TimelineKey(spec); ok {

@@ -27,17 +27,20 @@ type liveClass struct {
 	members []int
 	// node is the representative's configuration.
 	node server.Config
-	// ins is the representative's resumable instance. Nil on a class just
-	// split off its parent: the epoch executor then reconstructs the
-	// instance by replaying the realized prefix (exact by determinism —
-	// the split class shared the parent's rates until now).
-	ins *server.Instance
-	// intervals is the realized rate timeline so far.
+	// ins is the representative's fault-aware timeline cursor. Nil on a
+	// class just split off its parent: the epoch executor then
+	// reconstructs the cursor by replaying the realized prefix (exact by
+	// determinism — the split class shared the parent's rates and faults
+	// until now).
+	ins *runner.TimelineCursor
+	// intervals is the realized rate-and-fault timeline so far.
 	intervals []runner.Interval
 	// results[e] is epoch e's measurement.
 	results []server.IntervalResult
 	// rate is the current epoch's routed per-node rate.
 	rate float64
+	// fault is the current epoch's fault annotation.
+	fault runner.Fault
 }
 
 // initialLiveClasses collapses the fleet by base node key: before any
@@ -61,46 +64,62 @@ func initialLiveClasses(c resolvedScenario) []*liveClass {
 	return classes
 }
 
+// rateFault is splitByRate's bucket key: members stay collapsed only
+// while they share both the routed rate and the epoch's fault
+// annotation — a faulted node can never ride a healthy representative.
+type rateFault struct {
+	rate  float64
+	fault runner.Fault
+}
+
 // splitByRate partitions the classes so that every class's members
-// share this epoch's routed rate, setting each class's rate field. A
-// sub-class keeping the first member inherits the parent's live
-// instance; the others start with ins nil plus a copy of the realized
-// prefix, and the epoch executor replays them onto fresh instances.
-// Member order and the first-member-owns-the-state rule keep the final
-// class partition identical to what full-timeline classification of the
-// realized rates would produce.
-func splitByRate(classes []*liveClass, rates []float64) []*liveClass {
+// share this epoch's routed rate and fault annotation, setting each
+// class's rate and fault fields. A sub-class keeping the first member
+// inherits the parent's live cursor; the others start with ins nil plus
+// a copy of the realized prefix, and the epoch executor replays them
+// onto fresh cursors. Member order and the first-member-owns-the-state
+// rule keep the final class partition identical to what full-timeline
+// classification of the realized rates and faults would produce. faults
+// is this epoch's per-node annotation row; nil means healthy.
+func splitByRate(classes []*liveClass, rates []float64, faults []runner.Fault) []*liveClass {
+	faultOf := func(m int) runner.Fault {
+		if faults == nil {
+			return runner.Fault{}
+		}
+		return faults[m]
+	}
 	out := make([]*liveClass, 0, len(classes))
 	for _, cl := range classes {
-		first := rates[cl.members[0]]
+		first := rateFault{rates[cl.members[0]], faultOf(cl.members[0])}
 		uniform := true
 		for _, m := range cl.members[1:] {
-			if rates[m] != first {
+			if (rateFault{rates[m], faultOf(m)}) != first {
 				uniform = false
 				break
 			}
 		}
 		if uniform {
-			cl.rate = first
+			cl.rate, cl.fault = first.rate, first.fault
 			out = append(out, cl)
 			continue
 		}
-		// Bucket members by rate, preserving fleet order within and across
-		// buckets (first-seen order).
+		// Bucket members by (rate, fault), preserving fleet order within
+		// and across buckets (first-seen order).
 		var subs []*liveClass
-		bucket := map[float64]int{}
+		bucket := map[rateFault]int{}
 		for _, m := range cl.members {
-			r := rates[m]
-			if si, ok := bucket[r]; ok {
+			rf := rateFault{rates[m], faultOf(m)}
+			if si, ok := bucket[rf]; ok {
 				subs[si].members = append(subs[si].members, m)
 				continue
 			}
-			bucket[r] = len(subs)
+			bucket[rf] = len(subs)
 			sub := &liveClass{
 				rep:     m,
 				members: []int{m},
 				node:    cl.node,
-				rate:    r,
+				rate:    rf.rate,
+				fault:   rf.fault,
 			}
 			if len(subs) == 0 {
 				// First bucket holds members[0]: it keeps the parent's live
@@ -119,34 +138,35 @@ func splitByRate(classes []*liveClass, rates []float64) []*liveClass {
 	return out
 }
 
-// runControlledEpoch advances every class one epoch at its routed rate,
-// reconstructing freshly split classes first. Classes are independent
-// simulations, so the fan-out is parallel; a split class's replay is
-// part of its own task.
+// runControlledEpoch advances every class one epoch at its routed rate
+// and fault, reconstructing freshly split classes first. Classes are
+// independent simulations, so the fan-out is parallel; a split class's
+// replay is part of its own task.
 func runControlledEpoch(classes []*liveClass, window sim.Time, c resolvedScenario, r *runner.Runner) error {
 	return r.Each(len(classes), func(ci int) error {
 		cl := classes[ci]
 		if cl.ins == nil {
-			ins, err := server.NewInstance(cl.node, c.ParkDrained)
+			cur, err := runner.NewCursor(cl.node, c.ParkDrained)
 			if err != nil {
 				return fmt.Errorf("cluster: node %d split replay: %w", cl.rep, err)
 			}
 			for i, iv := range cl.intervals {
 				// The replayed measurements are bit-identical to the prefix
-				// copied from the parent at split time; only the instance
-				// state matters here.
-				if _, err := ins.RunInterval(iv.Window, iv.Rate); err != nil {
+				// copied from the parent at split time; only the cursor
+				// state (instance, crash/restart history) matters here.
+				if _, err := cur.Step(iv); err != nil {
 					return fmt.Errorf("cluster: node %d split replay interval %d: %w", cl.rep, i, err)
 				}
 			}
-			cl.ins = ins
+			cl.ins = cur
 		}
-		iv, err := cl.ins.RunInterval(window, cl.rate)
+		next := runner.Interval{Window: window, Rate: cl.rate, Fault: cl.fault}
+		iv, err := cl.ins.Step(next)
 		if err != nil {
 			return fmt.Errorf("cluster: node %d epoch %d: %w", cl.rep, len(cl.results), err)
 		}
 		cl.results = append(cl.results, iv)
-		cl.intervals = append(cl.intervals, runner.Interval{Window: window, Rate: cl.rate})
+		cl.intervals = append(cl.intervals, next)
 		return nil
 	})
 }
@@ -156,15 +176,39 @@ func runControlledEpoch(classes []*liveClass, window sim.Time, c resolvedScenari
 // routed nothing (and parks, under ParkDrained). The offered rate
 // itself is known to the dispatcher — routing is instantaneous; it is
 // the *capacity* (which nodes are awake) that lags by the controller's
-// decision delay.
-func activeRates(c resolvedScenario, part func(Config) []float64, rate float64, target int) []float64 {
+// decision delay. faults is this epoch's fault row (nil when healthy):
+// crashed nodes are skipped, so the active set is the first target *up*
+// nodes — the dispatcher knows a dead server when it sees one, even if
+// the controller's sizing decision lags. With fewer than target up
+// nodes the whole surviving fleet serves.
+func activeRates(c resolvedScenario, part func(Config) []float64, rate float64, target int, faults []runner.Fault) []float64 {
 	rates := make([]float64, len(c.Nodes))
-	copy(rates, part(Config{
-		Nodes:      c.Nodes[:target],
+	up := make([]int, 0, target)
+	for i := range c.Nodes {
+		if faults != nil && faults[i].Down {
+			continue
+		}
+		up = append(up, i)
+		if len(up) == target {
+			break
+		}
+	}
+	if len(up) == 0 {
+		return rates // the whole fleet is dark: nothing to route
+	}
+	upNodes := make([]server.Config, len(up))
+	for j, i := range up {
+		upNodes[j] = c.Nodes[i]
+	}
+	sub := part(Config{
+		Nodes:      upNodes,
 		RateQPS:    rate,
 		Dispatch:   c.Dispatch,
 		TargetUtil: c.TargetUtil,
-	}))
+	})
+	for j, i := range up {
+		rates[i] = sub[j]
+	}
 	return rates
 }
 
@@ -181,7 +225,7 @@ func activeRates(c resolvedScenario, part func(Config) []float64, rate float64, 
 // all per-epoch/per-phase aggregation reuse the open-loop machinery
 // unchanged — which is also what lets the oracle reproduce the
 // open-loop goldens bit-for-bit through this engine.
-func runScenarioControlled(c resolvedScenario, plan []epochWindow, part func(Config) []float64, r *runner.Runner, out *ScenarioResult) error {
+func runScenarioControlled(c resolvedScenario, plan []epochWindow, faults [][]runner.Fault, part func(Config) []float64, r *runner.Runner, out *ScenarioResult) error {
 	n := len(c.Nodes)
 	oracle := c.Controller.New == nil && c.Controller.Name == ControllerOracle
 	ctrl := newController(c.Controller, FleetInfo{
@@ -197,8 +241,14 @@ func runScenarioControlled(c resolvedScenario, plan []epochWindow, part func(Con
 	target := n // cold start: everything active until telemetry arrives
 	var tel FleetTelemetry
 	for e, pw := range plan {
+		var frow []runner.Fault
+		if faults != nil {
+			frow = faults[e]
+		}
 		var rates []float64
 		if oracle || ctrl == nil {
+			// The plan's rates are already fault-adjusted (crashed nodes
+			// carry zero), so the oracle's replayed targets exclude them.
 			rates = pw.rates
 			target = 0
 			for _, rt := range rates {
@@ -210,12 +260,12 @@ func runScenarioControlled(c resolvedScenario, plan []epochWindow, part func(Con
 			if e > 0 {
 				target = clampTarget(ctrl.Observe(tel), n)
 			}
-			rates = activeRates(c, part, pw.rate, target)
+			rates = activeRates(c, part, pw.rate, target, frow)
 		}
 		targets[e] = target
 		realized[e] = epochWindow{start: pw.start, end: pw.end, rate: pw.rate, phase: pw.phase, rates: rates}
 
-		classes = splitByRate(classes, rates)
+		classes = splitByRate(classes, rates, frow)
 		if err := runControlledEpoch(classes, pw.end-pw.start, c, r); err != nil {
 			return err
 		}

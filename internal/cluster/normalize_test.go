@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -55,6 +56,55 @@ func TestNormalizeRejectsInvalidConfigs(t *testing.T) {
 		{"no nodes", func(c *ScenarioConfig) { c.Nodes = nil }, ""},
 		{"unknown dispatch", func(c *ScenarioConfig) { c.Dispatch = "psychic" }, "dispatch"},
 		{"negative target util", func(c *ScenarioConfig) { c.TargetUtil = -0.5 }, ""},
+		{"cold with faults", func(c *ScenarioConfig) {
+			c.ColdEpochs = true
+			c.Faults.Nodes = []NodeFault{{Node: 0, Kind: FaultCrash, Start: 0, End: 1}}
+		}, "fault injection needs the warm path"},
+		{"unknown fault kind", func(c *ScenarioConfig) {
+			c.Faults.Nodes = []NodeFault{{Node: 0, Kind: "gremlin", Start: 0, End: 1}}
+		}, "unknown kind"},
+		{"crash with factor", func(c *ScenarioConfig) {
+			c.Faults.Nodes = []NodeFault{{Node: 0, Kind: FaultCrash, Start: 0, End: 1, Factor: 2}}
+		}, "takes no factor"},
+		{"straggler factor not above one", func(c *ScenarioConfig) {
+			c.Faults.Nodes = []NodeFault{{Node: 0, Kind: FaultStraggler, Start: 0, End: 1, Factor: 1}}
+		}, "must be a finite value > 1"},
+		{"straggler factor NaN", func(c *ScenarioConfig) {
+			c.Faults.Nodes = []NodeFault{{Node: 0, Kind: FaultStraggler, Start: 0, End: 1, Factor: math.NaN()}}
+		}, "must be a finite value > 1"},
+		{"thermal cap out of range", func(c *ScenarioConfig) {
+			c.Faults.Nodes = []NodeFault{{Node: 0, Kind: FaultThermal, Start: 0, End: 1, Factor: 1}}
+		}, "outside [0, 1)"},
+		{"fault node outside fleet", func(c *ScenarioConfig) {
+			c.Faults.Nodes = []NodeFault{{Node: 2, Kind: FaultCrash, Start: 0, End: 1}}
+		}, "outside the fleet"},
+		{"inverted fault window", func(c *ScenarioConfig) {
+			c.Faults.Nodes = []NodeFault{{Node: 0, Kind: FaultCrash, Start: 5, End: 5}}
+		}, "invalid window"},
+		{"overlapping fault windows", func(c *ScenarioConfig) {
+			c.Faults.Nodes = []NodeFault{
+				{Node: 0, Kind: FaultCrash, Start: 0, End: 10},
+				{Node: 0, Kind: FaultStraggler, Start: 5, End: 15, Factor: 2},
+			}
+		}, "overlap on node 0"},
+		{"correlated group too large", func(c *ScenarioConfig) {
+			c.Faults.Correlated = CorrelatedFaults{Kind: FaultCrash, GroupSize: 3, Probability: 0.5, Duration: 1}
+		}, "group size"},
+		{"correlated probability out of range", func(c *ScenarioConfig) {
+			c.Faults.Correlated = CorrelatedFaults{Kind: FaultCrash, GroupSize: 1, Probability: 1.5, Duration: 1}
+		}, "probability"},
+		{"correlated probability NaN", func(c *ScenarioConfig) {
+			c.Faults.Correlated = CorrelatedFaults{Kind: FaultCrash, GroupSize: 1, Probability: math.NaN(), Duration: 1}
+		}, "probability"},
+		{"correlated non-positive duration", func(c *ScenarioConfig) {
+			c.Faults.Correlated = CorrelatedFaults{Kind: FaultCrash, GroupSize: 1, Probability: 0.5}
+		}, "non-positive duration"},
+		{"negative restart latency", func(c *ScenarioConfig) {
+			c.Faults.RestartLatency = -1
+		}, "negative restart penalty"},
+		{"negative restart power", func(c *ScenarioConfig) {
+			c.Faults.RestartPowerW = -1
+		}, "negative restart penalty"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -107,6 +157,15 @@ func TestNormalizeResolvesDefaults(t *testing.T) {
 	}
 	if r.unparkLatency != sim.Millisecond || r.unparkPowerW != 30 {
 		t.Errorf("unpark penalty = %v/%vW, want 1ms/30W", r.unparkLatency, r.unparkPowerW)
+	}
+	if r.restartLatency != 10*sim.Millisecond || r.restartPowerW != 35 {
+		t.Errorf("restart penalty = %v/%vW, want 10ms/35W", r.restartLatency, r.restartPowerW)
+	}
+	free := cfg
+	free.Faults.RestartFree = true
+	free.Faults.RestartLatency = 5 * sim.Millisecond // RestartFree wins
+	if fr, err := free.Normalize(); err != nil || fr.restartLatency != 0 || fr.restartPowerW != 0 {
+		t.Errorf("RestartFree resolved to %v/%vW (err %v), want 0/0", fr.restartLatency, fr.restartPowerW, err)
 	}
 	cs := r.Controller
 	if cs.UpUtil != 0.75 || cs.DownUtil != 0.40 || cs.TargetUtil != defaultTargetUtil ||

@@ -90,6 +90,13 @@ type ScenarioConfig struct {
 	// reproduces the open-loop results bit-for-bit). Warm path only
 	// (rejected with ColdEpochs).
 	Controller ControllerSpec
+	// Faults injects node- and cluster-level faults into the run:
+	// explicit per-node crash/straggler/thermal windows plus a seeded
+	// correlated fault process (see FaultSpec). The zero value is a
+	// healthy fleet and keeps every result bit-identical to a run that
+	// predates fault injection. Warm path only (rejected with
+	// ColdEpochs).
+	Faults FaultSpec
 	// CompactNodes makes the warm path skip per-node materialization:
 	// EpochResult.Fleet.Nodes stays nil and fleet aggregation runs
 	// class-weighted in O(classes) per epoch instead of O(nodes) — the
@@ -109,9 +116,11 @@ type ScenarioConfig struct {
 // constructor.
 type resolvedScenario struct {
 	ScenarioConfig
-	unparkLatency sim.Time
-	unparkPowerW  float64
-	total         sim.Time
+	unparkLatency  sim.Time
+	unparkPowerW   float64
+	restartLatency sim.Time
+	restartPowerW  float64
+	total          sim.Time
 }
 
 // Normalize validates the configuration and resolves every defaultable
@@ -149,6 +158,12 @@ func (c ScenarioConfig) Normalize() (resolvedScenario, error) {
 	if c.ColdEpochs && c.Controller.enabled() {
 		return r, fmt.Errorf("cluster: a fleet controller needs the warm path (ColdEpochs is set)")
 	}
+	if c.ColdEpochs && c.Faults.enabled() {
+		return r, fmt.Errorf("cluster: fault injection needs the warm path (ColdEpochs is set)")
+	}
+	if c.Faults.RestartLatency < 0 || c.Faults.RestartPowerW < 0 {
+		return r, fmt.Errorf("cluster: negative restart penalty")
+	}
 	if c.Dispatch == "" {
 		r.Dispatch = DispatchSpread
 	}
@@ -163,6 +178,18 @@ func (c ScenarioConfig) Normalize() (resolvedScenario, error) {
 		}
 		if r.unparkPowerW == 0 {
 			r.unparkPowerW = 30
+		}
+	}
+	r.restartLatency = c.Faults.RestartLatency
+	r.restartPowerW = c.Faults.RestartPowerW
+	if c.Faults.RestartFree {
+		r.restartLatency, r.restartPowerW = 0, 0
+	} else {
+		if r.restartLatency == 0 {
+			r.restartLatency = 10 * sim.Millisecond
+		}
+		if r.restartPowerW == 0 {
+			r.restartPowerW = 35
 		}
 	}
 	r.total = c.Schedule.Duration()
@@ -181,6 +208,11 @@ func (c ScenarioConfig) Normalize() (resolvedScenario, error) {
 		Dispatch:   r.Dispatch,
 		TargetUtil: r.TargetUtil,
 	}).Validate(); err != nil {
+		return r, err
+	}
+	// Fault windows reference node indices, so they validate after the
+	// static pass has established the fleet exists.
+	if err := c.Faults.validate(len(c.Nodes)); err != nil {
 		return r, err
 	}
 	return r, nil
@@ -219,6 +251,16 @@ type EpochResult struct {
 	// results and this field stays zero.
 	Unparked      int
 	UnparkEnergyJ float64
+	// Down counts nodes crashed (dark) for this epoch: nothing was
+	// simulated for them and they served no load. Restarted counts nodes
+	// rebuilt cold at the start of this epoch after a crash, and
+	// RestartEnergyJ is the synthetic restart penalty energy they burned
+	// (already folded into Fleet.FleetPowerW/FleetEnergyJ, with the
+	// restart latency flooring the epoch's worst p99 — the warm-path
+	// analogue of the cold path's unpark penalty fold).
+	Down           int
+	Restarted      int
+	RestartEnergyJ float64
 	// TargetNodes is the controller's target active node count for this
 	// epoch (the clamped Observe decision; for the oracle, the number of
 	// plan-routed nodes). Zero on open-loop runs.
@@ -277,6 +319,8 @@ type ScenarioResult struct {
 	WorstP99US float64
 	// Unparks counts park->active transitions over the run.
 	Unparks int
+	// Restarts counts cold rebuilds after crashes over the run.
+	Restarts int
 	// ParkedTimeline is the parked-node count per epoch — the
 	// consolidation footprint over the day.
 	ParkedTimeline []int
@@ -384,6 +428,12 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 		r = runner.Default()
 	}
 	plan := planEpochs(c, part, c.total)
+	faults := c.faultPlan(plan)
+	if faults != nil {
+		// Crashed nodes serve nothing; re-partition their epochs' load
+		// over the survivors before any timeline is built.
+		applyFaultRates(c, part, plan, faults)
+	}
 	out := ScenarioResult{
 		Schedule:  c.Schedule.Name(),
 		Dispatch:  c.Dispatch,
@@ -394,9 +444,9 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 	case c.ColdEpochs:
 		err = runScenarioCold(c, plan, r, &out)
 	case c.Controller.enabled():
-		err = runScenarioControlled(c, plan, part, r, &out)
+		err = runScenarioControlled(c, plan, faults, part, r, &out)
 	default:
-		err = runScenarioWarm(c, plan, r, &out)
+		err = runScenarioWarm(c, plan, faults, r, &out)
 	}
 	if err != nil {
 		return ScenarioResult{}, err
@@ -418,8 +468,8 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 // Unpark costs are simulated — drained requests, deep-idle residency,
 // real exit latencies — so no synthetic penalty is folded in and
 // EpochResult.UnparkEnergyJ stays zero.
-func runScenarioWarm(c resolvedScenario, plan []epochWindow, r *runner.Runner, out *ScenarioResult) error {
-	classes := classifyTimelines(c, plan)
+func runScenarioWarm(c resolvedScenario, plan []epochWindow, faults [][]runner.Fault, r *runner.Runner, out *ScenarioResult) error {
+	classes := classifyTimelines(c, plan, faults)
 	out.Classes = len(classes)
 	out.ReplicaRuns = len(classes) * c.Replicas
 	r.NoteClassDedup(len(c.Nodes), len(classes), out.ReplicaRuns)
@@ -455,16 +505,24 @@ func warmEpochsExpanded(c resolvedScenario, plan []epochWindow, classes []timeli
 			if iv.Parked {
 				ep.Parked++
 			}
+			if iv.Down {
+				ep.Down++
+			}
+			if iv.Restarted {
+				ep.Restarted++
+			}
 			if parked[i] && pw.rates[i] > 0 {
 				ep.Unparked++
 			}
 			parked[i] = iv.Parked
 		}
 		ep.Fleet = aggregate(c.fleetConfig(pw.rate), nodes)
+		applyRestartPenalty(c, &ep, pw.end-pw.start)
 		ep.CI = epochClassCI(classes, e, c.Replicas)
 		out.Epochs = append(out.Epochs, ep)
 		out.ParkedTimeline = append(out.ParkedTimeline, ep.Parked)
 		out.Unparks += ep.Unparked
+		out.Restarts += ep.Restarted
 	}
 }
 
@@ -490,16 +548,24 @@ func warmEpochsCompact(c resolvedScenario, plan []epochWindow, classes []timelin
 			if iv.Parked {
 				ep.Parked += m
 			}
+			if iv.Down {
+				ep.Down += m
+			}
+			if iv.Restarted {
+				ep.Restarted += m
+			}
 			if parked[ci] && pw.rates[cl.rep] > 0 {
 				ep.Unparked += m
 			}
 			parked[ci] = iv.Parked
 		}
 		ep.Fleet = aggregateWeighted(c.fleetConfig(pw.rate), reps, mults)
+		applyRestartPenalty(c, &ep, pw.end-pw.start)
 		ep.CI = epochClassCI(classes, e, c.Replicas)
 		out.Epochs = append(out.Epochs, ep)
 		out.ParkedTimeline = append(out.ParkedTimeline, ep.Parked)
 		out.Unparks += ep.Unparked
+		out.Restarts += ep.Restarted
 	}
 }
 

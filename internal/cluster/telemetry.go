@@ -31,6 +31,8 @@ type NodeTelemetry struct {
 	P99US float64
 	// Parked reports whether the node sat parked for the epoch.
 	Parked bool
+	// Down reports whether the node was crashed (dark) for the epoch.
+	Down bool
 }
 
 // FleetTelemetry is what a Controller observes at an epoch boundary:
@@ -55,6 +57,11 @@ type FleetTelemetry struct {
 	TotalNodes  int
 	ActiveNodes int
 	ParkedNodes int
+	// DownNodes counts nodes crashed (dark) for the epoch. A crashed
+	// node leaves the active set — it is routed nothing and contributes
+	// nothing to the utilization/queue means — so a controller sizing
+	// from this sample re-sizes around the survivors.
+	DownNodes int
 	// Utilization is the mean busy fraction across the nodes that
 	// carried load — the reactive controller's primary signal.
 	Utilization float64
@@ -88,6 +95,7 @@ func nodeTelemetry(node int, rate float64, iv *server.IntervalResult, live int) 
 		LiveQueue:   live,
 		P99US:       res.Server.P99US,
 		Parked:      iv.Parked,
+		Down:        iv.Down,
 	}
 }
 
@@ -118,6 +126,9 @@ func fleetTelemetry(epoch int, pw epochWindow, classes []*liveClass, compact boo
 		}
 		if iv.Parked {
 			t.ParkedNodes += m
+		}
+		if iv.Down {
+			t.DownNodes += m
 		}
 		if cl.rate > 0 {
 			t.ActiveNodes += m

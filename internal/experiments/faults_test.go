@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFaultsExperimentQuick drives the crash-under-spike study on a
+// small fleet and checks the shape the table relies on: one run per
+// controller, healthy runs fault-free, faulted runs showing the crash
+// exposure (down node-epochs and the matching restarts), and the table
+// rendering with one row per controller.
+func TestFaultsExperimentQuick(t *testing.T) {
+	o := scenarioQuick()
+	o.Nodes = 4
+	r, err := Faults(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Nodes != 4 || r.Crashed != 1 {
+		t.Fatalf("fleet shape = %d nodes / %d crashed, want 4/1", r.Nodes, r.Crashed)
+	}
+	if len(r.Runs) != 2 {
+		t.Fatalf("runs = %d, want 2 (oracle, reactive)", len(r.Runs))
+	}
+	for _, run := range r.Runs {
+		if downEpochs(run.Healthy) != 0 || run.Healthy.Restarts != 0 {
+			t.Errorf("%s: healthy run shows faults (%d down epochs, %d restarts)",
+				run.Controller, downEpochs(run.Healthy), run.Healthy.Restarts)
+		}
+		if downEpochs(run.Faulted) == 0 {
+			t.Errorf("%s: faulted run shows no down node-epochs", run.Controller)
+		}
+		if run.Faulted.Restarts != r.Crashed {
+			t.Errorf("%s: restarts = %d, want %d (one per crashed node)",
+				run.Controller, run.Faulted.Restarts, r.Crashed)
+		}
+		if run.Faulted.AvgFleetPowerW <= 0 || run.Healthy.AvgFleetPowerW <= 0 {
+			t.Errorf("%s: non-positive fleet power", run.Controller)
+		}
+	}
+	tbl := r.Table()
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("table rows = %d, want 2", len(tbl.Rows))
+	}
+	if !strings.Contains(tbl.Title, "Crash under spike") {
+		t.Errorf("table title = %q", tbl.Title)
+	}
+}

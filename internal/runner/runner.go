@@ -246,10 +246,12 @@ func (r *Runner) Run(cfg server.Config) (server.Result, error) {
 }
 
 // Interval is one window of a node's load timeline: Window of simulated
-// time at a constant offered Rate (QPS).
+// time at a constant offered Rate (QPS), optionally under a fault
+// (crash, straggler inflation, or thermal throttle — see Fault).
 type Interval struct {
 	Window sim.Time
 	Rate   float64
+	Fault  Fault
 }
 
 // TimelineSpec describes one node's entire scenario timeline: the base
@@ -281,6 +283,14 @@ func TimelineKey(spec TimelineSpec) (string, bool) {
 	fmt.Fprintf(&b, "|timeline:park=%v", spec.Park)
 	for _, iv := range spec.Intervals {
 		fmt.Fprintf(&b, "|%d@%g", iv.Window, iv.Rate)
+		if !iv.Fault.healthy() {
+			// Fault annotations extend the key only when present, so a
+			// healthy timeline's key is byte-identical to its pre-fault
+			// form — and a faulted node can never share an equivalence
+			// class with a healthy one.
+			fmt.Fprintf(&b, "!d=%v,i=%g,t=%v,c=%g",
+				iv.Fault.Down, iv.Fault.Inflate, iv.Fault.Throttle, iv.Fault.TurboCap)
+		}
 	}
 	return b.String(), true
 }
@@ -308,15 +318,17 @@ func (r *Runner) RunTimeline(spec TimelineSpec) ([]server.IntervalResult, error)
 	return res, err
 }
 
-// runTimeline is the uncached timeline execution.
+// runTimeline is the uncached timeline execution: a TimelineCursor
+// stepped through every interval, so crash/rebuild and fault
+// installation behave identically here and in the closed-loop engine.
 func runTimeline(spec TimelineSpec) ([]server.IntervalResult, error) {
-	ins, err := server.NewInstance(spec.Node, spec.Park)
+	tc, err := NewCursor(spec.Node, spec.Park)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]server.IntervalResult, len(spec.Intervals))
 	for i, iv := range spec.Intervals {
-		out[i], err = ins.RunInterval(iv.Window, iv.Rate)
+		out[i], err = tc.Step(iv)
 		if err != nil {
 			return nil, fmt.Errorf("runner: interval %d: %w", i, err)
 		}

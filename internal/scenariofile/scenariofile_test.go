@@ -1,0 +1,124 @@
+package scenariofile
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// library globs the checked-in adversarial scenario files; they double
+// as the decoder's integration fixtures.
+func library(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no scenario files under testdata/scenarios")
+	}
+	return paths
+}
+
+func TestParseHappyPath(t *testing.T) {
+	doc := `{
+	  "name": "unit",
+	  "schedule": {"shape": "spike", "base_qps": 400000, "total_ms": 60},
+	  "fleet": {"nodes": 4, "platform": "AW", "dispatch": "consolidate", "park_drained": true},
+	  "epoch_ms": 10,
+	  "faults": {
+	    "nodes": [{"node": 0, "kind": "crash", "start_ms": 20, "end_ms": 40}],
+	    "restart_latency_ms": 8
+	  }
+	}`
+	f, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "unit" || f.Schedule.Shape != "spike" || f.Schedule.BaseQPS != 400000 {
+		t.Errorf("schedule decoded wrong: %+v", f.Schedule)
+	}
+	if f.Fleet.Nodes != 4 || f.Fleet.Platform != "AW" || !f.Fleet.ParkDrained {
+		t.Errorf("fleet decoded wrong: %+v", f.Fleet)
+	}
+	if f.EpochMS != 10 || f.Faults.RestartLatencyMS != 8 {
+		t.Errorf("epoch/restart decoded wrong: epoch=%g restart=%g", f.EpochMS, f.Faults.RestartLatencyMS)
+	}
+	want := NodeFaultSpec{Node: 0, Kind: "crash", StartMS: 20, EndMS: 40}
+	if len(f.Faults.Nodes) != 1 || f.Faults.Nodes[0] != want {
+		t.Errorf("faults decoded wrong: %+v", f.Faults.Nodes)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"malformed JSON", `{"schedule":`, "scenariofile:"},
+		{"unknown field", `{"schedule": {"shape": "constant"}, "warp_drive": true}`, "warp_drive"},
+		{"typo'd nested knob", `{"schedule": {"shape": "constant", "base_pqs": 1}}`, "base_pqs"},
+		{"trailing content", `{"schedule": {"shape": "constant"}} {"again": true}`, "trailing content"},
+		{"trailing garbage", `{"schedule": {"shape": "constant"}} ]`, "trailing content"},
+		{
+			"both shape and phases",
+			`{"schedule": {"shape": "constant", "phases": [{"duration_ms": 1, "start_qps": 1, "end_qps": 1}]}}`,
+			"both a named shape and explicit phases",
+		},
+		{"neither shape nor phases", `{"schedule": {}}`, "needs a named shape or explicit phases"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc))
+			if err == nil {
+				t.Fatal("Parse accepted the invalid document")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLoadLibrary parses every checked-in adversarial scenario and
+// checks the file's label matches its basename — the convention the
+// golden tests key on.
+func TestLoadLibrary(t *testing.T) {
+	for _, path := range library(t) {
+		f, err := Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := strings.TrimSuffix(filepath.Base(path), ".json"); f.Name != want {
+			t.Errorf("%s: name = %q, want %q", path, f.Name, want)
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("Load accepted a missing file")
+	}
+}
+
+// TestEncodeRoundTrip pins the lossless property on the real library:
+// Encode(Parse(file)) re-parses to the identical value.
+func TestEncodeRoundTrip(t *testing.T) {
+	for _, path := range library(t) {
+		f, err := Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := Encode(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := Parse(data)
+		if err != nil {
+			t.Fatalf("%s: re-encoded document rejected: %v", path, err)
+		}
+		if !reflect.DeepEqual(f, again) {
+			t.Errorf("%s: round-trip drifted:\n was %+v\n now %+v", path, f, again)
+		}
+	}
+}

@@ -60,6 +60,14 @@ type IntervalResult struct {
 	// Config.Duration reflect the interval, so a warm interval result is
 	// field-for-field comparable with a one-shot run of that window.
 	Result Result
+	// Down reports a crash interval: the node's instance was discarded
+	// and nothing was simulated — Result is zero, the window simply
+	// elapsed with the node dark.
+	Down bool
+	// Restarted reports that this interval is the first after a crash:
+	// the instance was rebuilt cold (fresh C-state/ring/RNG/collector
+	// state) and re-paid its warmup-free cold start.
+	Restarted bool
 }
 
 // NewInstance constructs a resumable simulation from the config.
@@ -116,6 +124,26 @@ func (ins *Instance) BusyCores() int {
 		}
 	}
 	return n
+}
+
+// SetServiceInflation installs (or clears) a straggler fault: every
+// request dispatched while factor > 1 has its sampled service demand
+// multiplied by factor. Factor <= 1 restores healthy service times.
+// Takes effect for requests dispatched after the call; in-flight work
+// is unaffected. The service-time RNG stream is not perturbed — the
+// straggler grinds through the same request sequence, just slower.
+func (ins *Instance) SetServiceInflation(factor float64) {
+	ins.s.inflate = factor
+}
+
+// SetTurboCap installs (or clears) a thermal-throttling fault: while on,
+// boosted service slices run at base + capFrac·(turbo − base) instead of
+// the full turbo ceiling (capFrac in [0, 1); 0 pins boost to base
+// frequency). Power and speedup at the capped frequency are derived by
+// the same expressions the healthy constants use. Takes effect for
+// slices started after the call.
+func (ins *Instance) SetTurboCap(on bool, capFrac float64) {
+	ins.s.setThrottle(on, capFrac)
 }
 
 // RunInterval advances the simulation by window at the given offered

@@ -481,6 +481,17 @@ type Sim struct {
 	exitPowerW   [cstate.NumStates]float64
 	swExitNS     [cstate.NumStates]sim.Time
 	snoopCohere  [cstate.NumStates]bool
+
+	// Fault-injection state, set between intervals through
+	// Instance.SetServiceInflation / Instance.SetTurboCap. The zero
+	// values mean "healthy" and every hot-path guard tests them first,
+	// so a fault-free run is byte-identical to one that predates the
+	// fields.
+	inflate   float64 // straggler service-time multiplier; <= 1 means none
+	throttled bool    // thermal throttle: turbo ceiling capped
+	thrFreqHz float64 // throttled turbo frequency
+	pwrThr    float64 // AtFreq(thrFreqHz)
+	spThr     float64 // Speedup(scalability, refFreq, thrFreqHz)
 }
 
 // uncorePower returns the current uncore draw.
@@ -703,9 +714,30 @@ func (s *Sim) baseFreq() float64 {
 // returning the precomputed active power and speedup factor alongside.
 func (s *Sim) serviceFreq() (freqHz, powerW, speedup float64) {
 	if s.cfg.Platform.Turbo && s.budget.BoostAllowed() {
+		if s.throttled {
+			return s.thrFreqHz, s.pwrThr, s.spThr
+		}
 		return s.turboFreqHz, s.pwrTurbo, s.spTurbo
 	}
 	return s.baseFreqHz, s.pwrActive, s.spBase
+}
+
+// setThrottle installs (or clears) a thermal turbo cap: capFrac in
+// [0, 1) places the boost ceiling at base + capFrac·(turbo - base), so
+// capFrac 0 pins boosted slices to base frequency and capFrac → 1
+// approaches the healthy ceiling. The throttled triple is derived by
+// the same AtFreq/Speedup expressions precompute uses for the healthy
+// constants, just at the capped frequency.
+func (s *Sim) setThrottle(on bool, capFrac float64) {
+	s.throttled = on
+	if !on {
+		s.thrFreqHz, s.pwrThr, s.spThr = 0, 0, 0
+		return
+	}
+	f := s.baseFreqHz + capFrac*(s.turboFreqHz-s.baseFreqHz)
+	s.thrFreqHz = f
+	s.pwrThr = s.cpower.AtFreq(f)
+	s.spThr = turbo.Speedup(s.cfg.Profile.FreqScalability, s.cfg.Profile.RefFreqHz, f)
 }
 
 // setCorePower accounts a power change on core c at time now, updating
@@ -870,7 +902,14 @@ func (s *Sim) complete(c *coreRuntime, now sim.Time) {
 // dispatch places one request on a core chosen by the dispatch policy.
 func (s *Sim) dispatch(now sim.Time, conn int) {
 	c := s.cores[s.disp.Pick(now, s.cores)]
-	c.queue.push(request{arrival: now, demand: s.cfg.Profile.Service.Sample(s.svcRand), conn: conn})
+	demand := s.cfg.Profile.Service.Sample(s.svcRand)
+	if s.inflate > 1 {
+		// Straggler fault: this node grinds through the same request
+		// stream with inflated service demands. The sample is drawn
+		// first so the RNG stream stays aligned with the healthy run.
+		demand = sim.Time(float64(demand) * s.inflate)
+	}
+	c.queue.push(request{arrival: now, demand: demand, conn: conn})
 	s.col.noteDispatch(c)
 	if !c.busy {
 		s.wake(c, now)

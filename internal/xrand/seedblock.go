@@ -75,12 +75,34 @@ func ClassReplicaSeed(class, replica int) uint64 {
 	return ClassSeedBase + uint64(class)<<SeedBlockBits + uint64(replica)<<ReplicaBlockBits
 }
 
+// Seed-plane map. Every consumer of deterministic randomness in the
+// repository draws from one of five reserved, mutually disjoint regions
+// of the 64-bit seed space; the disjointness proofs live in this
+// package (TestClassReplicaPlaneDisjoint, TestFaultPlaneDisjoint) so a
+// new plane cannot silently collide with an old one:
+//
+//	plane          region                              consumer
+//	-----          ------                              --------
+//	node           [0, 2^32)                           raw per-node Config.Seed values
+//	epoch          seed ^ epoch·EpochSeedStride        cold-path per-epoch reseeding
+//	                                                   (epochs < 2^12; epoch 0 = identity)
+//	sweep-block    SeedBlocks.Next: start + k·2^20     benchmark-harness iteration blocks
+//	class-replica  [2^62, 2^62 + 2^40)                 ClassReplicaSeed: timeline-class
+//	                                                   statistical replicas
+//	fault          [2^61, 2^61 + 2^20)                 FaultSeed: the correlated fault
+//	                                                   process RNG stream
+//
+// Restarted instances reuse the node plane through RestartSeed, an
+// XOR-stride remix of the node's own seed — deliberately so: a rebuilt
+// node is still that node, just with a fresh RNG history, and the remix
+// never equals the original seed for restart counts >= 1.
+
 // EpochSeedStride is the golden-ratio stride the cluster layer's cold
 // path mixes epoch indices with (XORed, so epoch 0 keeps the node's own
 // seed). It lives here so the disjointness proof over every seed
-// consumer — raw node seeds, epoch-mixed seeds, SeedBlocks blocks, and
-// the class/replica plane — is stated (and regression-tested) in one
-// package.
+// consumer — raw node seeds, epoch-mixed seeds, SeedBlocks blocks, the
+// class/replica plane, and the fault plane — is stated (and
+// regression-tested) in one package.
 const EpochSeedStride = 0x9e3779b97f4a7c15
 
 // EpochSeed mixes an epoch index into a node seed: seed ^ epoch·stride.
@@ -88,4 +110,34 @@ const EpochSeedStride = 0x9e3779b97f4a7c15
 // reproduce a static run bit-for-bit.
 func EpochSeed(seed uint64, epoch int) uint64 {
 	return seed ^ uint64(epoch)*EpochSeedStride
+}
+
+// FaultSeedBase is the origin of the fault seed plane: the reserved
+// region [2^61, 2^61 + 2^20) feeding the cluster layer's correlated
+// fault process. It sits below the class/replica plane (2^62) and far
+// above everything derived from node seeds, so a fault draw can never
+// replay a node's, an epoch's, or a replica's random stream (see the
+// seed-plane map above and TestFaultPlaneDisjoint).
+const FaultSeedBase uint64 = 1 << 61
+
+// FaultSeed maps a user-chosen fault-process seed into the fault plane.
+// Only the low SeedBlockBits bits of the user seed select the slot —
+// the plane is a single 2^20-seed block — so any uint64 the scenario
+// file supplies lands inside the reserved region.
+func FaultSeed(seed uint64) uint64 {
+	return FaultSeedBase + seed&(1<<SeedBlockBits-1)
+}
+
+// RestartSeedStride is the splitmix64 mixing constant used to remix a
+// node seed after a crash/restart. It is deliberately a different
+// odd constant from EpochSeedStride so a restarted node's RNG history
+// cannot collide with any epoch-mixed stream of the same node.
+const RestartSeedStride = 0xbf58476d1ce4e5b9
+
+// RestartSeed derives the seed for the n-th rebuild of a crashed node:
+// seed ^ n·stride. Restart counts start at 1, so the remix never
+// returns the node's original seed — a rebuilt instance must not replay
+// the arrival/service history its predecessor already consumed.
+func RestartSeed(seed uint64, n int) uint64 {
+	return seed ^ uint64(n)*RestartSeedStride
 }

@@ -95,6 +95,80 @@ func TestClassReplicaPlaneDisjoint(t *testing.T) {
 	}
 }
 
+// TestFaultPlaneDisjoint is the regression proof behind the fault seed
+// plane: inside the documented envelope no node seed, no epoch-mixed
+// seed, no SeedBlocks block, and no class/replica seed can collide with
+// a fault-process seed, and restart-remixed node seeds stay out too.
+func TestFaultPlaneDisjoint(t *testing.T) {
+	const (
+		maxNodeSeed = uint64(1) << 32 // envelope: node seeds < 2^32
+		maxEpochs   = 1 << 12         // envelope: epochs < 4096
+		maxRestarts = 1 << 12         // envelope: restarts < 4096 per node
+	)
+	planeLo := FaultSeedBase
+	planeHi := FaultSeedBase + 1<<SeedBlockBits // exclusive
+
+	// Every FaultSeed lands inside the plane, regardless of user input.
+	for _, s := range []uint64{0, 1, 42, maxNodeSeed - 1, ^uint64(0), FaultSeedBase} {
+		got := FaultSeed(s)
+		if got < planeLo || got >= planeHi {
+			t.Fatalf("FaultSeed(%#x) = %#x escapes the plane [%#x,%#x)", s, got, planeLo, planeHi)
+		}
+	}
+
+	// Raw node seeds and SeedBlocks blocks started from them sit far
+	// below the plane (same envelope as the class/replica proof).
+	if worst := maxNodeSeed + (uint64(1)<<30)<<SeedBlockBits; worst >= planeLo {
+		t.Fatalf("node/SeedBlocks envelope %#x reaches the fault plane origin %#x", worst, planeLo)
+	}
+	// The class/replica plane starts at 2^62, above the fault plane's end.
+	if planeHi > ClassSeedBase {
+		t.Fatalf("fault plane end %#x overlaps the class/replica plane origin %#x", planeHi, ClassSeedBase)
+	}
+
+	// Epoch-mixed and restart-remixed seeds: both are s ^ k·stride with
+	// s < 2^32, so the XOR only perturbs the low 32 bits of the stride
+	// product. Enumerate every stride product in the envelope and check
+	// the conservative 2^32-widened plane misses them all.
+	const pad = uint64(1) << 32
+	for e := 0; e < maxEpochs; e++ {
+		mixed := uint64(e) * EpochSeedStride
+		if mixed >= planeLo-pad && mixed < planeHi+pad {
+			t.Fatalf("epoch %d stride product %#x within 2^32 of the fault plane", e, mixed)
+		}
+	}
+	for n := 0; n < maxRestarts; n++ {
+		mixed := uint64(n) * RestartSeedStride
+		if mixed >= planeLo-pad && mixed < planeHi+pad {
+			t.Fatalf("restart %d stride product %#x within 2^32 of the fault plane", n, mixed)
+		}
+	}
+}
+
+// TestRestartSeedRemix pins the restart remix formula and the property
+// the cursor relies on: rebuild n >= 1 never replays the original seed,
+// and distinct rebuild counts get distinct seeds.
+func TestRestartSeedRemix(t *testing.T) {
+	if got := RestartSeed(42, 0); got != 42 {
+		t.Fatalf("RestartSeed(42,0) = %d, want identity", got)
+	}
+	seen := map[uint64]bool{42: true}
+	for n := 1; n < 256; n++ {
+		s := RestartSeed(42, n)
+		if s == 42 {
+			t.Fatalf("rebuild %d replays the original seed", n)
+		}
+		if seen[s] {
+			t.Fatalf("rebuild %d collides with an earlier rebuild", n)
+		}
+		seen[s] = true
+	}
+	var stride uint64 = RestartSeedStride
+	if got, want := RestartSeed(7, 3), uint64(7)^3*stride; got != want {
+		t.Fatalf("RestartSeed(7,3) = %#x, want %#x", got, want)
+	}
+}
+
 // TestClassReplicaSeedPanicsOutsidePlane pins the guard rails.
 func TestClassReplicaSeedPanicsOutsidePlane(t *testing.T) {
 	for _, bad := range [][2]int{{-1, 0}, {0, -1}, {0, MaxReplicas}} {

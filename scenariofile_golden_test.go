@@ -1,0 +1,80 @@
+package agilewatts
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The adversarial scenario library under testdata/scenarios/ is pinned
+// the same way the healthy scenario goldens are: exact hex-float
+// fingerprints over every observable, extended with the fault-injection
+// observables (down nodes, restarts, restart penalty energy, controller
+// targets). Regenerate with:
+//
+//	GOLDEN_PRINT=1 go test -run TestGoldenAdversarialScenarios -v .
+//
+// only when an intentional model change alters the output.
+
+// adversarialFingerprint extends the scenario fingerprint with the
+// fault and control-plane observables.
+func adversarialFingerprint(res ScenarioResult) string {
+	var b strings.Builder
+	b.WriteString(scenarioFingerprint(res))
+	fmt.Fprintf(&b, " ctrl=%q changes=%d restarts=%d", res.Controller, res.ControllerChanges, res.Restarts)
+	for _, ep := range res.Epochs {
+		if ep.Down > 0 || ep.Restarted > 0 {
+			fmt.Fprintf(&b, " e%d.fault[down=%d,rst=%d,rej=%s]",
+				ep.Epoch, ep.Down, ep.Restarted, hexF(ep.RestartEnergyJ))
+		}
+		if res.Controller != "" {
+			fmt.Fprintf(&b, " e%d.tgt=%d", ep.Epoch, ep.TargetNodes)
+		}
+	}
+	return b.String()
+}
+
+// goldenAdversarialWant maps scenario-file name to its pinned
+// fingerprint, captured when the fault-injection engine landed.
+var goldenAdversarialWant = map[string]string{
+	"crash-under-spike": "sched=spike disp=consolidate epoch=10000000 total=60000000 unparks=1 energy=0x1.acab705a6addcp+02 avgw=0x1.be87ea5e2f51ap+06 qps=0x1.393faaaaaaaaap+19 qpw=0x1.672d236ae83f5p+12 worstp99=0x1.f4p+12 timeline=[3 3 1 1 3 3] e0[0-10000000,pre,unp=0] e0.rate=0x1.86ap+18 e0.w=0x1.872dc52d3a172p+06 e0.qps=0x1.8b9bp+18 e0.p99=0x1.09p+06 e0.upj=0x0p+00 e1[10000000-20000000,pre,unp=0] e1.rate=0x1.86ap+18 e1.w=0x1.87180005873d8p+06 e1.qps=0x1.8bb4p+18 e1.p99=0x1.03p+06 e1.upj=0x0p+00 e2[20000000-30000000,spike,unp=1] e2.rate=0x1.117p+20 e2.w=0x1.ac6203b30fe38p+06 e2.qps=0x1.1088cp+20 e2.p99=0x1.01p+07 e2.upj=0x0p+00 e3[30000000-40000000,spike,unp=0] e3.rate=0x1.117p+20 e3.w=0x1.a77b0604e0dfep+06 e3.qps=0x1.11c14p+20 e3.p99=0x1.b7p+06 e3.upj=0x0p+00 e4[40000000-50000000,post,unp=0] e4.rate=0x1.86ap+18 e4.w=0x1.474cf7d3161cap+07 e4.qps=0x1.858dp+18 e4.p99=0x1.f4p+12 e4.upj=0x0p+00 e5[50000000-60000000,post,unp=0] e5.rate=0x1.86ap+18 e5.w=0x1.8672bfa43d988p+06 e5.qps=0x1.88f8p+18 e5.p99=0x1.ddp+05 e5.upj=0x0p+00 ph[pre,n=2,t=20000000] ph.pre.rate=0x1.86ap+18 ph.pre.w=0x1.8722e29960aa5p+06 ph.pre.p99=0x1.09p+06 ph.pre.parked=0x1.8p+01 ph[spike,n=2,t=20000000] ph.spike.rate=0x1.117p+20 ph.spike.w=0x1.a9ee84dbf861bp+06 ph.spike.p99=0x1.01p+07 ph.spike.parked=0x1p+00 ph[post,n=2,t=20000000] ph.post.rate=0x1.86ap+18 ph.post.w=0x1.05432bd29a747p+07 ph.post.p99=0x1.f4p+12 ph.post.parked=0x1.8p+01 ctrl=\"reactive\" changes=1 restarts=2 e0.tgt=4 e1.tgt=1 e2.fault[down=2,rst=0,rej=0x0p+00] e2.tgt=1 e3.fault[down=2,rst=0,rej=0x0p+00] e3.tgt=1 e4.fault[down=0,rst=2,rej=0x1.47ae147ae147bp-01] e4.tgt=1 e5.tgt=1",
+	"straggler-diurnal": "sched=diurnal disp=consolidate epoch=15000000 total=60000000 unparks=1 energy=0x1.309460925de13p+03 avgw=0x1.3d4539edcc754p+07 qps=0x1.b4f78aaaaaaabp+20 qpw=0x1.6094c0d6dc129p+13 worstp99=0x1.73p+09 timeline=[2 1 1 2] e0[0-15000000,h01,unp=0] e0.rate=0x1.13726dac987a7p+20 e0.w=0x1.e0fcaf472d4edp+06 e0.qps=0x1.1233d55555556p+20 e0.p99=0x1.c7p+06 e0.upj=0x0p+00 e1[15000000-30000000,h04,unp=1] e1.rate=0x1.2dbac929b3c2bp+21 e1.w=0x1.a35d4e4a82ec2p+07 e1.qps=0x1.2ade6aaaaaaabp+21 e1.p99=0x1.a1p+08 e1.upj=0x0p+00 e2[30000000-45000000,h07,unp=0] e2.rate=0x1.2dbac929b3c2dp+21 e2.w=0x1.85b49bbd13106p+07 e2.qps=0x1.2ca6aaaaaaaabp+21 e2.p99=0x1.87p+08 e2.upj=0x0p+00 e3[45000000-60000000,h10,unp=0] e3.rate=0x1.13726dac987a7p+20 e3.w=0x1.b7094c180a624p+06 e3.qps=0x1.12a02aaaaaaabp+20 e3.p99=0x1.73p+09 e3.upj=0x0p+00 ph[h01,n=1,t=15000000] ph.h01.rate=0x1.13726dac987a7p+20 ph.h01.w=0x1.e0fcaf472d4edp+06 ph.h01.p99=0x1.c7p+06 ph.h01.parked=0x1p+01 ph[h04,n=1,t=15000000] ph.h04.rate=0x1.2dbac929b3c2ap+21 ph.h04.w=0x1.a35d4e4a82ec2p+07 ph.h04.p99=0x1.a1p+08 ph.h04.parked=0x1p+00 ph[h07,n=1,t=15000000] ph.h07.rate=0x1.2dbac929b3c2dp+21 ph.h07.w=0x1.85b49bbd13106p+07 ph.h07.p99=0x1.87p+08 ph.h07.parked=0x1p+00 ph[h10,n=1,t=15000000] ph.h10.rate=0x1.13726dac987a7p+20 ph.h10.w=0x1.b7094c180a624p+06 ph.h10.p99=0x1.73p+09 ph.h10.parked=0x1p+01 ctrl=\"\" changes=0 restarts=0",
+	"thermal-storm":     "sched=ramp disp=spread epoch=10000000 total=60000000 unparks=0 energy=0x1.0010d0efb1038p+03 avgw=0x1.0abc2ef9adb8fp+07 qps=0x1.2545155555555p+19 qpw=0x1.197782cf2f921p+12 worstp99=0x1.55p+06 timeline=[0 0 0 0 0 0] e0[0-10000000,ramp,unp=0] e0.rate=0x1.b774p+17 e0.w=0x1.cd5e563c60744p+06 e0.qps=0x1.c4eep+17 e0.p99=0x1.55p+06 e0.upj=0x0p+00 e1[10000000-20000000,ramp,unp=0] e1.rate=0x1.6e36p+18 e1.w=0x1.e57b477cd29e7p+06 e1.qps=0x1.6f94p+18 e1.p99=0x1.dbp+05 e1.upj=0x0p+00 e2[20000000-30000000,ramp,unp=0] e2.rate=0x1.0059p+19 e2.w=0x1.0287e816874b1p+07 e2.qps=0x1.fd15p+18 e2.p99=0x1.b9p+05 e2.upj=0x0p+00 e3[30000000-40000000,ramp,unp=0] e3.rate=0x1.4997p+19 e3.w=0x1.1022f4a96df68p+07 e3.qps=0x1.46b58p+19 e3.p99=0x1.37p+06 e3.upj=0x0p+00 e4[40000000-50000000,ramp,unp=0] e4.rate=0x1.92d5p+19 e4.w=0x1.1c8cd84a9740cp+07 e4.qps=0x1.8f9cp+19 e4.p99=0x1.43p+06 e4.upj=0x0p+00 e5[50000000-60000000,ramp,unp=0] e5.rate=0x1.dc13p+19 e5.w=0x1.37c495f2ec4a2p+07 e5.qps=0x1.e1bdp+19 e5.p99=0x1.09p+06 e5.upj=0x0p+00 ph[ramp,n=6,t=60000000] ph.ramp.rate=0x1.24f8p+19 ph.ramp.w=0x1.0abc2ef9adb9p+07 ph.ramp.p99=0x1.55p+06 ph.ramp.parked=0x0p+00 ctrl=\"\" changes=0 restarts=0",
+}
+
+func TestGoldenAdversarialScenarios(t *testing.T) {
+	printMode := os.Getenv("GOLDEN_PRINT") != ""
+	paths, err := filepath.Glob(filepath.Join("testdata", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no scenario files under testdata/scenarios")
+	}
+	for _, path := range paths {
+		name := strings.TrimSuffix(filepath.Base(path), ".json")
+		run, err := LoadScenarioFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := RunScenario(run)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := adversarialFingerprint(res)
+		if printMode {
+			fmt.Printf("\t%q: %q,\n", name, got)
+			continue
+		}
+		want, ok := goldenAdversarialWant[name]
+		if !ok {
+			t.Fatalf("%s: no golden recorded", name)
+		}
+		if got != want {
+			t.Errorf("%s: adversarial scenario drifted from golden\n got: %s\nwant: %s",
+				name, diffFields(got, want), diffFields(want, got))
+		}
+	}
+}

@@ -1,0 +1,392 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	agilewatts "repro"
+)
+
+// daemon owns one live fleet. A LiveScenario is single-goroutine, so
+// every touch of d.live goes through d.mu: the scaled-time clock loop,
+// the admin handlers and the query handlers all serialize on it. What-if
+// queries fork under the lock and then step the fork outside it — a
+// fork shares nothing mutable with the live fleet, so an expensive
+// hypothetical never stalls the simulation it is asking about.
+type daemon struct {
+	name  string
+	run   agilewatts.ScenarioRun
+	scale float64
+
+	mu     sync.Mutex
+	live   *agilewatts.LiveScenario
+	paused bool
+}
+
+func newDaemon(name string, run agilewatts.ScenarioRun, scale float64) (*daemon, error) {
+	live, err := agilewatts.NewLiveScenario(run)
+	if err != nil {
+		return nil, err
+	}
+	return &daemon{name: name, run: run, scale: scale, live: live}, nil
+}
+
+// runClock advances the fleet in scaled time: each epoch's simulated
+// window costs window/scale of wall time. scale <= 0 means the fleet
+// only moves when the admin API steps it.
+func (d *daemon) runClock(stop <-chan struct{}) {
+	if d.scale <= 0 {
+		return
+	}
+	for {
+		d.mu.Lock()
+		if d.live.Done() {
+			d.mu.Unlock()
+			return
+		}
+		if d.paused {
+			d.mu.Unlock()
+			select {
+			case <-stop:
+				return
+			case <-time.After(20 * time.Millisecond):
+			}
+			continue
+		}
+		before := d.live.Clock()
+		_, err := d.live.Step()
+		after := d.live.Clock()
+		d.mu.Unlock()
+		if err != nil {
+			return
+		}
+		wall := time.Duration(float64(after-before) / d.scale)
+		select {
+		case <-stop:
+			return
+		case <-time.After(wall):
+		}
+	}
+}
+
+// queryMux serves the read-mostly surface: status, the per-epoch
+// telemetry stream, the completed-epochs result, and what-if forks.
+func (d *daemon) queryMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/status", d.handleStatus)
+	mux.HandleFunc("/v1/telemetry", d.handleTelemetry)
+	mux.HandleFunc("/v1/result", d.handleResult)
+	mux.HandleFunc("/v1/whatif", d.handleWhatIf)
+	return mux
+}
+
+// adminMux serves the mutating surface: manual stepping, the pause
+// switch, and checkpoint download/upload.
+func (d *daemon) adminMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/status", d.handleStatus)
+	mux.HandleFunc("/v1/step", d.handleStep)
+	mux.HandleFunc("/v1/pause", d.handlePause(true))
+	mux.HandleFunc("/v1/resume", d.handlePause(false))
+	mux.HandleFunc("/v1/snapshot", d.handleSnapshot)
+	mux.HandleFunc("/v1/restore", d.handleRestore)
+	return mux
+}
+
+func replyJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func replyError(w http.ResponseWriter, code int, err error) {
+	replyJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func wantMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		replyError(w, http.StatusMethodNotAllowed, fmt.Errorf("%s needs %s", r.URL.Path, method))
+		return false
+	}
+	return true
+}
+
+type statusReply struct {
+	Scenario  string  `json:"scenario"`
+	Epoch     int     `json:"epoch"`
+	Epochs    int     `json:"epochs"`
+	Done      bool    `json:"done"`
+	Paused    bool    `json:"paused"`
+	ClockMS   float64 `json:"clock_ms"`
+	TimeScale float64 `json:"time_scale"`
+}
+
+func (d *daemon) status() statusReply {
+	return statusReply{
+		Scenario:  d.name,
+		Epoch:     d.live.Epoch(),
+		Epochs:    d.live.Epochs(),
+		Done:      d.live.Done(),
+		Paused:    d.paused,
+		ClockMS:   float64(d.live.Clock()) / 1e6,
+		TimeScale: d.scale,
+	}
+}
+
+func (d *daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if !wantMethod(w, r, http.MethodGet) {
+		return
+	}
+	d.mu.Lock()
+	st := d.status()
+	d.mu.Unlock()
+	replyJSON(w, http.StatusOK, st)
+}
+
+// handleTelemetry streams one JSON document per completed epoch
+// (NDJSON), starting at ?from=N (default 0). With ?follow=1 the stream
+// stays open and emits each further epoch as the fleet completes it,
+// until the scenario ends or the client goes away.
+func (d *daemon) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	if !wantMethod(w, r, http.MethodGet) {
+		return
+	}
+	from := 0
+	if s := r.URL.Query().Get("from"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			replyError(w, http.StatusBadRequest, fmt.Errorf("bad from=%q: want a non-negative epoch index", s))
+			return
+		}
+		from = v
+	}
+	follow := r.URL.Query().Get("follow") == "1"
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	for {
+		d.mu.Lock()
+		hist := d.live.History()
+		done := d.live.Done()
+		d.mu.Unlock()
+		for ; from < len(hist); from++ {
+			if err := enc.Encode(hist[from]); err != nil {
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if !follow || done {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}
+
+func (d *daemon) handleResult(w http.ResponseWriter, r *http.Request) {
+	if !wantMethod(w, r, http.MethodGet) {
+		return
+	}
+	d.mu.Lock()
+	res, err := d.live.Result()
+	d.mu.Unlock()
+	if err != nil {
+		replyError(w, http.StatusConflict, err)
+		return
+	}
+	replyJSON(w, http.StatusOK, res)
+}
+
+type whatIfRequest struct {
+	// TargetNodes is forced as the active-node target for the next
+	// Epochs epochs of the fork — "park all but N nodes".
+	TargetNodes int `json:"target_nodes"`
+	Epochs      int `json:"epochs"`
+	// RunToEnd keeps stepping the fork (controller- or plan-driven
+	// again) after the forced window, to the end of the schedule.
+	RunToEnd bool `json:"run_to_end"`
+}
+
+type whatIfSummary struct {
+	FleetEnergyJ   float64 `json:"fleet_energy_j"`
+	AvgFleetPowerW float64 `json:"avg_fleet_power_w"`
+	QPSPerWatt     float64 `json:"qps_per_watt"`
+	WorstP99US     float64 `json:"worst_p99_us"`
+	Unparks        int     `json:"unparks"`
+	Restarts       int     `json:"restarts"`
+}
+
+type whatIfReply struct {
+	ForkedAt    int                         `json:"forked_at"`
+	TargetNodes int                         `json:"target_nodes"`
+	Forced      int                         `json:"forced_epochs"`
+	Epochs      []agilewatts.FleetTelemetry `json:"epochs"`
+	// Summary aggregates the fork's whole realized timeline (shared
+	// prefix + hypothetical future); present once the fork has any
+	// completed epochs.
+	Summary *whatIfSummary `json:"summary,omitempty"`
+}
+
+// handleWhatIf answers a hypothetical against a fork of the live fleet:
+// the fork replays the live history bit-identically, the forced target
+// overrides its controller for the requested window, and the live fleet
+// never observes any of it.
+func (d *daemon) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	if !wantMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req whatIfRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		replyError(w, http.StatusBadRequest, fmt.Errorf("bad what-if request: %w", err))
+		return
+	}
+	if req.Epochs < 1 {
+		replyError(w, http.StatusBadRequest, fmt.Errorf("bad what-if request: epochs must be >= 1, got %d", req.Epochs))
+		return
+	}
+	if req.TargetNodes < 0 {
+		replyError(w, http.StatusBadRequest, fmt.Errorf("bad what-if request: target_nodes must be >= 0, got %d", req.TargetNodes))
+		return
+	}
+	d.mu.Lock()
+	fork := d.live.Fork()
+	d.mu.Unlock()
+
+	reply := whatIfReply{ForkedAt: fork.Epoch(), TargetNodes: req.TargetNodes}
+	for i := 0; i < req.Epochs && !fork.Done(); i++ {
+		tel, err := fork.StepTarget(req.TargetNodes)
+		if err != nil {
+			replyError(w, http.StatusInternalServerError, err)
+			return
+		}
+		reply.Forced++
+		reply.Epochs = append(reply.Epochs, tel)
+	}
+	for req.RunToEnd && !fork.Done() {
+		tel, err := fork.Step()
+		if err != nil {
+			replyError(w, http.StatusInternalServerError, err)
+			return
+		}
+		reply.Epochs = append(reply.Epochs, tel)
+	}
+	if fork.Epoch() > 0 {
+		res, err := fork.Result()
+		if err != nil {
+			replyError(w, http.StatusInternalServerError, err)
+			return
+		}
+		reply.Summary = &whatIfSummary{
+			FleetEnergyJ:   res.FleetEnergyJ,
+			AvgFleetPowerW: res.AvgFleetPowerW,
+			QPSPerWatt:     res.QPSPerWatt,
+			WorstP99US:     res.WorstP99US,
+			Unparks:        res.Unparks,
+			Restarts:       res.Restarts,
+		}
+	}
+	replyJSON(w, http.StatusOK, reply)
+}
+
+// handleStep advances the live fleet ?epochs=N epochs (default 1) —
+// the manual clock for -time-scale 0 deployments and tests.
+func (d *daemon) handleStep(w http.ResponseWriter, r *http.Request) {
+	if !wantMethod(w, r, http.MethodPost) {
+		return
+	}
+	n := 1
+	if s := r.URL.Query().Get("epochs"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			replyError(w, http.StatusBadRequest, fmt.Errorf("bad epochs=%q: want a positive count", s))
+			return
+		}
+		n = v
+	}
+	var tels []agilewatts.FleetTelemetry
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.live.Done() {
+		replyError(w, http.StatusConflict, fmt.Errorf("scenario finished (all %d epochs stepped)", d.live.Epochs()))
+		return
+	}
+	for i := 0; i < n && !d.live.Done(); i++ {
+		tel, err := d.live.Step()
+		if err != nil {
+			replyError(w, http.StatusInternalServerError, err)
+			return
+		}
+		tels = append(tels, tel)
+	}
+	replyJSON(w, http.StatusOK, tels)
+}
+
+func (d *daemon) handlePause(pause bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !wantMethod(w, r, http.MethodPost) {
+			return
+		}
+		d.mu.Lock()
+		d.paused = pause
+		st := d.status()
+		d.mu.Unlock()
+		replyJSON(w, http.StatusOK, st)
+	}
+}
+
+// handleSnapshot downloads the fleet checkpoint: the exact bytes
+// /v1/restore (or RestoreLiveScenario in another process) rebuilds the
+// fleet from, with bit-identical future behavior.
+func (d *daemon) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !wantMethod(w, r, http.MethodGet) {
+		return
+	}
+	d.mu.Lock()
+	blob, err := d.live.Snapshot()
+	epoch := d.live.Epoch()
+	d.mu.Unlock()
+	if err != nil {
+		replyError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Scenario-Epoch", strconv.Itoa(epoch))
+	w.Write(blob)
+}
+
+// handleRestore replaces the live fleet with the checkpoint in the
+// request body. The checkpoint must have been taken from this
+// scenario's configuration; a mismatch (or any corruption) rejects the
+// upload and leaves the current fleet untouched.
+func (d *daemon) handleRestore(w http.ResponseWriter, r *http.Request) {
+	if !wantMethod(w, r, http.MethodPost) {
+		return
+	}
+	blob, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		replyError(w, http.StatusBadRequest, err)
+		return
+	}
+	live, err := agilewatts.RestoreLiveScenario(d.run, blob)
+	if err != nil {
+		replyError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	d.mu.Lock()
+	d.live = live
+	st := d.status()
+	d.mu.Unlock()
+	replyJSON(w, http.StatusOK, st)
+}

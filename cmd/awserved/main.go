@@ -1,0 +1,142 @@
+// Command awserved serves a live fleet simulation over HTTP: it loads a
+// declarative scenario file, steps the warm fleet through its schedule
+// in scaled time, streams per-epoch telemetry, and answers what-if
+// queries ("park all but 2 nodes for the next hour") against a fork of
+// the fleet — the live simulation never observes them.
+//
+// Usage:
+//
+//	awserved -scenario-file testdata/scenarios/crash-under-spike.json \
+//	         -addr :7070 -admin-addr :7071 -time-scale 60
+//
+// The API splits in two. The query port (-addr) is read-mostly:
+//
+//	GET  /v1/status            scenario name, epoch progress, sim clock
+//	GET  /v1/telemetry?from=N  NDJSON, one document per completed epoch
+//	     &follow=1             keep streaming epochs as they complete
+//	GET  /v1/result            ScenarioResult over the completed epochs
+//	POST /v1/whatif            {"target_nodes":2,"epochs":3,"run_to_end":true}
+//
+// The admin port (-admin-addr) mutates the fleet:
+//
+//	POST /v1/step?epochs=N     advance manually (the -time-scale 0 clock)
+//	POST /v1/pause, /v1/resume stop and restart the scaled-time clock
+//	GET  /v1/snapshot          download the fleet checkpoint (binary)
+//	POST /v1/restore           replace the fleet from a checkpoint
+//
+// -time-scale is the ratio of simulated to wall time (60 = a simulated
+// minute per wall second); 0 (the default) runs no clock at all — the
+// fleet moves only on /v1/step. A multi-document scenario file needs
+// -scenario NAME to pick the document to serve.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	agilewatts "repro"
+)
+
+func main() {
+	scenarioFile := flag.String("scenario-file", "",
+		"declarative scenario file (JSON; multiple concatenated documents allowed)")
+	scenarioName := flag.String("scenario", "",
+		"scenario name to serve when the file holds several documents")
+	addr := flag.String("addr", ":7070", "query API listen address")
+	adminAddr := flag.String("admin-addr", ":7071", "admin API listen address")
+	timeScale := flag.Float64("time-scale", 0,
+		"simulated-to-wall time ratio (60 = one simulated minute per second; 0 = manual stepping only)")
+	flag.Parse()
+
+	if *scenarioFile == "" {
+		fatal(fmt.Errorf("-scenario-file is required"))
+	}
+	if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected arguments: %s", strings.Join(flag.Args(), " ")))
+	}
+	name, run, err := selectScenario(*scenarioFile, *scenarioName)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := newDaemon(name, run, *timeScale)
+	if err != nil {
+		fatal(err)
+	}
+
+	stop := make(chan struct{})
+	go d.runClock(stop)
+	go serve("admin", *adminAddr, d.adminMux())
+	fmt.Fprintf(os.Stderr, "awserved: scenario %q, %d epochs, query %s, admin %s, time-scale %g\n",
+		name, d.live.Epochs(), *addr, *adminAddr, *timeScale)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		close(stop)
+		os.Exit(0)
+	}()
+	serve("query", *addr, d.queryMux())
+}
+
+// selectScenario loads the (possibly multi-document) scenario file and
+// picks the document to serve: the only one, or the one -scenario
+// names.
+func selectScenario(path, name string) (string, agilewatts.ScenarioRun, error) {
+	files, err := agilewatts.LoadScenarioFiles(path)
+	if err != nil {
+		return "", agilewatts.ScenarioRun{}, err
+	}
+	var picked *agilewatts.ScenarioFile
+	switch {
+	case name != "":
+		for i := range files {
+			if files[i].Name == name {
+				picked = &files[i]
+			}
+		}
+		if picked == nil {
+			var names []string
+			for _, f := range files {
+				names = append(names, f.Name)
+			}
+			return "", agilewatts.ScenarioRun{}, fmt.Errorf(
+				"scenario %q not in %s (have: %s)", name, path, strings.Join(names, ", "))
+		}
+	case len(files) == 1:
+		picked = &files[0]
+	default:
+		var names []string
+		for _, f := range files {
+			names = append(names, f.Name)
+		}
+		return "", agilewatts.ScenarioRun{}, fmt.Errorf(
+			"%s holds %d scenarios; pick one with -scenario (have: %s)",
+			path, len(files), strings.Join(names, ", "))
+	}
+	run, err := agilewatts.ScenarioRunFromFile(*picked)
+	if err != nil {
+		return "", agilewatts.ScenarioRun{}, err
+	}
+	label := picked.Name
+	if label == "" {
+		label = "file"
+	}
+	return label, run, nil
+}
+
+func serve(which, addr string, mux *http.ServeMux) {
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fatal(fmt.Errorf("%s listener: %w", which, err))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "awserved:", err)
+	os.Exit(1)
+}

@@ -82,6 +82,13 @@ func main() {
 			"runs it and prints the fleet timeline instead of any experiment")
 	flag.Parse()
 
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := checkFlagCombos(set, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "awsim:", err)
+		os.Exit(2)
+	}
+
 	if *scenarioFile != "" {
 		if err := runScenarioFile(*scenarioFile, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "awsim:", err)

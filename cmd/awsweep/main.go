@@ -96,6 +96,12 @@ func main() {
 			"runs it and emits the per-epoch timeline CSV instead of a rate sweep")
 	flag.Parse()
 
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := checkFlagCombos(set); err != nil {
+		fatal(err)
+	}
+
 	if *scenarioFile != "" {
 		if err := sweepScenarioFile(*scenarioFile, os.Stdout); err != nil {
 			fatal(err)

@@ -102,6 +102,11 @@ func (tc *TimelineCursor) Step(iv Interval) (server.IntervalResult, error) {
 	return res, nil
 }
 
+// Instance returns the live warm instance, nil while crashed. The
+// cluster snapshot layer serializes it for fleet checkpoint
+// verification; callers must not run intervals on it directly.
+func (tc *TimelineCursor) Instance() *server.Instance { return tc.ins }
+
 // Down reports whether the node is currently crashed.
 func (tc *TimelineCursor) Down() bool { return tc.down }
 

@@ -135,28 +135,37 @@ type File struct {
 	Faults     FaultsSpec     `json:"faults,omitempty"`
 }
 
-// Parse decodes a scenario file strictly: unknown fields, malformed
-// JSON and trailing content are errors, as is a schedule that sets both
-// a named shape and explicit phases (or neither).
-func Parse(data []byte) (File, error) {
+// decodeError dresses a raw json.Decoder error with the information a
+// user editing a scenario file actually needs: the byte offset where
+// decoding failed (json's syntax and type errors carry one but print
+// without it) and the scenario's name when the document got far enough
+// to have one.
+func decodeError(err error, name string) error {
+	where := ""
+	var syn *json.SyntaxError
+	var typ *json.UnmarshalTypeError
+	switch {
+	case errors.As(err, &syn):
+		where = fmt.Sprintf(" at byte %d", syn.Offset)
+	case errors.As(err, &typ):
+		where = fmt.Sprintf(" at byte %d (field %q)", typ.Offset, typ.Field)
+	}
+	if name != "" {
+		return fmt.Errorf("scenariofile: scenario %q%s: %w", name, where, err)
+	}
+	return fmt.Errorf("scenariofile%s: %w", where, err)
+}
+
+// parseDoc decodes one raw scenario document from dec, canonicalizing
+// explicit empty lists to nil: omitempty drops them on encode, so
+// leaving them non-nil would break the round-trip property (an accepted
+// document must re-parse to the same value). Errors are dec's own —
+// io.EOF at a clean document boundary, json errors otherwise.
+func parseDoc(dec *json.Decoder) (File, error) {
 	var f File
-	dec := json.NewDecoder(bytes.NewReader(data))
-	dec.DisallowUnknownFields()
 	if err := dec.Decode(&f); err != nil {
-		return File{}, fmt.Errorf("scenariofile: %w", err)
+		return File{}, err
 	}
-	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
-		return File{}, fmt.Errorf("scenariofile: trailing content after the scenario document")
-	}
-	if f.Schedule.Shape != "" && len(f.Schedule.Phases) > 0 {
-		return File{}, fmt.Errorf("scenariofile: schedule sets both a named shape and explicit phases")
-	}
-	if f.Schedule.Shape == "" && len(f.Schedule.Phases) == 0 {
-		return File{}, fmt.Errorf("scenariofile: schedule needs a named shape or explicit phases")
-	}
-	// Canonicalize explicit empty lists to nil: omitempty drops them on
-	// encode, so leaving them non-nil would break the round-trip
-	// property (an accepted document must re-parse to the same value).
 	if len(f.Schedule.Phases) == 0 {
 		f.Schedule.Phases = nil
 	}
@@ -164,6 +173,74 @@ func Parse(data []byte) (File, error) {
 		f.Faults.Nodes = nil
 	}
 	return f, nil
+}
+
+// checkSchedule rejects the ambiguous schedule shapes: both a named
+// shape and explicit phases, or neither.
+func checkSchedule(f File) error {
+	if f.Schedule.Shape != "" && len(f.Schedule.Phases) > 0 {
+		return fmt.Errorf("scenariofile: scenario %q: schedule sets both a named shape and explicit phases", f.Name)
+	}
+	if f.Schedule.Shape == "" && len(f.Schedule.Phases) == 0 {
+		return fmt.Errorf("scenariofile: scenario %q: schedule needs a named shape or explicit phases", f.Name)
+	}
+	return nil
+}
+
+// Parse decodes a scenario file strictly: unknown fields, malformed
+// JSON and trailing content are errors, as is a schedule that sets both
+// a named shape and explicit phases (or neither). Decode errors carry
+// the byte offset of the failure.
+func Parse(data []byte) (File, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	f, err := parseDoc(dec)
+	if errors.Is(err, io.EOF) {
+		return File{}, fmt.Errorf("scenariofile: empty scenario document")
+	}
+	if err != nil {
+		return File{}, decodeError(err, "")
+	}
+	if err := checkSchedule(f); err != nil {
+		return File{}, err
+	}
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		return File{}, fmt.Errorf("scenariofile: trailing content after the scenario document at byte %d", dec.InputOffset())
+	}
+	return f, nil
+}
+
+// ParseAll decodes a multi-document scenario stream: one or more
+// scenario documents concatenated in one file (JSON's decoder delimits
+// them naturally). Each document is decoded as strictly as Parse
+// decodes a single one, and duplicate scenario names are rejected —
+// last-write-wins would make "which steady did I run?" unanswerable.
+func ParseAll(data []byte) ([]File, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var files []File
+	seen := map[string]int{}
+	for i := 0; ; i++ {
+		f, err := parseDoc(dec)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, decodeError(fmt.Errorf("document %d: %w", i, err), "")
+		}
+		if err := checkSchedule(f); err != nil {
+			return nil, err
+		}
+		if prev, dup := seen[f.Name]; dup {
+			return nil, fmt.Errorf("scenariofile: duplicate scenario name %q (documents %d and %d)", f.Name, prev, i)
+		}
+		seen[f.Name] = i
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("scenariofile: no scenario documents in the file")
+	}
+	return files, nil
 }
 
 // Load reads and parses the scenario file at path.
@@ -177,6 +254,19 @@ func Load(path string) (File, error) {
 		return File{}, fmt.Errorf("%w (%s)", err, path)
 	}
 	return f, nil
+}
+
+// LoadAll reads and parses a (possibly multi-document) scenario file.
+func LoadAll(path string) ([]File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenariofile: %w", err)
+	}
+	fs, err := ParseAll(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return fs, nil
 }
 
 // Encode renders the file back to canonical indented JSON. A parsed

@@ -1,6 +1,7 @@
 package scenariofile
 
 import (
+	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -77,6 +78,136 @@ func TestParseRejects(t *testing.T) {
 				t.Errorf("error %q does not mention %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestParseErrorContext pins the decode-error dressing: syntax and type
+// errors must carry the byte offset of the failure (and the offending
+// field for type errors) so a scenario author can find the problem in a
+// large file without bisecting it.
+func TestParseErrorContext(t *testing.T) {
+	cases := []struct {
+		name, doc string
+		wants     []string
+	}{
+		{"syntax offset", `{"schedule": {"shape": }}`, []string{"at byte"}},
+		{
+			"type offset and field",
+			`{"schedule": {"shape": "constant", "base_qps": "fast"}}`,
+			[]string{"at byte", `"schedule.base_qps"`},
+		},
+		{"empty input", ``, []string{"empty scenario document"}},
+		{"whitespace only", "\n\t  ", []string{"empty scenario document"}},
+		{"trailing offset", `{"schedule": {"shape": "constant"}} junk`, []string{"trailing content", "at byte"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc))
+			if err == nil {
+				t.Fatal("Parse accepted the invalid document")
+			}
+			for _, want := range tc.wants {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q does not mention %q", err, want)
+				}
+			}
+		})
+	}
+}
+
+const twoDocs = `{"name": "a", "schedule": {"shape": "constant", "base_qps": 1, "total_ms": 10}}
+{"name": "b", "schedule": {"shape": "spike", "base_qps": 2, "total_ms": 20}}`
+
+func TestParseAll(t *testing.T) {
+	fs, err := ParseAll([]byte(twoDocs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 2 || fs[0].Name != "a" || fs[1].Name != "b" {
+		t.Fatalf("ParseAll decoded %+v", fs)
+	}
+
+	// A single-document stream matches Parse exactly.
+	single := `{"name": "solo", "schedule": {"shape": "constant", "base_qps": 1, "total_ms": 10}}`
+	one, err := ParseAll([]byte(single))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Parse([]byte(single))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || !reflect.DeepEqual(one[0], want) {
+		t.Errorf("ParseAll single-doc = %+v, Parse = %+v", one, want)
+	}
+}
+
+func TestParseAllRejects(t *testing.T) {
+	cases := []struct {
+		name, doc string
+		wants     []string
+	}{
+		{"empty stream", ``, []string{"no scenario documents"}},
+		{
+			"duplicate names",
+			`{"name": "steady", "schedule": {"shape": "constant", "base_qps": 1, "total_ms": 10}}
+			 {"name": "steady", "schedule": {"shape": "spike", "base_qps": 2, "total_ms": 20}}`,
+			[]string{`duplicate scenario name "steady"`, "documents 0 and 1"},
+		},
+		{
+			"second document malformed",
+			`{"name": "a", "schedule": {"shape": "constant", "base_qps": 1, "total_ms": 10}}
+			 {"name": "b", "schedule": {"shape": }}`,
+			[]string{"document 1", "at byte"},
+		},
+		{
+			"second document bad schedule",
+			`{"name": "a", "schedule": {"shape": "constant", "base_qps": 1, "total_ms": 10}}
+			 {"name": "b", "schedule": {}}`,
+			[]string{`scenario "b"`, "needs a named shape or explicit phases"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseAll([]byte(tc.doc))
+			if err == nil {
+				t.Fatal("ParseAll accepted the invalid stream")
+			}
+			for _, want := range tc.wants {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q does not mention %q", err, want)
+				}
+			}
+		})
+	}
+}
+
+func TestLoadAll(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "multi.json")
+	if err := os.WriteFile(path, []byte(twoDocs), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := LoadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 2 {
+		t.Fatalf("LoadAll decoded %d documents, want 2", len(fs))
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schedule": }`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAll(bad); err == nil {
+		t.Fatal("LoadAll accepted a malformed file")
+	} else if !strings.Contains(err.Error(), bad) {
+		t.Errorf("error %q does not mention the path %q", err, bad)
+	}
+
+	if _, err := LoadAll(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("LoadAll accepted a missing file")
 	}
 }
 

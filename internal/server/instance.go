@@ -43,6 +43,28 @@ type Instance struct {
 	// IntervalResult reports its own window's snoops (interval 0 keeps
 	// the one-shot semantics of counting warmup snoops too).
 	preSnoops uint64
+	// orig is the construction config exactly as handed to NewInstance
+	// (rate/schedule zeroed, defaults NOT applied) — what Snapshot
+	// serializes, so Restore rebuilds through the identical
+	// NewInstance(orig) path.
+	orig Config
+	// hist is the realized interval log: every RunInterval call with the
+	// fault state that was live for it. Snapshot persists it; Restore
+	// replays it — the event queue holds closures, so the only faithful
+	// serialization of mid-run state is the deterministic replay of how
+	// it was reached.
+	hist []intervalRecord
+}
+
+// intervalRecord is one RunInterval call as Snapshot persists it: the
+// window and rate plus the fault state (straggler inflation, thermal
+// throttle) that was installed while it ran.
+type intervalRecord struct {
+	window   sim.Time
+	rate     float64
+	inflate  float64
+	throttle bool
+	capFrac  float64
 }
 
 // IntervalResult is one RunInterval measurement.
@@ -90,7 +112,7 @@ func NewInstance(cfg Config, parkOnZeroRate bool) (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Instance{s: s, park: parkOnZeroRate}, nil
+	return &Instance{s: s, park: parkOnZeroRate, orig: cfg}, nil
 }
 
 // Clock returns the instance's current simulation time.
@@ -158,6 +180,15 @@ func (ins *Instance) RunInterval(window sim.Time, rate float64) (IntervalResult,
 		return IntervalResult{}, fmt.Errorf("server: invalid interval rate %g", rate)
 	}
 	s := ins.s
+	// Reject a window the simulation clock cannot hold before touching
+	// any state, so an over-long request leaves the instance resumable.
+	limit := sim.MaxTime - s.eng.Now()
+	if !ins.started {
+		limit -= s.cfg.Warmup
+	}
+	if window > limit {
+		return IntervalResult{}, fmt.Errorf("server: interval window %d overflows the simulation clock (%d remaining)", window, limit)
+	}
 	if !ins.started {
 		ins.started = true
 		s.instRate = rate
@@ -196,5 +227,12 @@ func (ins *Instance) RunInterval(window sim.Time, rate float64) (IntervalResult,
 		Result:  res,
 	}
 	ins.index++
+	ins.hist = append(ins.hist, intervalRecord{
+		window:   window,
+		rate:     rate,
+		inflate:  s.inflate,
+		throttle: s.throttled,
+		capFrac:  s.capFrac,
+	})
 	return out, nil
 }

@@ -102,7 +102,10 @@ type Config struct {
 	// TraceHook, when set, receives every per-core C-state change
 	// (core, time, new state) — the power:cpu_idle trace of this
 	// simulator. See internal/trace for a recorder implementation.
-	TraceHook func(core int, now sim.Time, state cstate.ID)
+	// Excluded from JSON: a hook is per-process state, and results that
+	// echo their Config must stay marshalable (the awserved query API
+	// serves them).
+	TraceHook func(core int, now sim.Time, state cstate.ID) `json:"-"`
 
 	// PkgIdleEnabled turns on the package idle-state model: when every
 	// core has been resident in an idle state for PkgEntryDelay, the
@@ -489,6 +492,7 @@ type Sim struct {
 	// fields.
 	inflate   float64 // straggler service-time multiplier; <= 1 means none
 	throttled bool    // thermal throttle: turbo ceiling capped
+	capFrac   float64 // throttle ceiling fraction (snapshot replay needs it)
 	thrFreqHz float64 // throttled turbo frequency
 	pwrThr    float64 // AtFreq(thrFreqHz)
 	spThr     float64 // Speedup(scalability, refFreq, thrFreqHz)
@@ -730,8 +734,9 @@ func (s *Sim) serviceFreq() (freqHz, powerW, speedup float64) {
 // constants, just at the capped frequency.
 func (s *Sim) setThrottle(on bool, capFrac float64) {
 	s.throttled = on
+	s.capFrac = capFrac
 	if !on {
-		s.thrFreqHz, s.pwrThr, s.spThr = 0, 0, 0
+		s.capFrac, s.thrFreqHz, s.pwrThr, s.spThr = 0, 0, 0, 0
 		return
 	}
 	f := s.baseFreqHz + capFrac*(s.turboFreqHz-s.baseFreqHz)

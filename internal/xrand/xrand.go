@@ -8,6 +8,7 @@
 package xrand
 
 import (
+	"errors"
 	"math"
 )
 
@@ -59,6 +60,24 @@ func NewStream(seed uint64, name string) *Rand {
 		h *= 1099511628211
 	}
 	return New(seed ^ h)
+}
+
+// State returns the generator's internal xoshiro256** state — the
+// complete stream position, so a generator restored with SetState
+// continues the exact sequence this one would have produced. The
+// log-normal parameter memo is deliberately excluded: it caches derived
+// values only and never affects the generated sequence.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState installs a previously captured stream state. The all-zero
+// state is the one fixed point xoshiro256** can never leave and is
+// rejected; New and NewStream never produce it.
+func (r *Rand) SetState(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return errors.New("xrand: all-zero state is invalid for xoshiro256**")
+	}
+	r.s = s
+	return nil
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

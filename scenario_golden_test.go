@@ -239,6 +239,58 @@ func TestGoldenScenarioOracleController(t *testing.T) {
 	}
 }
 
+// TestGoldenLiveForkRestoreStability anchors the live engine's
+// correctness claim to the pinned hex-float goldens: a LiveScenario
+// stepped halfway, forked, AND checkpointed through Snapshot/Restore
+// must — on fork, restored copy, and original alike — finish with
+// exactly the warm-path fingerprint captured when the warm engine
+// landed. Any divergence means fork or restore is not a bit-exact
+// replay of the parent.
+func TestGoldenLiveForkRestoreStability(t *testing.T) {
+	for _, tc := range goldenScenarioCases {
+		if tc.run.ColdEpochs {
+			continue // stepping needs the warm path
+		}
+		want, ok := goldenScenarioWant[tc.name]
+		if !ok {
+			t.Fatalf("%s: no golden recorded", tc.name)
+		}
+		live, err := NewLiveScenario(tc.run)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for live.Epoch() < live.Epochs()/2 {
+			if _, err := live.Step(); err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+		}
+		fork := live.Fork()
+		blob, err := live.Snapshot()
+		if err != nil {
+			t.Fatalf("%s: snapshot: %v", tc.name, err)
+		}
+		restored, err := RestoreLiveScenario(tc.run, blob)
+		if err != nil {
+			t.Fatalf("%s: restore: %v", tc.name, err)
+		}
+		for label, l := range map[string]*LiveScenario{"fork": fork, "restored": restored, "original": live} {
+			for !l.Done() {
+				if _, err := l.Step(); err != nil {
+					t.Fatalf("%s (%s): %v", tc.name, label, err)
+				}
+			}
+			res, err := l.Result()
+			if err != nil {
+				t.Fatalf("%s (%s): %v", tc.name, label, err)
+			}
+			if got := scenarioFingerprint(res); got != want {
+				t.Errorf("%s: %s replay drifted from the pinned warm golden\n got: %s\nwant: %s",
+					tc.name, label, diffFields(got, want), diffFields(want, got))
+			}
+		}
+	}
+}
+
 // TestScenarioShimFieldsMapIntoGroups pins the deprecation contract of
 // the ScenarioRun redesign: the old flat fields are shims onto the
 // Execution/Elasticity groups — a run configured through the shims is

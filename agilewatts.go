@@ -412,6 +412,26 @@ const (
 // FaultKinds lists the built-in fault kinds.
 func FaultKinds() []string { return cluster.FaultKinds() }
 
+// Overload admission control: an OverloadSpec on ScenarioRun.Overload
+// decides what happens when the offered rate exceeds the active
+// fleet's capacity (per-node capacity at MaxUtil, summed over the up,
+// routed nodes). The zero value disables admission control and leaves
+// every scenario result bit-identical to a run without it.
+type OverloadSpec = cluster.OverloadSpec
+
+// Overload policies accepted by OverloadSpec.Policy: shed (drop the
+// excess with exact request accounting), degrade (admit everything,
+// record the SLO-violation epochs), queue (carry the excess into the
+// next epoch as bounded backlog).
+const (
+	OverloadShed    = cluster.OverloadShed
+	OverloadDegrade = cluster.OverloadDegrade
+	OverloadQueue   = cluster.OverloadQueue
+)
+
+// OverloadPolicies lists the built-in overload policy names.
+func OverloadPolicies() []string { return cluster.OverloadPolicies() }
+
 // ScenarioExecution groups the scenario engine-selection knobs: which
 // engine runs the epochs and how much statistical machinery rides
 // along.
@@ -496,6 +516,11 @@ type ScenarioRun struct {
 	// correlated fault process. Warm path only; the zero value is a
 	// healthy fleet, bit-identical to a run without fault injection.
 	Faults FaultSpec
+	// Overload enables per-epoch admission control when the offered
+	// load exceeds the active fleet's capacity: shed, degrade or queue
+	// the excess (see OverloadSpec). Warm path only; the zero value
+	// disables it, bit-identical to a run without admission control.
+	Overload OverloadSpec
 
 	// UnparkLatencyNS is the cold path's synthetic unpark latency.
 	//
@@ -596,6 +621,7 @@ func scenarioConfig(r ScenarioRun) (cluster.ScenarioConfig, error) {
 		Replicas:      ex.Replicas,
 		CompactNodes:  ex.CompactNodes,
 		Faults:        r.Faults,
+		Overload:      r.Overload,
 	}, nil
 }
 
@@ -689,6 +715,7 @@ const (
 	ExpCluster        = "cluster"         // fleet spread-vs-consolidate study
 	ExpScenario       = "scenario"        // time-varying load: diurnal/spike fleet study
 	ExpFaults         = "faults"          // fault injection: oracle vs reactive under crash-under-spike
+	ExpOverload       = "overload"        // admission control: shed vs degrade vs queue past capacity
 )
 
 // Experiments returns all experiment names in stable order.
@@ -700,7 +727,7 @@ func Experiments() []string {
 		ExpValidation, ExpSnoop,
 		ExpAMD, ExpAblateGovernor, ExpAblateZones, ExpAblatePower, ExpAblateNoise,
 		ExpRaceToHalt, ExpPkgIdle, ExpBreakdown, ExpProportion, ExpDispatch,
-		ExpCluster, ExpScenario, ExpFaults,
+		ExpCluster, ExpScenario, ExpFaults, ExpOverload,
 	}
 	sort.Strings(names)
 	return names
@@ -852,6 +879,12 @@ func RunExperiment(name string, o Options, w io.Writer) error {
 		return render(r.PhaseTable(), r.EpochTable(), c.ControllerTable())
 	case ExpFaults:
 		r, err := experiments.Faults(o)
+		if err != nil {
+			return err
+		}
+		return render(r.Table())
+	case ExpOverload:
+		r, err := experiments.Overload(o)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,172 @@
+//go:build unix
+
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	agilewatts "repro"
+)
+
+// chaosBinary builds the real awserved binary once per test run; the
+// chaos test exercises the actual process — signals, listeners,
+// checkpoint files — not an in-process stand-in. The binary is built
+// with -race so the kill/recover cycle runs race-instrumented in CI.
+func chaosBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "awserved")
+	cmd := exec.Command("go", "build", "-race", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freeAddr grabs a loopback port the kernel considers free right now.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// startChaosDaemon launches the binary against the fixture with
+// every-epoch checkpointing and waits for the query API to answer.
+func startChaosDaemon(t *testing.T, bin, queryAddr, adminAddr, ckptDir string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-scenario-file", fixturePath,
+		"-addr", queryAddr,
+		"-admin-addr", adminAddr,
+		"-checkpoint-dir", ckptDir,
+		"-checkpoint-every-epochs", "1")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + queryAddr + "/v1/status")
+		if err == nil {
+			resp.Body.Close()
+			return cmd
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("daemon on %s never answered: %v", queryAddr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func chaosStatus(t *testing.T, queryAddr string) statusReply {
+	t.Helper()
+	var st statusReply
+	getJSON(t, "http://"+queryAddr+"/v1/status", &st)
+	return st
+}
+
+// TestChaosKillRestart is the crash-recovery contract end to end on the
+// real binary: SIGKILL the daemon mid-scenario — no graceful path, no
+// final checkpoint — restart it on the same checkpoint directory, and
+// the recovered run must finish with a /v1/result byte-identical to the
+// batch engine on the same scenario file. Then SIGTERM the survivor and
+// require a clean exit.
+func TestChaosKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and signals a real binary")
+	}
+	bin := chaosBinary(t)
+	ckptDir := t.TempDir()
+	queryAddr, adminAddr := freeAddr(t), freeAddr(t)
+
+	cmd := startChaosDaemon(t, bin, queryAddr, adminAddr, ckptDir)
+	postJSON(t, "http://"+adminAddr+"/v1/step?epochs=3", nil, nil)
+	if st := chaosStatus(t, queryAddr); st.Epoch != 3 {
+		t.Fatalf("pre-kill epoch %d, want 3", st.Epoch)
+	}
+
+	// SIGKILL: the process gets no chance to flush anything.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	cmd2 := startChaosDaemon(t, bin, queryAddr, adminAddr, ckptDir)
+	defer func() {
+		if cmd2.ProcessState == nil {
+			cmd2.Process.Kill()
+			cmd2.Wait()
+		}
+	}()
+	st := chaosStatus(t, queryAddr)
+	if st.Epoch != 3 {
+		t.Fatalf("recovered epoch %d, want 3", st.Epoch)
+	}
+	for !st.Done {
+		postJSON(t, "http://"+adminAddr+"/v1/step", nil, nil)
+		st = chaosStatus(t, queryAddr)
+	}
+
+	resp, err := http.Get("http://" + queryAddr + "/v1/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %s %v", resp.Status, err)
+	}
+	_, run, err := selectScenario(fixturePath, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := agilewatts.RunScenario(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.MarshalIndent(want, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(gotJSON)) != string(wantJSON) {
+		t.Error("killed-and-recovered run diverged from RunScenario on the same scenario file")
+	}
+
+	// Graceful exit: SIGTERM drains the listeners and exits 0.
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waited := make(chan error, 1)
+	go func() { waited <- cmd2.Wait() }()
+	select {
+	case err := <-waited:
+		if err != nil {
+			t.Errorf("SIGTERM exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		cmd2.Process.Kill()
+		t.Fatal("daemon ignored SIGTERM for 10s")
+	}
+
+	ckpts, err := filepath.Glob(filepath.Join(ckptDir, "ckpt-*.awck"))
+	if err != nil || len(ckpts) == 0 {
+		t.Fatalf("no checkpoints survive the run: %v (err %v)", ckpts, err)
+	}
+	if len(ckpts) > checkpointKeep {
+		t.Errorf("%d checkpoints on disk, want at most %d", len(ckpts), checkpointKeep)
+	}
+}

@@ -5,12 +5,42 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
 	agilewatts "repro"
 )
+
+// daemonOptions groups the crash-safety and back-pressure knobs main
+// wires from flags; the zero value means no checkpointing and an
+// unbounded-in-name-only what-if pool (callers should use
+// defaultDaemonOptions).
+type daemonOptions struct {
+	// ckptDir enables self-checkpointing: every cadence hit writes the
+	// fleet snapshot to ckpt-NNNNNN.awck in this directory (temp file +
+	// atomic rename), and startup recovers from the newest valid one.
+	ckptDir string
+	// ckptEveryEpochs and ckptEvery are the checkpoint cadences: a
+	// checkpoint after every N completed epochs, or once T wall time has
+	// passed since the last one, whichever fires first. Zero disables
+	// that cadence.
+	ckptEveryEpochs int
+	ckptEvery       time.Duration
+	// whatifMax caps concurrent what-if forks (excess gets 429);
+	// whatifTimeout bounds one fork's stepping time (expiry gets 503).
+	whatifMax     int
+	whatifTimeout time.Duration
+}
+
+// defaultDaemonOptions is the no-checkpointing default with the
+// production what-if bounds.
+func defaultDaemonOptions() daemonOptions {
+	return daemonOptions{whatifMax: 4, whatifTimeout: 30 * time.Second}
+}
 
 // daemon owns one live fleet. A LiveScenario is single-goroutine, so
 // every touch of d.live goes through d.mu: the scaled-time clock loop,
@@ -22,18 +52,159 @@ type daemon struct {
 	name  string
 	run   agilewatts.ScenarioRun
 	scale float64
+	opts  daemonOptions
+
+	// whatif is the fork-pool semaphore: a slot per in-flight what-if.
+	whatif chan struct{}
 
 	mu     sync.Mutex
 	live   *agilewatts.LiveScenario
 	paused bool
+	// closing tells follow streams the process is shutting down.
+	closing bool
+	// epochCh broadcasts fleet progress: closed and replaced under mu
+	// whenever the live fleet moves, so follow streams wake exactly when
+	// there is something new instead of polling.
+	epochCh chan struct{}
+	// lastCkptEpoch / lastCkptWall drive the checkpoint cadence; -1
+	// means no checkpoint exists yet for this timeline.
+	lastCkptEpoch int
+	lastCkptWall  time.Time
 }
 
-func newDaemon(name string, run agilewatts.ScenarioRun, scale float64) (*daemon, error) {
+func newDaemon(name string, run agilewatts.ScenarioRun, scale float64, opts daemonOptions) (*daemon, error) {
 	live, err := agilewatts.NewLiveScenario(run)
 	if err != nil {
 		return nil, err
 	}
-	return &daemon{name: name, run: run, scale: scale, live: live}, nil
+	d := &daemon{
+		name: name, run: run, scale: scale, opts: opts,
+		whatif:  make(chan struct{}, opts.whatifMax),
+		live:    live,
+		epochCh: make(chan struct{}),
+
+		lastCkptEpoch: -1,
+		lastCkptWall:  time.Now(),
+	}
+	if opts.ckptDir != "" {
+		if err := d.recoverFromCheckpoints(); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// recoverFromCheckpoints restores the fleet from the newest valid
+// checkpoint in the checkpoint directory, newest first. A corrupt or
+// mismatched checkpoint is skipped with a logged warning — a crash mid-
+// rename or a scenario-file edit must never brick the daemon — and when
+// none restores the fleet starts from epoch 0.
+func (d *daemon) recoverFromCheckpoints() error {
+	if err := os.MkdirAll(d.opts.ckptDir, 0o755); err != nil {
+		return fmt.Errorf("checkpoint dir: %w", err)
+	}
+	paths, err := filepath.Glob(filepath.Join(d.opts.ckptDir, "ckpt-*.awck"))
+	if err != nil {
+		return err
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(paths)))
+	for _, path := range paths {
+		blob, err := os.ReadFile(path)
+		if err == nil {
+			var live *agilewatts.LiveScenario
+			if live, err = agilewatts.RestoreLiveScenario(d.run, blob); err == nil {
+				d.live = live
+				d.lastCkptEpoch = live.Epoch()
+				fmt.Fprintf(os.Stderr, "awserved: recovered epoch %d from %s\n", live.Epoch(), path)
+				return nil
+			}
+		}
+		fmt.Fprintf(os.Stderr, "awserved: skipping checkpoint %s: %v\n", path, err)
+	}
+	return nil
+}
+
+// wakeFollowersLocked broadcasts fleet progress to every follow stream:
+// closing the channel releases all current waiters, the fresh channel
+// collects the next round. Callers hold d.mu.
+func (d *daemon) wakeFollowersLocked() {
+	close(d.epochCh)
+	d.epochCh = make(chan struct{})
+}
+
+// afterStepLocked runs the per-step bookkeeping: wake the follow
+// streams and checkpoint if the cadence says so. Callers hold d.mu.
+func (d *daemon) afterStepLocked() {
+	d.wakeFollowersLocked()
+	if d.opts.ckptDir == "" {
+		return
+	}
+	byEpochs := d.opts.ckptEveryEpochs > 0 &&
+		d.live.Epoch()-d.lastCkptEpoch >= d.opts.ckptEveryEpochs
+	byWall := d.opts.ckptEvery > 0 && time.Since(d.lastCkptWall) >= d.opts.ckptEvery
+	if byEpochs || byWall {
+		d.checkpointLocked()
+	}
+}
+
+// checkpointKeep bounds the checkpoint directory: older files beyond
+// the newest few are pruned after every successful write.
+const checkpointKeep = 3
+
+// checkpointLocked writes the fleet snapshot to the checkpoint
+// directory crash-safely: the bytes land in a temp file first and the
+// final ckpt-NNNNNN.awck name appears only through an atomic rename, so
+// a crash mid-write can never leave a half-checkpoint under a name
+// recovery would trust. Failures are logged, not fatal — a full disk
+// should degrade durability, not kill the simulation. Callers hold
+// d.mu.
+func (d *daemon) checkpointLocked() {
+	blob, err := d.live.Snapshot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "awserved: checkpoint:", err)
+		return
+	}
+	epoch := d.live.Epoch()
+	final := filepath.Join(d.opts.ckptDir, fmt.Sprintf("ckpt-%06d.awck", epoch))
+	tmp, err := os.CreateTemp(d.opts.ckptDir, ".ckpt-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "awserved: checkpoint:", err)
+		return
+	}
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), final)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		fmt.Fprintln(os.Stderr, "awserved: checkpoint:", werr)
+		return
+	}
+	d.lastCkptEpoch = epoch
+	d.lastCkptWall = time.Now()
+	if paths, err := filepath.Glob(filepath.Join(d.opts.ckptDir, "ckpt-*.awck")); err == nil && len(paths) > checkpointKeep {
+		sort.Strings(paths)
+		for _, old := range paths[:len(paths)-checkpointKeep] {
+			os.Remove(old)
+		}
+	}
+}
+
+// shutdown is the graceful-exit path: a final checkpoint if the fleet
+// moved since the last one, and the closing broadcast that unblocks
+// every follow stream so the HTTP servers can drain.
+func (d *daemon) shutdown() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closing = true
+	d.wakeFollowersLocked()
+	if d.opts.ckptDir != "" && d.live.Epoch() != d.lastCkptEpoch {
+		d.checkpointLocked()
+	}
 }
 
 // runClock advances the fleet in scaled time: each epoch's simulated
@@ -61,6 +232,9 @@ func (d *daemon) runClock(stop <-chan struct{}) {
 		before := d.live.Clock()
 		_, err := d.live.Step()
 		after := d.live.Clock()
+		if err == nil {
+			d.afterStepLocked()
+		}
 		d.mu.Unlock()
 		if err != nil {
 			return
@@ -175,6 +349,8 @@ func (d *daemon) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 		d.mu.Lock()
 		hist := d.live.History()
 		done := d.live.Done()
+		closing := d.closing
+		wake := d.epochCh
 		d.mu.Unlock()
 		for ; from < len(hist); from++ {
 			if err := enc.Encode(hist[from]); err != nil {
@@ -184,13 +360,16 @@ func (d *daemon) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 		if flusher != nil {
 			flusher.Flush()
 		}
-		if !follow || done {
+		if !follow || done || closing {
 			return
 		}
+		// Block until the fleet actually moves (wake is closed under mu on
+		// every step, restore and shutdown) or the client goes away — no
+		// polling, and a dropped client releases its handler immediately.
 		select {
 		case <-r.Context().Done():
 			return
-		case <-time.After(25 * time.Millisecond):
+		case <-wake:
 		}
 	}
 }
@@ -260,12 +439,33 @@ func (d *daemon) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		replyError(w, http.StatusBadRequest, fmt.Errorf("bad what-if request: target_nodes must be >= 0, got %d", req.TargetNodes))
 		return
 	}
+	// Bounded fork pool: a what-if steps a whole fleet fork, so an
+	// unbounded burst of them is a CPU-exhaustion hole. Full pool says
+	// try-again-later rather than queueing — the live fleet keeps moving
+	// either way.
+	select {
+	case d.whatif <- struct{}{}:
+		defer func() { <-d.whatif }()
+	default:
+		replyError(w, http.StatusTooManyRequests,
+			fmt.Errorf("what-if pool exhausted (%d in flight); retry later", cap(d.whatif)))
+		return
+	}
+	deadline := time.Now().Add(d.opts.whatifTimeout)
+	overdue := func() bool {
+		return time.Now().After(deadline) || r.Context().Err() != nil
+	}
 	d.mu.Lock()
 	fork := d.live.Fork()
 	d.mu.Unlock()
 
 	reply := whatIfReply{ForkedAt: fork.Epoch(), TargetNodes: req.TargetNodes}
 	for i := 0; i < req.Epochs && !fork.Done(); i++ {
+		if overdue() {
+			replyError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("what-if abandoned after %v (%d epochs stepped)", d.opts.whatifTimeout, len(reply.Epochs)))
+			return
+		}
 		tel, err := fork.StepTarget(req.TargetNodes)
 		if err != nil {
 			replyError(w, http.StatusInternalServerError, err)
@@ -275,6 +475,11 @@ func (d *daemon) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		reply.Epochs = append(reply.Epochs, tel)
 	}
 	for req.RunToEnd && !fork.Done() {
+		if overdue() {
+			replyError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("what-if abandoned after %v (%d epochs stepped)", d.opts.whatifTimeout, len(reply.Epochs)))
+			return
+		}
 		tel, err := fork.Step()
 		if err != nil {
 			replyError(w, http.StatusInternalServerError, err)
@@ -329,6 +534,7 @@ func (d *daemon) handleStep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		tels = append(tels, tel)
+		d.afterStepLocked()
 	}
 	replyJSON(w, http.StatusOK, tels)
 }
@@ -386,6 +592,10 @@ func (d *daemon) handleRestore(w http.ResponseWriter, r *http.Request) {
 	}
 	d.mu.Lock()
 	d.live = live
+	// The restored fleet is a new timeline: followers re-read history,
+	// and the checkpoint cadence restarts from the restored epoch.
+	d.lastCkptEpoch = -1
+	d.wakeFollowersLocked()
 	st := d.status()
 	d.mu.Unlock()
 	replyJSON(w, http.StatusOK, st)

@@ -27,7 +27,7 @@ func testDaemon(t *testing.T, scale float64) (*daemon, *httptest.Server, *httpte
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := newDaemon(name, run, scale)
+	d, err := newDaemon(name, run, scale, defaultDaemonOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,5 +367,148 @@ func TestDaemonConcurrentWhatIf(t *testing.T) {
 			t.Fatalf("clock never finished under concurrent what-ifs: %+v", st)
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// ckptDaemon builds a manual-clock daemon that checkpoints every epoch
+// into dir.
+func ckptDaemon(t *testing.T, dir string) (*daemon, *httptest.Server, *httptest.Server) {
+	t.Helper()
+	name, run, err := selectScenario(fixturePath, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := defaultDaemonOptions()
+	opts.ckptDir = dir
+	opts.ckptEveryEpochs = 1
+	d, err := newDaemon(name, run, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := httptest.NewServer(d.queryMux())
+	admin := httptest.NewServer(d.adminMux())
+	t.Cleanup(query.Close)
+	t.Cleanup(admin.Close)
+	return d, query, admin
+}
+
+// TestDaemonCheckpointRecovery is the crash-safety contract in-process:
+// a daemon that checkpoints every epoch dies (simply dropped on the
+// floor — no graceful path runs), a fresh daemon pointed at the same
+// directory resumes from the newest checkpoint, and the resumed fleet
+// finishes with exactly the batch-path result.
+func TestDaemonCheckpointRecovery(t *testing.T) {
+	dir := t.TempDir()
+	_, _, admin := ckptDaemon(t, dir)
+	postJSON(t, admin.URL+"/v1/step?epochs=3", nil, nil)
+
+	ckpts, err := filepath.Glob(filepath.Join(dir, "ckpt-*.awck"))
+	if err != nil || len(ckpts) != 3 {
+		t.Fatalf("checkpoints after 3 epochs: %v (err %v), want 3", ckpts, err)
+	}
+
+	d2, query2, admin2 := ckptDaemon(t, dir)
+	if got := d2.live.Epoch(); got != 3 {
+		t.Fatalf("recovered at epoch %d, want 3", got)
+	}
+	var st statusReply
+	getJSON(t, query2.URL+"/v1/status", &st)
+	for !st.Done {
+		postJSON(t, admin2.URL+"/v1/step", nil, nil)
+		getJSON(t, query2.URL+"/v1/status", &st)
+	}
+	resp, err := http.Get(query2.URL + "/v1/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %s %v", resp.Status, err)
+	}
+
+	_, run, err := selectScenario(fixturePath, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := agilewatts.RunScenario(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.MarshalIndent(want, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(gotJSON)) != string(wantJSON) {
+		t.Error("recovered run diverged from RunScenario on the same scenario file")
+	}
+
+	// The pruner keeps only the newest few checkpoints.
+	ckpts, _ = filepath.Glob(filepath.Join(dir, "ckpt-*.awck"))
+	if len(ckpts) > checkpointKeep {
+		t.Errorf("%d checkpoints on disk, want at most %d: %v", len(ckpts), checkpointKeep, ckpts)
+	}
+}
+
+// TestDaemonRecoverySkipsCorrupt pins the recovery ladder: a corrupt
+// newest checkpoint (a crash mid-everything can leave one) is skipped
+// with the fleet restored from the next one down, and a directory of
+// only-corrupt checkpoints degrades to a fresh epoch-0 fleet rather
+// than a dead daemon.
+func TestDaemonRecoverySkipsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	_, _, admin := ckptDaemon(t, dir)
+	postJSON(t, admin.URL+"/v1/step?epochs=2", nil, nil)
+
+	// Corrupt the newest checkpoint; epoch 1's stays valid.
+	if err := os.WriteFile(filepath.Join(dir, "ckpt-000002.awck"), []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d2, _, _ := ckptDaemon(t, dir)
+	if got := d2.live.Epoch(); got != 1 {
+		t.Errorf("recovered at epoch %d, want 1 (newest valid)", got)
+	}
+
+	// All corrupt: start fresh.
+	if err := os.WriteFile(filepath.Join(dir, "ckpt-000001.awck"), []byte("also bad"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d3, _, _ := ckptDaemon(t, dir)
+	if got := d3.live.Epoch(); got != 0 {
+		t.Errorf("recovered at epoch %d from corrupt-only dir, want 0", got)
+	}
+}
+
+// TestDaemonWhatIfBounds pins the fork-pool back-pressure: a full pool
+// answers 429 without touching the fleet, and an expired deadline
+// abandons the fork with 503.
+func TestDaemonWhatIfBounds(t *testing.T) {
+	name, run, err := selectScenario(fixturePath, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := defaultDaemonOptions()
+	opts.whatifMax = 0 // zero-capacity semaphore: every acquire fails
+	d, err := newDaemon(name, run, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := httptest.NewServer(d.queryMux())
+	t.Cleanup(query.Close)
+	req := whatIfRequest{TargetNodes: 1, Epochs: 1}
+	if resp := postJSON(t, query.URL+"/v1/whatif", req, nil); resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("full pool: status %s, want 429", resp.Status)
+	}
+
+	opts = defaultDaemonOptions()
+	opts.whatifTimeout = -time.Second // already expired: first step check trips
+	d2, err := newDaemon(name, run, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query2 := httptest.NewServer(d2.queryMux())
+	t.Cleanup(query2.Close)
+	if resp := postJSON(t, query2.URL+"/v1/whatif", req, nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("expired deadline: status %s, want 503", resp.Status)
 	}
 }

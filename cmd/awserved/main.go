@@ -28,9 +28,20 @@
 // minute per wall second); 0 (the default) runs no clock at all — the
 // fleet moves only on /v1/step. A multi-document scenario file needs
 // -scenario NAME to pick the document to serve.
+//
+// With -checkpoint-dir the daemon is crash-safe: it checkpoints the
+// fleet automatically (every -checkpoint-every-epochs epochs and/or
+// every -checkpoint-every-secs of wall time, written via temp file +
+// atomic rename), recovers from the newest valid checkpoint at startup,
+// and takes a final checkpoint on SIGINT/SIGTERM before draining both
+// HTTP listeners. What-if forks are bounded: at most -whatif-max run
+// concurrently (excess gets 429) and each is abandoned after
+// -whatif-timeout-ms (503).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -38,6 +49,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	agilewatts "repro"
 )
@@ -51,6 +63,15 @@ func main() {
 	adminAddr := flag.String("admin-addr", ":7071", "admin API listen address")
 	timeScale := flag.Float64("time-scale", 0,
 		"simulated-to-wall time ratio (60 = one simulated minute per second; 0 = manual stepping only)")
+	ckptDir := flag.String("checkpoint-dir", "",
+		"directory for automatic fleet checkpoints; startup recovers from the newest valid one")
+	ckptEpochs := flag.Int("checkpoint-every-epochs", 1,
+		"checkpoint after every N completed epochs (0 disables the epoch cadence)")
+	ckptSecs := flag.Float64("checkpoint-every-secs", 0,
+		"checkpoint once this much wall time passed since the last one (0 disables the wall cadence)")
+	whatifMax := flag.Int("whatif-max", 4, "maximum concurrent what-if forks (excess gets 429)")
+	whatifTimeoutMS := flag.Int("whatif-timeout-ms", 30000,
+		"abandon a what-if fork after this much wall time (it gets 503)")
 	flag.Parse()
 
 	if *scenarioFile == "" {
@@ -59,29 +80,73 @@ func main() {
 	if flag.NArg() > 0 {
 		fatal(fmt.Errorf("unexpected arguments: %s", strings.Join(flag.Args(), " ")))
 	}
+	if *ckptDir == "" && (*ckptSecs != 0 || !flagIsDefault("checkpoint-every-epochs")) {
+		fatal(fmt.Errorf("checkpoint cadence flags need -checkpoint-dir"))
+	}
+	if *whatifMax < 1 {
+		fatal(fmt.Errorf("-whatif-max must be >= 1, got %d", *whatifMax))
+	}
+	if *whatifTimeoutMS < 1 {
+		fatal(fmt.Errorf("-whatif-timeout-ms must be >= 1, got %d", *whatifTimeoutMS))
+	}
 	name, run, err := selectScenario(*scenarioFile, *scenarioName)
 	if err != nil {
 		fatal(err)
 	}
-	d, err := newDaemon(name, run, *timeScale)
+	opts := defaultDaemonOptions()
+	opts.ckptDir = *ckptDir
+	opts.ckptEveryEpochs = *ckptEpochs
+	opts.ckptEvery = time.Duration(*ckptSecs * float64(time.Second))
+	opts.whatifMax = *whatifMax
+	opts.whatifTimeout = time.Duration(*whatifTimeoutMS) * time.Millisecond
+	d, err := newDaemon(name, run, *timeScale, opts)
 	if err != nil {
 		fatal(err)
 	}
 
 	stop := make(chan struct{})
-	go d.runClock(stop)
-	go serve("admin", *adminAddr, d.adminMux())
+	clockDone := make(chan struct{})
+	go func() {
+		d.runClock(stop)
+		close(clockDone)
+	}()
+	query := &http.Server{Addr: *addr, Handler: d.queryMux()}
+	admin := &http.Server{Addr: *adminAddr, Handler: d.adminMux()}
+	go serve("admin", admin)
+	go serve("query", query)
 	fmt.Fprintf(os.Stderr, "awserved: scenario %q, %d epochs, query %s, admin %s, time-scale %g\n",
 		name, d.live.Epochs(), *addr, *adminAddr, *timeScale)
 
+	// Graceful shutdown: stop the clock and wait for it to finish the
+	// epoch it is mid-way through (a step is atomic under the daemon
+	// lock), take a final checkpoint, then drain both HTTP servers —
+	// never exit from under an epoch in flight or a half-written reply.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		<-sig
-		close(stop)
-		os.Exit(0)
-	}()
-	serve("query", *addr, d.queryMux())
+	<-sig
+	close(stop)
+	<-clockDone
+	d.shutdown()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := admin.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "awserved: admin shutdown:", err)
+	}
+	if err := query.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "awserved: query shutdown:", err)
+	}
+}
+
+// flagIsDefault reports whether the named flag was left at its default
+// (flag.Visit only walks the flags the command line actually set).
+func flagIsDefault(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return !set
 }
 
 // selectScenario loads the (possibly multi-document) scenario file and
@@ -130,8 +195,8 @@ func selectScenario(path, name string) (string, agilewatts.ScenarioRun, error) {
 	return label, run, nil
 }
 
-func serve(which, addr string, mux *http.ServeMux) {
-	if err := http.ListenAndServe(addr, mux); err != nil {
+func serve(which string, srv *http.Server) {
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(fmt.Errorf("%s listener: %w", which, err))
 	}
 }

@@ -54,5 +54,24 @@ func checkFlagCombos(set map[string]bool, experiments []string) error {
 			return fmt.Errorf("-%s tunes the closed-loop controller and needs -controller", name)
 		}
 	}
+	// The overload knobs cut across two experiments: -overload applies a
+	// single admission policy to the scenario experiment's fleets, while
+	// the overload experiment sweeps every policy itself and only honors
+	// the tuning knobs.
+	runsOverload := false
+	for _, e := range experiments {
+		if e == agilewatts.ExpOverload {
+			runsOverload = true
+		}
+	}
+	if set["overload"] && !runsScenario {
+		return fmt.Errorf("-overload applies admission control to the %q experiment: name it on the command line (the %q experiment sweeps every policy by itself)",
+			agilewatts.ExpScenario, agilewatts.ExpOverload)
+	}
+	for _, name := range []string{"overload-max-util", "overload-backlog-sec"} {
+		if set[name] && !set["overload"] && !runsOverload {
+			return fmt.Errorf("-%s tunes admission control and needs -overload or the %q experiment", name, agilewatts.ExpOverload)
+		}
+	}
 	return nil
 }

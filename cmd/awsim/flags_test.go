@@ -24,6 +24,8 @@ func TestCheckFlagCombos(t *testing.T) {
 		{"quick seed, default run", setOf("quick", "seed"), nil, ""},
 		{"scenario knobs with the scenario experiment", setOf("scenario", "epoch-ms", "replicas"), []string{"scenario"}, ""},
 		{"controller tuning with a controller", setOf("controller", "ctrl-cooldown"), []string{"scenario"}, ""},
+		{"overloaded scenario experiment", setOf("overload", "overload-max-util"), []string{"scenario"}, ""},
+		{"overload tuning on the overload experiment", setOf("overload-max-util", "overload-backlog-sec"), []string{"overload"}, ""},
 		{"scenario file alone", setOf("scenario-file"), nil, ""},
 
 		{"scenario shape without the experiment", setOf("scenario"), nil, `only affects the "scenario" experiment`},
@@ -33,6 +35,8 @@ func TestCheckFlagCombos(t *testing.T) {
 		{"controller without the experiment", setOf("controller"), nil, `only affects the "scenario" experiment`},
 		{"ctrl tuning without a controller", setOf("ctrl-up"), []string{"scenario"}, "needs -controller"},
 		{"ctrl cooldown without a controller", setOf("ctrl-cooldown"), []string{"scenario"}, "needs -controller"},
+		{"overload policy without the scenario experiment", setOf("overload"), []string{"overload"}, `applies admission control to the "scenario" experiment`},
+		{"overload tuning without a consumer", setOf("overload-backlog-sec"), []string{"cluster"}, `needs -overload or the "overload" experiment`},
 		{"scenario file plus other flags", setOf("scenario-file", "nodes", "controller"), nil, "ignored with -scenario-file"},
 		{"scenario file plus quick", setOf("scenario-file", "quick"), nil, "-quick ignored with -scenario-file"},
 	}

@@ -30,6 +30,15 @@
 // always appends the oracle-vs-reactive-vs-predictive comparison table:
 //
 //	awsim -nodes 8 -controller reactive -ctrl-cooldown 3 scenario
+//
+// -overload applies an admission-control policy (shed, degrade or
+// queue) to the scenario experiment's fleets when the offered rate
+// exceeds the active set's capacity; -overload-max-util and
+// -overload-backlog-sec tune the capacity ceiling and the queue bound.
+// The dedicated overload experiment compares all three policies on the
+// same over-capacity spike:
+//
+//	awsim -quick -nodes 4 overload
 package main
 
 import (
@@ -77,6 +86,13 @@ func main() {
 		"reactive controller scale-down utilization threshold (default 0.40)")
 	ctrlCooldown := flag.Int("ctrl-cooldown", 0,
 		"reactive controller minimum epochs between target changes (default 2)")
+	overload := flag.String("overload", "",
+		"scenario experiment admission-control policy past fleet capacity: "+
+			strings.Join(agilewatts.OverloadPolicies(), "|")+" (default: admit everything)")
+	overloadMaxUtil := flag.Float64("overload-max-util", 0,
+		"per-node utilization the admission capacity is computed at (default 0.85)")
+	overloadBacklogSec := flag.Float64("overload-backlog-sec", 0,
+		"queue policy backlog bound, in seconds of full-fleet capacity (default 1.0)")
 	scenarioFile := flag.String("scenario-file", "",
 		"declarative scenario file (JSON: schedule + fleet + elasticity + faults); "+
 			"runs it and prints the fleet timeline instead of any experiment")
@@ -130,6 +146,9 @@ func main() {
 	opts.ControllerUpUtil = *ctrlUp
 	opts.ControllerDownUtil = *ctrlDown
 	opts.ControllerCooldown = *ctrlCooldown
+	opts.OverloadPolicy = *overload
+	opts.OverloadMaxUtil = *overloadMaxUtil
+	opts.OverloadBacklogSec = *overloadBacklogSec
 
 	names := flag.Args()
 	if len(names) == 0 {

@@ -12,6 +12,7 @@ import (
 var scenarioOnlyFlags = []string{
 	"epoch-ms", "cold-epochs", "replicas",
 	"controller", "ctrl-up", "ctrl-down", "ctrl-cooldown",
+	"overload", "overload-max-util", "overload-backlog-sec",
 }
 
 // checkFlagCombos rejects flag combinations that would silently do
@@ -43,6 +44,11 @@ func checkFlagCombos(set map[string]bool) error {
 	for _, name := range []string{"ctrl-up", "ctrl-down", "ctrl-cooldown"} {
 		if set[name] && !set["controller"] {
 			return fmt.Errorf("-%s tunes the closed-loop controller and needs -controller", name)
+		}
+	}
+	for _, name := range []string{"overload-max-util", "overload-backlog-sec"} {
+		if set[name] && !set["overload"] {
+			return fmt.Errorf("-%s tunes admission control and needs -overload", name)
 		}
 	}
 	if set["park-drained"] && !set["scenario"] && !set["nodes"] && !set["cluster-dispatch"] {

@@ -23,6 +23,7 @@ func TestCheckFlagCombos(t *testing.T) {
 		{"cluster sweep", setOf("nodes", "cluster-dispatch", "park-drained"), ""},
 		{"scenario sweep with knobs", setOf("scenario", "epoch-ms", "replicas", "park-drained"), ""},
 		{"controlled scenario sweep", setOf("scenario", "controller", "ctrl-up", "ctrl-down"), ""},
+		{"overloaded scenario sweep", setOf("scenario", "overload", "overload-max-util", "overload-backlog-sec"), ""},
 		{"scenario file alone", setOf("scenario-file"), ""},
 
 		{"epoch-ms without scenario", setOf("epoch-ms"), "needs -scenario"},
@@ -31,6 +32,9 @@ func TestCheckFlagCombos(t *testing.T) {
 		{"controller without scenario", setOf("controller"), "needs -scenario"},
 		{"ctrl tuning without scenario", setOf("ctrl-cooldown"), "needs -scenario"},
 		{"ctrl tuning without controller", setOf("scenario", "ctrl-up"), "needs -controller"},
+		{"overload without scenario", setOf("overload"), "needs -scenario"},
+		{"overload tuning without scenario", setOf("overload-max-util"), "needs -scenario"},
+		{"overload tuning without overload", setOf("scenario", "overload-backlog-sec"), "needs -overload"},
 		{"park-drained on a single-node sweep", setOf("park-drained", "rates"), "needs -nodes, -cluster-dispatch or -scenario"},
 		{"scenario file plus sweep flags", setOf("scenario-file", "rates", "nodes"), "ignored with -scenario-file"},
 		{"scenario file plus verbose", setOf("scenario-file", "v"), "-v ignored with -scenario-file"},

@@ -87,6 +87,14 @@ func main() {
 		"reactive controller scale-down utilization threshold (default 0.40)")
 	ctrlCooldown := flag.Int("ctrl-cooldown", 0,
 		"reactive controller minimum epochs between target changes (default 2)")
+	overload := flag.String("overload", "",
+		"scenario sweeps only: admission-control policy past the active fleet's capacity: "+
+			strings.Join(agilewatts.OverloadPolicies(), "|")+
+			"; appends saturated and shedded_requests columns (default: admit everything)")
+	overloadMaxUtil := flag.Float64("overload-max-util", 0,
+		"per-node utilization the admission capacity is computed at (default 0.85)")
+	overloadBacklogSec := flag.Float64("overload-backlog-sec", 0,
+		"queue policy backlog bound, in seconds of full-fleet capacity (default 1.0)")
 	verbose := flag.Bool("v", false,
 		"print sweep-executor cache statistics (hits/misses, interval timeline "+
 			"runs included) to stderr after the sweep")
@@ -150,6 +158,9 @@ func main() {
 		if *controller != "" {
 			header += ",target_nodes"
 		}
+		if *overload != "" {
+			header += ",saturated,shedded_requests"
+		}
 		if *replicas > 0 {
 			header += ",fleet_w_lo,fleet_w_hi,qps_per_w_lo,qps_per_w_hi,worst_p99_lo_us,worst_p99_hi_us"
 		}
@@ -160,6 +171,8 @@ func main() {
 		fmt.Println("rate_qps,avg_core_w,package_w,server_avg_us,server_p99_us,e2e_avg_us,e2e_p99_us,c0,c1,c6a,c1e,c6ae,c6,turbo_fraction")
 	}
 	var ctrlChanges, ctrlEpochs int
+	var ovSaturated int
+	var ovShedded, ovBacklog float64
 	for _, part := range strings.Split(*rates, ",") {
 		rate, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
 		if err != nil {
@@ -202,12 +215,20 @@ func main() {
 						Cooldown: *ctrlCooldown,
 					},
 				},
+				Overload: agilewatts.OverloadSpec{
+					Policy:        *overload,
+					MaxUtil:       *overloadMaxUtil,
+					MaxBacklogSec: *overloadBacklogSec,
+				},
 			})
 			if err != nil {
 				fatal(err)
 			}
 			ctrlChanges += res.ControllerChanges
 			ctrlEpochs += len(res.Epochs)
+			ovSaturated += res.SaturatedEpochs
+			ovShedded += res.SheddedRequests
+			ovBacklog += res.BacklogRate
 			for _, ep := range res.Epochs {
 				fmt.Printf("%.0f,%d,%.1f,%.1f,%s,%.0f,%d,%d,%d,%.2f,%.0f,%.1f,%.2f",
 					rate, ep.Epoch,
@@ -218,6 +239,13 @@ func main() {
 					ep.Fleet.QPSPerWatt, ep.Fleet.WorstP99US)
 				if *controller != "" {
 					fmt.Printf(",%d", ep.TargetNodes)
+				}
+				if *overload != "" {
+					sat := 0
+					if ep.Saturated {
+						sat = 1
+					}
+					fmt.Printf(",%d,%.0f", sat, ep.SheddedRequests)
 				}
 				if *replicas > 0 && ep.CI != nil {
 					fmt.Printf(",%.2f,%.2f,%.1f,%.1f,%.2f,%.2f",
@@ -277,6 +305,10 @@ func main() {
 		if *controller != "" && ctrlEpochs > 0 {
 			fmt.Fprintf(os.Stderr, "awsweep: controller %s: %d target changes over %d epochs (%.2f decisions/epoch)\n",
 				*controller, ctrlChanges, ctrlEpochs, float64(ctrlChanges)/float64(ctrlEpochs))
+		}
+		if *overload != "" {
+			fmt.Fprintf(os.Stderr, "awsweep: overload %s: %d saturated epochs, %.0f requests shed, %.0f QPS backlog at end\n",
+				*overload, ovSaturated, ovShedded, ovBacklog)
 		}
 	}
 }

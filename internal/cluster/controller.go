@@ -105,6 +105,22 @@ func (s ControllerSpec) displayName() string {
 	return ""
 }
 
+// ceilTarget converts a continuous node demand to an integer target,
+// saturating instead of overflowing: at saturation a forecast can run
+// orders of magnitude past any real fleet, and a float-to-int
+// conversion past the int range is implementation-defined — it must
+// pin high (so clampTarget lands on the full fleet), never wrap low.
+func ceilTarget(v float64) int {
+	const maxTarget = 1 << 30
+	if math.IsNaN(v) {
+		return 1
+	}
+	if v >= maxTarget {
+		return maxTarget
+	}
+	return int(math.Ceil(v))
+}
+
 // clampTarget bounds a controller decision to [1, nodes]: a fleet never
 // parks its last node (something must serve the next epoch) and cannot
 // unpark nodes it does not have.
@@ -170,7 +186,7 @@ func (c *reactiveController) Observe(t FleetTelemetry) int {
 	// active-set busy-fraction integral (active x util) is the work the
 	// fleet actually did, re-divided across enough nodes to land on
 	// target.
-	want := clampTarget(int(math.Ceil(float64(active)*util/c.spec.TargetUtil)), c.info.Nodes)
+	want := clampTarget(ceilTarget(float64(active)*util/c.spec.TargetUtil), c.info.Nodes)
 	if want == c.target {
 		return c.target
 	}
@@ -208,7 +224,7 @@ func (c *predictiveController) Observe(t FleetTelemetry) int {
 	if perNode <= 0 {
 		return c.target
 	}
-	c.target = clampTarget(int(math.Ceil(forecast/perNode)), c.info.Nodes)
+	c.target = clampTarget(ceilTarget(forecast/perNode), c.info.Nodes)
 	return c.target
 }
 

@@ -182,7 +182,13 @@ func runControlledEpoch(classes []*liveClass, window sim.Time, c resolvedScenari
 // the controller's sizing decision lags. With fewer than target up
 // nodes the whole surviving fleet serves.
 func activeRates(c resolvedScenario, part func(Config) []float64, rate float64, target int, faults []runner.Fault) []float64 {
-	rates := make([]float64, len(c.Nodes))
+	return partitionOver(c, part, rate, activeSet(c, target, faults))
+}
+
+// activeSet returns the active node indices for a controller target:
+// the first target up nodes in fleet order (crashed nodes skipped).
+// With fewer than target up nodes the whole surviving fleet serves.
+func activeSet(c resolvedScenario, target int, faults []runner.Fault) []int {
 	up := make([]int, 0, target)
 	for i := range c.Nodes {
 		if faults != nil && faults[i].Down {
@@ -193,8 +199,17 @@ func activeRates(c resolvedScenario, part func(Config) []float64, rate float64, 
 			break
 		}
 	}
+	return up
+}
+
+// partitionOver routes rate across the given active set with the
+// configured dispatch policy, expanded back to fleet order; nodes
+// outside the set are routed nothing. An empty set routes nothing at
+// all — the whole fleet is dark.
+func partitionOver(c resolvedScenario, part func(Config) []float64, rate float64, up []int) []float64 {
+	rates := make([]float64, len(c.Nodes))
 	if len(up) == 0 {
-		return rates // the whole fleet is dark: nothing to route
+		return rates
 	}
 	upNodes := make([]server.Config, len(up))
 	for j, i := range up {
@@ -235,6 +250,7 @@ func runScenarioControlled(c resolvedScenario, plan []epochWindow, faults [][]ru
 		Epoch:      c.Epoch,
 	})
 
+	adm := c.newAdmission()
 	classes := initialLiveClasses(c)
 	realized := make([]epochWindow, len(plan))
 	targets := make([]int, len(plan))
@@ -246,10 +262,17 @@ func runScenarioControlled(c resolvedScenario, plan []epochWindow, faults [][]ru
 			frow = faults[e]
 		}
 		var rates []float64
+		var acct overloadAccount
 		if oracle || ctrl == nil {
-			// The plan's rates are already fault-adjusted (crashed nodes
-			// carry zero), so the oracle's replayed targets exclude them.
+			// The plan's rates are already fault- and admission-adjusted
+			// (crashed nodes carry zero; clipped epochs their admitted
+			// partition), so the oracle replays rates and admission
+			// accounts verbatim and its targets exclude dark nodes.
 			rates = pw.rates
+			acct = pw.account()
+			if adm != nil {
+				adm.backlog = pw.backlogReq
+			}
 			target = 0
 			for _, rt := range rates {
 				if rt > 0 {
@@ -260,16 +283,28 @@ func runScenarioControlled(c resolvedScenario, plan []epochWindow, faults [][]ru
 			if e > 0 {
 				target = clampTarget(ctrl.Observe(tel), n)
 			}
-			rates = activeRates(c, part, pw.rate, target, frow)
+			// Run-time admission: the controller's shrunken active set is
+			// the capacity the policy admits against — a consolidated
+			// fleet saturates before a fully unparked one would.
+			up := activeSet(c, target, frow)
+			route := pw.rate
+			if adm != nil {
+				winSec := float64(pw.end-pw.start) / 1e9
+				route, acct = adm.admit(pw.rate, c.overloadCapacity(up), winSec)
+			}
+			rates = partitionOver(c, part, route, up)
 		}
 		targets[e] = target
-		realized[e] = epochWindow{start: pw.start, end: pw.end, rate: pw.rate, phase: pw.phase, rates: rates}
+		realized[e] = epochWindow{
+			start: pw.start, end: pw.end, rate: pw.rate, phase: pw.phase, rates: rates,
+			saturated: acct.saturated, shedded: acct.shedded, backlogReq: acct.backlogReq,
+		}
 
 		classes = splitByRate(classes, rates, frow)
 		if err := runControlledEpoch(classes, pw.end-pw.start, c, r); err != nil {
 			return err
 		}
-		tel = fleetTelemetry(e, pw, classes, c.CompactNodes, n)
+		tel = fleetTelemetry(e, realized[e], classes, c.CompactNodes, n)
 	}
 
 	// Repackage the realized timelines as ordinary timeline classes,

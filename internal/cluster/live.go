@@ -38,6 +38,11 @@ type Live struct {
 	// otherwise ctrl decides each unforced epoch's target.
 	replay bool
 	ctrl   Controller
+	// adm is the run-time admission state (nil when overload control is
+	// disabled): forced and controller-decided epochs admit against the
+	// active set at step time; replayed epochs re-sync it to the plan's
+	// precomputed accounts.
+	adm *admission
 
 	classes  []*liveClass
 	realized []epochWindow
@@ -72,6 +77,7 @@ func NewLive(cfg ScenarioConfig) (*Live, error) {
 	if faults != nil {
 		applyFaultRates(c, part, plan, faults)
 	}
+	applyOverloadPlan(c, part, plan, faults)
 	l := &Live{
 		c:      c,
 		part:   part,
@@ -82,6 +88,7 @@ func NewLive(cfg ScenarioConfig) (*Live, error) {
 	}
 	l.ctrl = newController(c.Controller, l.fleetInfo())
 	l.replay = l.ctrl == nil
+	l.adm = c.newAdmission()
 	l.classes = initialLiveClasses(c)
 	return l, nil
 }
@@ -159,14 +166,30 @@ func (l *Live) step(forcedTarget int, force bool) (FleetTelemetry, error) {
 	}
 	target := l.target
 	var rates []float64
+	var acct overloadAccount
+	admitted := func(up []int) []float64 {
+		route := pw.rate
+		if l.adm != nil {
+			winSec := float64(pw.end-pw.start) / 1e9
+			route, acct = l.adm.admit(pw.rate, l.c.overloadCapacity(up), winSec)
+		}
+		return partitionOver(l.c, l.part, route, up)
+	}
 	switch {
 	case force:
 		target = clampTarget(forcedTarget, len(l.c.Nodes))
-		rates = activeRates(l.c, l.part, pw.rate, target, frow)
+		rates = admitted(activeSet(l.c, target, frow))
 	case l.replay:
-		// The plan's rates are already fault-adjusted (crashed nodes
-		// carry zero), so the replayed targets exclude them.
+		// The plan's rates are already fault- and admission-adjusted
+		// (crashed nodes carry zero; clipped epochs their admitted
+		// partition), so the replay reuses the planned rates and
+		// accounts, re-syncing the backlog so a later forced step
+		// carries it forward from the plan's state.
 		rates = pw.rates
+		acct = pw.account()
+		if l.adm != nil {
+			l.adm.backlog = pw.backlogReq
+		}
 		target = 0
 		for _, rt := range rates {
 			if rt > 0 {
@@ -177,17 +200,21 @@ func (l *Live) step(forcedTarget int, force bool) (FleetTelemetry, error) {
 		if e > 0 {
 			target = clampTarget(l.ctrl.Observe(l.tels[e-1]), len(l.c.Nodes))
 		}
-		rates = activeRates(l.c, l.part, pw.rate, target, frow)
+		rates = admitted(activeSet(l.c, target, frow))
 	}
 
+	realized := epochWindow{
+		start: pw.start, end: pw.end, rate: pw.rate, phase: pw.phase, rates: rates,
+		saturated: acct.saturated, shedded: acct.shedded, backlogReq: acct.backlogReq,
+	}
 	l.classes = splitByRate(l.classes, rates, frow)
 	if err := runControlledEpoch(l.classes, pw.end-pw.start, l.c, l.r); err != nil {
 		return FleetTelemetry{}, err
 	}
-	tel := fleetTelemetry(e, pw, l.classes, l.c.CompactNodes, len(l.c.Nodes))
+	tel := fleetTelemetry(e, realized, l.classes, l.c.CompactNodes, len(l.c.Nodes))
 
 	l.target = target
-	l.realized = append(l.realized, epochWindow{start: pw.start, end: pw.end, rate: pw.rate, phase: pw.phase, rates: rates})
+	l.realized = append(l.realized, realized)
 	l.targets = append(l.targets, target)
 	l.forced = append(l.forced, force)
 	l.tels = append(l.tels, tel)
@@ -209,6 +236,7 @@ func (l *Live) Result() (ScenarioResult, error) {
 		Dispatch:  l.c.Dispatch,
 		Epoch:     l.c.Epoch,
 		TotalTime: l.c.total,
+		Overload:  l.c.Overload.Policy,
 	}
 	realized := l.realized[:l.epoch]
 	classes := append([]*liveClass(nil), l.classes...)
@@ -274,6 +302,10 @@ func (l *Live) Fork() *Live {
 		target:   l.target,
 		epoch:    l.epoch,
 	}
+	if l.adm != nil {
+		admCopy := *l.adm
+		n.adm = &admCopy
+	}
 	n.classes = make([]*liveClass, len(l.classes))
 	for ci, cl := range l.classes {
 		n.classes[ci] = &liveClass{
@@ -332,8 +364,9 @@ func (l *Live) materialize() error {
 
 // liveSnapshotVersion versions the fleet checkpoint document. Same
 // policy as the instance format: bumped on any encoding or replay-
-// equivalence change, no cross-version migration.
-const liveSnapshotVersion = 1
+// equivalence change, no cross-version migration. Version 2 added the
+// overload admission policy to the identity block.
+const liveSnapshotVersion = 2
 
 // Snapshot checkpoints the fleet: an identity block naming the
 // scenario shape (restore rejects a mismatched config), the decision
@@ -361,6 +394,9 @@ func (l *Live) Snapshot() ([]byte, error) {
 	e.Bool(l.c.ParkDrained)
 	e.Bool(l.c.CompactNodes)
 	e.I64(int64(l.c.Replicas))
+	e.Str(l.c.Overload.Policy)
+	e.F64(l.c.Overload.MaxUtil)
+	e.F64(l.c.Overload.MaxBacklogSec)
 
 	// Decision history.
 	e.I64(int64(l.epoch))
@@ -408,12 +444,14 @@ func RestoreLive(cfg ScenarioConfig, data []byte) (*Live, error) {
 
 	// Identity block.
 	type ident struct {
-		nodes, plan   int64
-		total, epoch  int64
-		sched, disp   string
-		ctrl          string
-		park, compact bool
-		replicas      int64
+		nodes, plan          int64
+		total, epoch         int64
+		sched, disp          string
+		ctrl                 string
+		park, compact        bool
+		replicas             int64
+		overload             string
+		maxUtil, maxBacklogS float64
 	}
 	got := ident{
 		nodes: int64(len(l.c.Nodes)), plan: int64(len(l.plan)),
@@ -421,11 +459,14 @@ func RestoreLive(cfg ScenarioConfig, data []byte) (*Live, error) {
 		sched: l.c.Schedule.Name(), disp: l.c.Dispatch,
 		ctrl: l.c.Controller.Name, park: l.c.ParkDrained,
 		compact: l.c.CompactNodes, replicas: int64(l.c.Replicas),
+		overload: l.c.Overload.Policy, maxUtil: l.c.Overload.MaxUtil,
+		maxBacklogS: l.c.Overload.MaxBacklogSec,
 	}
 	want := ident{
 		nodes: d.I64(), plan: d.I64(), total: d.I64(), epoch: d.I64(),
 		sched: d.Str(), disp: d.Str(), ctrl: d.Str(),
 		park: d.Bool(), compact: d.Bool(), replicas: d.I64(),
+		overload: d.Str(), maxUtil: d.F64(), maxBacklogS: d.F64(),
 	}
 	if d.Err() == nil && got != want {
 		return nil, fmt.Errorf("cluster: restore: scenario config does not match the checkpoint (have %+v, checkpoint %+v)", got, want)

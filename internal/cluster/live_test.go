@@ -269,3 +269,79 @@ func TestRestoreLiveRejectsCorruptPayloads(t *testing.T) {
 		t.Error("RestoreLive accepted a checkpoint taken under a different scenario config")
 	}
 }
+
+// TestRestoreLiveRejectsTargetedCorruption walks the checkpoint
+// document block by block — version byte, identity block (including
+// the v2 overload fields), decision history, nested instance snapshots
+// — and proves a flipped byte or a truncation inside each one is
+// rejected. Every offset is computed from the codec's fixed-width
+// layout, and every flip has a guaranteed failure mode (an identity
+// mismatch, an invalid boolean, a replay-target mismatch, or an
+// instance byte-inequality) — a full blind sweep could land on bytes
+// whose corruption is replay-equivalent and pass silently.
+func TestRestoreLiveRejectsTargetedCorruption(t *testing.T) {
+	cfg := liveScenario()
+	cfg.Controller = ControllerSpec{Name: ControllerReactive}
+	cfg.Overload.Policy = OverloadQueue
+	l := mustLive(t, cfg)
+	for i := 0; i < 3; i++ {
+		if _, err := l.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := l.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fixed-width layout arithmetic (see Live.Snapshot): 1 version byte,
+	// then the identity block, the 3-epoch decision history, and the
+	// class verification block holding the nested instance snapshots.
+	const i64 = 8
+	str := func(s string) int { return i64 + len(s) }
+	identEnd := 1 + 4*i64 + // nodes, plan epochs, total, epoch
+		str(cfg.Schedule.Name()) + str(cfg.Dispatch) + str(cfg.Controller.Name) +
+		1 + 1 + i64 + // park, compact, replicas
+		str(cfg.Overload.Policy) + 2*i64 // max util, max backlog
+	histOff := identEnd
+	classOff := histOff + i64 + 3*(i64+1) // count, then target+forced per epoch
+
+	flip := func(off int) func([]byte) []byte {
+		return func(b []byte) []byte { b[off] ^= 0xFF; return b }
+	}
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"version byte flipped", flip(0)},
+		{"identity node count flipped", flip(1 + i64 - 1)},
+		{"identity schedule name flipped", flip(1 + 4*i64 + i64)},
+		{"identity overload max-util flipped", flip(identEnd - 2*i64)},
+		{"identity overload backlog cap flipped", flip(identEnd - 1)},
+		{"decision history count flipped", flip(histOff + i64 - 1)},
+		{"decision history target flipped", flip(histOff + i64 + i64 - 1)},
+		{"decision history forced flag invalid", func(b []byte) []byte {
+			b[histOff+i64+i64] = 2
+			return b
+		}},
+		{"class count flipped", flip(classOff + i64 - 1)},
+		{"instance snapshot tail flipped", flip(len(blob) - 2)},
+		{"truncated inside the identity block", func(b []byte) []byte { return b[:identEnd-4] }},
+		{"truncated inside the decision history", func(b []byte) []byte { return b[:histOff+i64+4] }},
+		{"truncated inside an instance snapshot", func(b []byte) []byte { return b[:len(b)-10] }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := tc.mut(append([]byte{}, blob...))
+			if _, err := RestoreLive(cfg, bad); err == nil {
+				t.Error("RestoreLive accepted the corrupted checkpoint")
+			}
+		})
+	}
+
+	// The arithmetic above must describe the real document: the
+	// untouched blob still restores.
+	if _, err := RestoreLive(cfg, blob); err != nil {
+		t.Fatalf("pristine checkpoint no longer restores: %v", err)
+	}
+}

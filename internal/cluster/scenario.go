@@ -97,6 +97,14 @@ type ScenarioConfig struct {
 	// predates fault injection. Warm path only (rejected with
 	// ColdEpochs).
 	Faults FaultSpec
+	// Overload enables per-epoch admission control: when the offered
+	// rate exceeds the active fleet's capacity (per-node capacity at
+	// MaxUtil, summed over the up, routed nodes), the excess is shed,
+	// queued or admitted-and-recorded per the policy (see OverloadSpec).
+	// The zero value disables admission control and keeps every result
+	// bit-identical to a run that predates it. Warm path only (rejected
+	// with ColdEpochs).
+	Overload OverloadSpec
 	// CompactNodes makes the warm path skip per-node materialization:
 	// EpochResult.Fleet.Nodes stays nil and fleet aggregation runs
 	// class-weighted in O(classes) per epoch instead of O(nodes) — the
@@ -161,6 +169,9 @@ func (c ScenarioConfig) Normalize() (resolvedScenario, error) {
 	if c.ColdEpochs && c.Faults.enabled() {
 		return r, fmt.Errorf("cluster: fault injection needs the warm path (ColdEpochs is set)")
 	}
+	if c.ColdEpochs && c.Overload.enabled() {
+		return r, fmt.Errorf("cluster: overload admission control needs the warm path (ColdEpochs is set)")
+	}
 	if c.Faults.RestartLatency < 0 || c.Faults.RestartPowerW < 0 {
 		return r, fmt.Errorf("cluster: negative restart penalty")
 	}
@@ -198,6 +209,9 @@ func (c ScenarioConfig) Normalize() (resolvedScenario, error) {
 	}
 	var err error
 	if r.Controller, err = normalizeController(c.Controller, r.TargetUtil); err != nil {
+		return r, err
+	}
+	if r.Overload, err = normalizeOverload(c.Overload); err != nil {
 		return r, err
 	}
 	// The static validator covers nodes, policy name, TargetUtil and the
@@ -265,6 +279,16 @@ type EpochResult struct {
 	// epoch (the clamped Observe decision; for the oracle, the number of
 	// plan-routed nodes). Zero on open-loop runs.
 	TargetNodes int
+	// Saturated reports that the epoch's demand (offered rate plus any
+	// queued backlog) exceeded the active fleet's admission capacity —
+	// only ever set when ScenarioConfig.Overload selects a policy.
+	// SheddedRequests counts the requests dropped during the window
+	// (shed policy, or queue-policy backlog overflow), and BacklogRate
+	// is the demand still queued at the window's end expressed as a
+	// rate over the window (queue policy).
+	Saturated       bool
+	SheddedRequests float64
+	BacklogRate     float64
 	// Fleet is the full fleet aggregate for this window. With
 	// CompactNodes its Nodes field stays nil.
 	Fleet Result
@@ -332,6 +356,17 @@ type ScenarioResult struct {
 	Controller        string
 	ControllerChanges int
 
+	// Overload names the admission policy that governed the run; empty
+	// when admission control was disabled. SaturatedEpochs counts the
+	// epochs whose demand exceeded the admission capacity,
+	// SheddedRequests totals the requests dropped over the run, and
+	// BacklogRate is the demand still queued after the final epoch
+	// (queue policy), as a rate over that epoch.
+	Overload        string
+	SaturatedEpochs int
+	SheddedRequests float64
+	BacklogRate     float64
+
 	// Classes counts the timeline equivalence classes the warm path
 	// collapsed the fleet into (one per node when nothing collapses;
 	// zero on the cold path, which does not classify).
@@ -362,6 +397,12 @@ type epochWindow struct {
 	rate       float64
 	phase      string
 	rates      []float64
+	// Admission-control account for the window (see OverloadSpec): set
+	// by applyOverloadPlan on planned windows and by the run-time
+	// admission on realized ones; all zero when admission is disabled.
+	saturated  bool
+	shedded    float64 // requests dropped during the window
+	backlogReq float64 // requests still queued at the window's end
 }
 
 // planEpochs partitions the schedule into epoch windows and each
@@ -434,11 +475,17 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 		// over the survivors before any timeline is built.
 		applyFaultRates(c, part, plan, faults)
 	}
+	// Admission control clips the plan after the fault adjustment, so
+	// capacity reflects crashed nodes. The controlled path re-admits at
+	// run time against the controller's active set; the oracle replays
+	// these planned accounts.
+	applyOverloadPlan(c, part, plan, faults)
 	out := ScenarioResult{
 		Schedule:  c.Schedule.Name(),
 		Dispatch:  c.Dispatch,
 		Epoch:     c.Epoch,
 		TotalTime: c.total,
+		Overload:  c.Overload.Policy,
 	}
 	switch {
 	case c.ColdEpochs:
@@ -485,6 +532,19 @@ func runScenarioWarm(c resolvedScenario, plan []epochWindow, faults [][]runner.F
 	return nil
 }
 
+// newEpochResult seeds an epoch's result from its window, carrying the
+// window's admission account (all zero when overload control is off).
+func newEpochResult(e int, pw epochWindow) EpochResult {
+	ep := EpochResult{
+		Epoch: e, Start: pw.start, End: pw.end, Phase: pw.phase, RateQPS: pw.rate,
+		Saturated: pw.saturated, SheddedRequests: pw.shedded,
+	}
+	if pw.backlogReq > 0 {
+		ep.BacklogRate = pw.backlogReq / (float64(pw.end-pw.start) / 1e9)
+	}
+	return ep
+}
+
 // warmEpochsExpanded materializes every node's NodeResult from its
 // class representative — the full-detail default, bit-identical to the
 // historical per-node path.
@@ -497,7 +557,7 @@ func warmEpochsExpanded(c resolvedScenario, plan []epochWindow, classes []timeli
 	}
 	parked := make([]bool, len(c.Nodes))
 	for e, pw := range plan {
-		ep := EpochResult{Epoch: e, Start: pw.start, End: pw.end, Phase: pw.phase, RateQPS: pw.rate}
+		ep := newEpochResult(e, pw)
 		nodes := make([]NodeResult, len(c.Nodes))
 		for i := range c.Nodes {
 			iv := classes[classOf[i]].results[0][e]
@@ -536,7 +596,7 @@ func warmEpochsExpanded(c resolvedScenario, plan []epochWindow, classes []timeli
 func warmEpochsCompact(c resolvedScenario, plan []epochWindow, classes []timelineClass, out *ScenarioResult) {
 	parked := make([]bool, len(classes))
 	for e, pw := range plan {
-		ep := EpochResult{Epoch: e, Start: pw.start, End: pw.end, Phase: pw.phase, RateQPS: pw.rate}
+		ep := newEpochResult(e, pw)
 		reps := make([]NodeResult, len(classes))
 		mults := make([]int, len(classes))
 		for ci := range classes {
@@ -656,6 +716,10 @@ func (r *ScenarioResult) finish() {
 		if ep.Fleet.WorstP99US > r.WorstP99US {
 			r.WorstP99US = ep.Fleet.WorstP99US
 		}
+		if ep.Saturated {
+			r.SaturatedEpochs++
+		}
+		r.SheddedRequests += ep.SheddedRequests
 
 		pi, ok := phaseIdx[ep.Phase]
 		if !ok {
@@ -695,5 +759,8 @@ func (r *ScenarioResult) finish() {
 	}
 	if energy > 0 {
 		r.QPSPerWatt = completions / energy
+	}
+	if len(r.Epochs) > 0 {
+		r.BacklogRate = r.Epochs[len(r.Epochs)-1].BacklogRate
 	}
 }

@@ -73,6 +73,15 @@ type FleetTelemetry struct {
 	WorstP99US float64
 	// FleetPowerW is the fleet package power over the epoch.
 	FleetPowerW float64
+	// Saturated reports that the epoch's demand exceeded the active
+	// set's admission capacity; SheddedRequests counts requests the
+	// admission policy dropped during the window and BacklogRate the
+	// demand still queued at the boundary, as a rate (queue policy).
+	// All zero unless ScenarioConfig.Overload selects a policy — the
+	// signals a saturation-aware controller or dashboard watches.
+	Saturated       bool
+	SheddedRequests float64
+	BacklogRate     float64
 	// Nodes carries the per-node samples, weighted out to fleet order.
 	// Nil under CompactNodes, where telemetry stays O(classes); the
 	// fleet-level fields above are always populated.
@@ -105,11 +114,16 @@ func nodeTelemetry(node int, rate float64, iv *server.IntervalResult, live int) 
 // O(nodes) for telemetry.
 func fleetTelemetry(epoch int, pw epochWindow, classes []*liveClass, compact bool, totalNodes int) FleetTelemetry {
 	t := FleetTelemetry{
-		Epoch:      epoch,
-		Start:      pw.start,
-		End:        pw.end,
-		OfferedQPS: pw.rate,
-		TotalNodes: totalNodes,
+		Epoch:           epoch,
+		Start:           pw.start,
+		End:             pw.end,
+		OfferedQPS:      pw.rate,
+		TotalNodes:      totalNodes,
+		Saturated:       pw.saturated,
+		SheddedRequests: pw.shedded,
+	}
+	if pw.backlogReq > 0 {
+		t.BacklogRate = pw.backlogReq / (float64(pw.end-pw.start) / 1e9)
 	}
 	var utilSum, depthSum float64 // over active nodes
 	for _, cl := range classes {

@@ -90,6 +90,17 @@ type Options struct {
 	// ControllerCooldown overrides the reactive controller's minimum
 	// number of epochs between target changes (default 2).
 	ControllerCooldown int
+	// OverloadPolicy routes the scenario experiment's fleets through
+	// admission control under the named overload policy (shed, degrade
+	// or queue; see cluster.OverloadPolicies). Empty means no admission
+	// control. The overload experiment ignores it and sweeps all three.
+	OverloadPolicy string
+	// OverloadMaxUtil overrides the per-node utilization the admission
+	// capacity is computed at (default 0.85); OverloadBacklogSec the
+	// queue policy's backlog bound in seconds of fleet capacity
+	// (default 1).
+	OverloadMaxUtil    float64
+	OverloadBacklogSec float64
 }
 
 // DefaultOptions returns full-fidelity settings.

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// TestOverloadExperimentQuick drives the admission study on a small
+// fleet and checks the shape the table relies on: one run per policy,
+// every run saturated through the spike plateau, shed dropping work,
+// degrade dropping none, and the queue run ending with its backlog
+// drained into the post-spike trough.
+func TestOverloadExperimentQuick(t *testing.T) {
+	o := scenarioQuick()
+	o.Nodes = 4
+	r, err := Overload(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CapacityQPS <= 0 || r.SpikeQPS <= r.CapacityQPS || r.BaseQPS >= r.CapacityQPS {
+		t.Fatalf("fixture sizing broken: base %g, capacity %g, spike %g",
+			r.BaseQPS, r.CapacityQPS, r.SpikeQPS)
+	}
+	want := cluster.OverloadPolicies()
+	if len(r.Runs) != len(want) {
+		t.Fatalf("runs = %d, want %d", len(r.Runs), len(want))
+	}
+	for i, run := range r.Runs {
+		if run.Policy != want[i] {
+			t.Errorf("run %d policy = %q, want %q", i, run.Policy, want[i])
+		}
+		if run.Result.Overload != run.Policy {
+			t.Errorf("%s: result echoes policy %q", run.Policy, run.Result.Overload)
+		}
+		if run.Result.SaturatedEpochs == 0 {
+			t.Errorf("%s: spike never saturated the fleet", run.Policy)
+		}
+		if run.Result.AvgFleetPowerW <= 0 {
+			t.Errorf("%s: non-positive fleet power", run.Policy)
+		}
+		switch run.Policy {
+		case cluster.OverloadShed:
+			if run.Result.SheddedRequests <= 0 {
+				t.Errorf("shed: dropped nothing through an over-capacity spike")
+			}
+		case cluster.OverloadDegrade:
+			if run.Result.SheddedRequests != 0 || run.Result.BacklogRate != 0 {
+				t.Errorf("degrade: shed %g queued %g, want admit-everything",
+					run.Result.SheddedRequests, run.Result.BacklogRate)
+			}
+		case cluster.OverloadQueue:
+			if run.Result.BacklogRate != 0 {
+				t.Errorf("queue: backlog %g left after the post-spike trough", run.Result.BacklogRate)
+			}
+		}
+	}
+	tbl := r.Table()
+	if len(tbl.Rows) != len(want) {
+		t.Fatalf("table rows = %d, want %d", len(tbl.Rows), len(want))
+	}
+	if !strings.Contains(tbl.Title, "Overload admission") {
+		t.Errorf("table title = %q", tbl.Title)
+	}
+}

@@ -120,6 +120,7 @@ func Scenario(o Options) (ScenarioExpResult, error) {
 			Replicas:     o.Replicas,
 			CompactNodes: o.Replicas > 0,
 			Controller:   o.controllerSpec(o.Controller),
+			Overload:     o.overloadSpec(o.OverloadPolicy),
 		})
 		if err != nil {
 			return cluster.ScenarioResult{}, fmt.Errorf("experiments: scenario %s/%s: %w",
@@ -225,6 +226,19 @@ func (o Options) controllerSpec(name string) cluster.ControllerSpec {
 	}
 }
 
+// overloadSpec assembles the admission-control spec for the named
+// policy; the empty name yields the zero spec, i.e. no admission.
+func (o Options) overloadSpec(policy string) cluster.OverloadSpec {
+	if policy == "" {
+		return cluster.OverloadSpec{}
+	}
+	return cluster.OverloadSpec{
+		Policy:        policy,
+		MaxUtil:       o.OverloadMaxUtil,
+		MaxBacklogSec: o.OverloadBacklogSec,
+	}
+}
+
 // ControllerScenarioRun is one (schedule, controller) cell of the
 // controller comparison: a Baseline fleet and an AW fleet driven by the
 // same closed-loop controller over the same schedule, plus the yearly
@@ -315,6 +329,7 @@ func ScenarioControllers(o Options) (ScenarioControllerResult, error) {
 			Replicas:     replicas,
 			CompactNodes: true,
 			Controller:   o.controllerSpec(ctrl),
+			Overload:     o.overloadSpec(o.OverloadPolicy),
 		})
 		if err != nil {
 			return cluster.ScenarioResult{}, fmt.Errorf("experiments: controller %s/%s: %w",

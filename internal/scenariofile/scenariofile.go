@@ -121,6 +121,20 @@ type FaultsSpec struct {
 	RestartFree      bool            `json:"restart_free,omitempty"`
 }
 
+// OverloadSpec is the admission-control description: what happens when
+// the offered rate exceeds the active fleet's capacity. Its zero value
+// disables admission control.
+type OverloadSpec struct {
+	// Policy picks an overload policy: shed, degrade or queue.
+	Policy string `json:"policy,omitempty"`
+	// MaxUtil is the per-node utilization the admission capacity is
+	// computed at (default 0.85).
+	MaxUtil float64 `json:"max_util,omitempty"`
+	// MaxBacklogSec bounds the queue policy's backlog in seconds of
+	// full-fleet capacity (default 1.0).
+	MaxBacklogSec float64 `json:"max_backlog_sec,omitempty"`
+}
+
 // File is the root of a scenario file.
 type File struct {
 	// Name labels the scenario in reports and golden fingerprints.
@@ -133,6 +147,7 @@ type File struct {
 	Execution  ExecutionSpec  `json:"execution,omitempty"`
 	Elasticity ElasticitySpec `json:"elasticity,omitempty"`
 	Faults     FaultsSpec     `json:"faults,omitempty"`
+	Overload   OverloadSpec   `json:"overload,omitempty"`
 }
 
 // decodeError dresses a raw json.Decoder error with the information a

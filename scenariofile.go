@@ -83,6 +83,11 @@ func ScenarioRunFromFile(f ScenarioFile) (ScenarioRun, error) {
 			RestartPowerW:  f.Faults.RestartPowerW,
 			RestartFree:    f.Faults.RestartFree,
 		},
+		Overload: OverloadSpec{
+			Policy:        f.Overload.Policy,
+			MaxUtil:       f.Overload.MaxUtil,
+			MaxBacklogSec: f.Overload.MaxBacklogSec,
+		},
 	}
 	if f.Fleet.Platform != "" {
 		cfg, err := ConfigByName(f.Fleet.Platform)

@@ -33,6 +33,18 @@ func adversarialFingerprint(res ScenarioResult) string {
 			fmt.Fprintf(&b, " e%d.tgt=%d", ep.Epoch, ep.TargetNodes)
 		}
 	}
+	// Overload observables print only when a policy is selected, so the
+	// pre-overload goldens stay byte-identical.
+	if res.Overload != "" {
+		fmt.Fprintf(&b, " ov=%q sat=%d shed=%s backlog=%s",
+			res.Overload, res.SaturatedEpochs, hexF(res.SheddedRequests), hexF(res.BacklogRate))
+		for _, ep := range res.Epochs {
+			if ep.Saturated || ep.SheddedRequests > 0 || ep.BacklogRate > 0 {
+				fmt.Fprintf(&b, " e%d.ov[sat=%v,shed=%s,bl=%s]",
+					ep.Epoch, ep.Saturated, hexF(ep.SheddedRequests), hexF(ep.BacklogRate))
+			}
+		}
+	}
 	return b.String()
 }
 
@@ -42,6 +54,9 @@ var goldenAdversarialWant = map[string]string{
 	"crash-under-spike": "sched=spike disp=consolidate epoch=10000000 total=60000000 unparks=1 energy=0x1.acab705a6addcp+02 avgw=0x1.be87ea5e2f51ap+06 qps=0x1.393faaaaaaaaap+19 qpw=0x1.672d236ae83f5p+12 worstp99=0x1.f4p+12 timeline=[3 3 1 1 3 3] e0[0-10000000,pre,unp=0] e0.rate=0x1.86ap+18 e0.w=0x1.872dc52d3a172p+06 e0.qps=0x1.8b9bp+18 e0.p99=0x1.09p+06 e0.upj=0x0p+00 e1[10000000-20000000,pre,unp=0] e1.rate=0x1.86ap+18 e1.w=0x1.87180005873d8p+06 e1.qps=0x1.8bb4p+18 e1.p99=0x1.03p+06 e1.upj=0x0p+00 e2[20000000-30000000,spike,unp=1] e2.rate=0x1.117p+20 e2.w=0x1.ac6203b30fe38p+06 e2.qps=0x1.1088cp+20 e2.p99=0x1.01p+07 e2.upj=0x0p+00 e3[30000000-40000000,spike,unp=0] e3.rate=0x1.117p+20 e3.w=0x1.a77b0604e0dfep+06 e3.qps=0x1.11c14p+20 e3.p99=0x1.b7p+06 e3.upj=0x0p+00 e4[40000000-50000000,post,unp=0] e4.rate=0x1.86ap+18 e4.w=0x1.474cf7d3161cap+07 e4.qps=0x1.858dp+18 e4.p99=0x1.f4p+12 e4.upj=0x0p+00 e5[50000000-60000000,post,unp=0] e5.rate=0x1.86ap+18 e5.w=0x1.8672bfa43d988p+06 e5.qps=0x1.88f8p+18 e5.p99=0x1.ddp+05 e5.upj=0x0p+00 ph[pre,n=2,t=20000000] ph.pre.rate=0x1.86ap+18 ph.pre.w=0x1.8722e29960aa5p+06 ph.pre.p99=0x1.09p+06 ph.pre.parked=0x1.8p+01 ph[spike,n=2,t=20000000] ph.spike.rate=0x1.117p+20 ph.spike.w=0x1.a9ee84dbf861bp+06 ph.spike.p99=0x1.01p+07 ph.spike.parked=0x1p+00 ph[post,n=2,t=20000000] ph.post.rate=0x1.86ap+18 ph.post.w=0x1.05432bd29a747p+07 ph.post.p99=0x1.f4p+12 ph.post.parked=0x1.8p+01 ctrl=\"reactive\" changes=1 restarts=2 e0.tgt=4 e1.tgt=1 e2.fault[down=2,rst=0,rej=0x0p+00] e2.tgt=1 e3.fault[down=2,rst=0,rej=0x0p+00] e3.tgt=1 e4.fault[down=0,rst=2,rej=0x1.47ae147ae147bp-01] e4.tgt=1 e5.tgt=1",
 	"straggler-diurnal": "sched=diurnal disp=consolidate epoch=15000000 total=60000000 unparks=1 energy=0x1.309460925de13p+03 avgw=0x1.3d4539edcc754p+07 qps=0x1.b4f78aaaaaaabp+20 qpw=0x1.6094c0d6dc129p+13 worstp99=0x1.73p+09 timeline=[2 1 1 2] e0[0-15000000,h01,unp=0] e0.rate=0x1.13726dac987a7p+20 e0.w=0x1.e0fcaf472d4edp+06 e0.qps=0x1.1233d55555556p+20 e0.p99=0x1.c7p+06 e0.upj=0x0p+00 e1[15000000-30000000,h04,unp=1] e1.rate=0x1.2dbac929b3c2bp+21 e1.w=0x1.a35d4e4a82ec2p+07 e1.qps=0x1.2ade6aaaaaaabp+21 e1.p99=0x1.a1p+08 e1.upj=0x0p+00 e2[30000000-45000000,h07,unp=0] e2.rate=0x1.2dbac929b3c2dp+21 e2.w=0x1.85b49bbd13106p+07 e2.qps=0x1.2ca6aaaaaaaabp+21 e2.p99=0x1.87p+08 e2.upj=0x0p+00 e3[45000000-60000000,h10,unp=0] e3.rate=0x1.13726dac987a7p+20 e3.w=0x1.b7094c180a624p+06 e3.qps=0x1.12a02aaaaaaabp+20 e3.p99=0x1.73p+09 e3.upj=0x0p+00 ph[h01,n=1,t=15000000] ph.h01.rate=0x1.13726dac987a7p+20 ph.h01.w=0x1.e0fcaf472d4edp+06 ph.h01.p99=0x1.c7p+06 ph.h01.parked=0x1p+01 ph[h04,n=1,t=15000000] ph.h04.rate=0x1.2dbac929b3c2ap+21 ph.h04.w=0x1.a35d4e4a82ec2p+07 ph.h04.p99=0x1.a1p+08 ph.h04.parked=0x1p+00 ph[h07,n=1,t=15000000] ph.h07.rate=0x1.2dbac929b3c2dp+21 ph.h07.w=0x1.85b49bbd13106p+07 ph.h07.p99=0x1.87p+08 ph.h07.parked=0x1p+00 ph[h10,n=1,t=15000000] ph.h10.rate=0x1.13726dac987a7p+20 ph.h10.w=0x1.b7094c180a624p+06 ph.h10.p99=0x1.73p+09 ph.h10.parked=0x1p+01 ctrl=\"\" changes=0 restarts=0",
 	"thermal-storm":     "sched=ramp disp=spread epoch=10000000 total=60000000 unparks=0 energy=0x1.0010d0efb1038p+03 avgw=0x1.0abc2ef9adb8fp+07 qps=0x1.2545155555555p+19 qpw=0x1.197782cf2f921p+12 worstp99=0x1.55p+06 timeline=[0 0 0 0 0 0] e0[0-10000000,ramp,unp=0] e0.rate=0x1.b774p+17 e0.w=0x1.cd5e563c60744p+06 e0.qps=0x1.c4eep+17 e0.p99=0x1.55p+06 e0.upj=0x0p+00 e1[10000000-20000000,ramp,unp=0] e1.rate=0x1.6e36p+18 e1.w=0x1.e57b477cd29e7p+06 e1.qps=0x1.6f94p+18 e1.p99=0x1.dbp+05 e1.upj=0x0p+00 e2[20000000-30000000,ramp,unp=0] e2.rate=0x1.0059p+19 e2.w=0x1.0287e816874b1p+07 e2.qps=0x1.fd15p+18 e2.p99=0x1.b9p+05 e2.upj=0x0p+00 e3[30000000-40000000,ramp,unp=0] e3.rate=0x1.4997p+19 e3.w=0x1.1022f4a96df68p+07 e3.qps=0x1.46b58p+19 e3.p99=0x1.37p+06 e3.upj=0x0p+00 e4[40000000-50000000,ramp,unp=0] e4.rate=0x1.92d5p+19 e4.w=0x1.1c8cd84a9740cp+07 e4.qps=0x1.8f9cp+19 e4.p99=0x1.43p+06 e4.upj=0x0p+00 e5[50000000-60000000,ramp,unp=0] e5.rate=0x1.dc13p+19 e5.w=0x1.37c495f2ec4a2p+07 e5.qps=0x1.e1bdp+19 e5.p99=0x1.09p+06 e5.upj=0x0p+00 ph[ramp,n=6,t=60000000] ph.ramp.rate=0x1.24f8p+19 ph.ramp.w=0x1.0abc2ef9adb9p+07 ph.ramp.p99=0x1.55p+06 ph.ramp.parked=0x0p+00 ctrl=\"\" changes=0 restarts=0",
+	"overload-degrade":  "sched=diurnal disp=consolidate epoch=10000000 total=60000000 unparks=0 energy=0x1.7c049a69d703bp+03 avgw=0x1.8bda20d8eaa3dp+07 qps=0x1.a9671ffffffffp+21 qpw=0x1.131c54a043fap+14 worstp99=0x1.33p+12 timeline=[0 0 0 0 0 0] e0[0-10000000,h01,unp=0] e0.rate=0x1.b83a553767652p+20 e0.w=0x1.4025f17a9c345p+07 e0.qps=0x1.b7038p+20 e0.p99=0x1.fdp+06 e0.upj=0x0p+00 e1[10000000-20000000,h03,unp=0] e1.rate=0x1.ab3fp+21 e1.w=0x1.b12a25ff8ba7cp+07 e1.qps=0x1.a71bap+21 e1.p99=0x1.71p+09 e1.upj=0x0p+00 e2[20000000-30000000,h05,unp=0] e2.rate=0x1.3d306ab22626bp+22 e2.w=0x1.b36857112c5b8p+07 e2.qps=0x1.11237p+22 e2.p99=0x1.ddp+10 e2.upj=0x0p+00 e3[30000000-40000000,h07,unp=0] e3.rate=0x1.3d306ab22626cp+22 e3.w=0x1.b3c01d071f545p+07 e3.qps=0x1.1129bp+22 e3.p99=0x1.e1p+11 e3.upj=0x0p+00 e4[40000000-50000000,h09,unp=0] e4.rate=0x1.ab3fp+21 e4.w=0x1.b3104b69d2bfcp+07 e4.qps=0x1.0f09fp+22 e4.p99=0x1.2dp+12 e4.upj=0x0p+00 e5[50000000-60000000,h11,unp=0] e5.rate=0x1.b83a553767652p+20 e5.w=0x1.3b93ee19398b5p+07 e5.qps=0x1.131f4p+21 e5.p99=0x1.33p+12 e5.upj=0x0p+00 ph[h01,n=1,t=10000000] ph.h01.rate=0x1.b83a553767651p+20 ph.h01.w=0x1.4025f17a9c345p+07 ph.h01.p99=0x1.fdp+06 ph.h01.parked=0x0p+00 ph[h03,n=1,t=10000000] ph.h03.rate=0x1.ab3fp+21 ph.h03.w=0x1.b12a25ff8ba7cp+07 ph.h03.p99=0x1.71p+09 ph.h03.parked=0x0p+00 ph[h05,n=1,t=10000000] ph.h05.rate=0x1.3d306ab22626bp+22 ph.h05.w=0x1.b36857112c5b8p+07 ph.h05.p99=0x1.ddp+10 ph.h05.parked=0x0p+00 ph[h07,n=1,t=10000000] ph.h07.rate=0x1.3d306ab22626cp+22 ph.h07.w=0x1.b3c01d071f545p+07 ph.h07.p99=0x1.e1p+11 ph.h07.parked=0x0p+00 ph[h09,n=1,t=10000000] ph.h09.rate=0x1.ab3fp+21 ph.h09.w=0x1.b3104b69d2bfcp+07 ph.h09.p99=0x1.2dp+12 ph.h09.parked=0x0p+00 ph[h11,n=1,t=10000000] ph.h11.rate=0x1.b83a553767651p+20 ph.h11.w=0x1.3b93ee19398b5p+07 ph.h11.p99=0x1.33p+12 ph.h11.parked=0x0p+00 ctrl=\"\" changes=0 restarts=0 ov=\"degrade\" sat=2 shed=0x0p+00 backlog=0x0p+00 e2.ov[sat=true,shed=0x0p+00,bl=0x0p+00] e3.ov[sat=true,shed=0x0p+00,bl=0x0p+00]",
+	"overload-queue":    "sched=overload-queue disp=consolidate epoch=10000000 total=80000000 unparks=0 energy=0x1.883e65b2b5a75p+03 avgw=0x1.3270bf739deabp+07 qps=0x1.2118fcp+21 qpw=0x1.e3060d7c2ecabp+13 worstp99=0x1.2fp+10 timeline=[0 0 0 0 0 1 1 1] e0[0-10000000,slam,unp=0] e0.rate=0x1.e848p+22 e0.w=0x1.b357eb73449dcp+07 e0.qps=0x1.b0d64p+21 e0.p99=0x1.0fp+09 e0.upj=0x0p+00 e1[10000000-20000000,slam,unp=0] e1.rate=0x1.e848p+22 e1.w=0x1.8b192e32f67ebp+07 e1.qps=0x1.b4572p+21 e1.p99=0x1.5bp+09 e1.upj=0x0p+00 e2[20000000-30000000,trough,unp=0] e2.rate=0x1.e848p+18 e2.w=0x1.8c2a3f5e4501p+07 e2.qps=0x1.b5abcp+21 e2.p99=0x1.c1p+09 e2.upj=0x0p+00 e3[30000000-40000000,trough,unp=0] e3.rate=0x1.e848p+18 e3.w=0x1.89812dfa37b71p+07 e3.qps=0x1.b1246p+21 e3.p99=0x1.09p+08 e3.upj=0x0p+00 e4[40000000-50000000,trough,unp=0] e4.rate=0x1.e848p+18 e4.w=0x1.787218a164578p+07 e4.qps=0x1.84034p+21 e4.p99=0x1.57p+09 e4.upj=0x0p+00 e5[50000000-60000000,trough,unp=0] e5.rate=0x1.e848p+18 e5.w=0x1.362e3a8f69ee4p+06 e5.qps=0x1.fc66p+18 e5.p99=0x1.2fp+10 e5.upj=0x0p+00 e6[60000000-70000000,trough,unp=0] e6.rate=0x1.e848p+18 e6.w=0x1.2a4977c40b4bdp+06 e6.qps=0x1.e5bep+18 e6.p99=0x1.03p+06 e6.upj=0x0p+00 e7[70000000-80000000,trough,unp=0] e7.rate=0x1.e848p+18 e7.w=0x1.2d7705a63119ep+06 e7.qps=0x1.e415p+18 e7.p99=0x1.37p+06 e7.upj=0x0p+00 ph[slam,n=2,t=20000000] ph.slam.rate=0x1.e848p+22 ph.slam.w=0x1.9f388cd31d8e2p+07 ph.slam.p99=0x1.5bp+09 ph.slam.parked=0x0p+00 ph[trough,n=6,t=60000000] ph.trough.rate=0x1.e848p+18 ph.trough.w=0x1.0e2e25a91e09ap+07 ph.trough.p99=0x1.2fp+10 ph.trough.parked=0x1p-01 ctrl=\"predictive\" changes=0 restarts=0 e0.tgt=2 e1.tgt=2 e2.tgt=2 e3.tgt=2 e4.tgt=2 e5.tgt=2 e6.tgt=2 e7.tgt=2 ov=\"queue\" sat=4 shed=0x0p+00 backlog=0x0p+00 e0.ov[sat=true,shed=0x0p+00,bl=0x1.0dd5d7f8e633cp+22] e1.ov[sat=true,shed=0x0p+00,bl=0x1.0dd5d7f8e633cp+23] e2.ov[sat=true,shed=0x0p+00,bl=0x1.5fbe07eab29b4p+22] e3.ov[sat=true,shed=0x0p+00,bl=0x1.47a0bfc7319e1p+21]",
+	"overload-shed":     "sched=spike disp=consolidate epoch=10000000 total=60000000 unparks=0 energy=0x1.334408815bd58p+03 avgw=0x1.401188dc14fe6p+07 qps=0x1.13c0b55555555p+21 qpw=0x1.b91c299494448p+13 worstp99=0x1.59p+09 timeline=[0 0 0 0 0 0] e0[0-10000000,pre,unp=0] e0.rate=0x1.6e36p+20 e0.w=0x1.20f735ca71bb5p+07 e0.qps=0x1.6c42p+20 e0.p99=0x1.fdp+06 e0.upj=0x0p+00 e1[10000000-20000000,pre,unp=0] e1.rate=0x1.6e36p+20 e1.w=0x1.03f27ab4545cep+07 e1.qps=0x1.6e1dp+20 e1.p99=0x1.39p+09 e1.upj=0x0p+00 e2[20000000-30000000,spike,unp=0] e2.rate=0x1.0059p+22 e2.w=0x1.bd28fb0294398p+07 e2.qps=0x1.caf2ap+21 e2.p99=0x1.dfp+08 e2.upj=0x0p+00 e3[30000000-40000000,spike,unp=0] e3.rate=0x1.0059p+22 e3.w=0x1.9660477c40ff6p+07 e3.qps=0x1.cf70ap+21 e3.p99=0x1.59p+09 e3.upj=0x0p+00 e4[40000000-50000000,post,unp=0] e4.rate=0x1.6e36p+20 e4.w=0x1.041e887adbdb8p+07 e4.qps=0x1.70cc8p+20 e4.p99=0x1.efp+07 e4.upj=0x0p+00 e5[50000000-60000000,post,unp=0] e5.rate=0x1.6e36p+20 e5.w=0x1.03d7b9b006c9ep+07 e5.qps=0x1.6d168p+20 e5.p99=0x1.4bp+09 e5.upj=0x0p+00 ph[pre,n=2,t=20000000] ph.pre.rate=0x1.6e36p+20 ph.pre.w=0x1.1274d83f630c1p+07 ph.pre.p99=0x1.39p+09 ph.pre.parked=0x0p+00 ph[spike,n=2,t=20000000] ph.spike.rate=0x1.0059p+22 ph.spike.w=0x1.a9c4a13f6a9c8p+07 ph.spike.p99=0x1.59p+09 ph.spike.parked=0x0p+00 ph[post,n=2,t=20000000] ph.post.rate=0x1.6e36p+20 ph.post.w=0x1.03fb21157152bp+07 ph.post.p99=0x1.4bp+09 ph.post.parked=0x0p+00 ctrl=\"reactive\" changes=0 restarts=0 e0.tgt=2 e1.tgt=2 e2.tgt=2 e3.tgt=2 e4.tgt=2 e5.tgt=2 ov=\"shed\" sat=2 shed=0x1.f09de0ad2acd7p+12 backlog=0x0p+00 e2.ov[sat=true,shed=0x1.f09de0ad2acd7p+11,bl=0x0p+00] e3.ov[sat=true,shed=0x1.f09de0ad2acd7p+11,bl=0x0p+00]",
 }
 
 func TestGoldenAdversarialScenarios(t *testing.T) {
